@@ -1,0 +1,303 @@
+// Benchmarks regenerating the reconstructed evaluation, one per table
+// and figure (see DESIGN.md §3 and EXPERIMENTS.md). Each benchmark
+// replays a generated history through the relevant checker(s) and
+// reports ns/tx — the per-transaction checking cost — alongside the
+// standard ns/op of one whole replay.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+package rtic
+
+import (
+	"fmt"
+	"testing"
+
+	"rtic/internal/active"
+	"rtic/internal/check"
+	"rtic/internal/core"
+	"rtic/internal/naive"
+	"rtic/internal/storage"
+	"rtic/internal/workload"
+)
+
+type benchEngine interface {
+	AddConstraint(*check.Constraint) error
+	Step(uint64, *storage.Transaction) ([]check.Violation, error)
+}
+
+func newEngine(b *testing.B, kind string, h workload.History) benchEngine {
+	b.Helper()
+	var eng benchEngine
+	switch kind {
+	case "incremental":
+		eng = core.New(h.Schema)
+	case "naive":
+		eng = naive.New(h.Schema)
+	case "active":
+		eng = active.New(h.Schema)
+	default:
+		b.Fatalf("unknown engine %q", kind)
+	}
+	for _, cs := range h.Constraints {
+		con, err := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.AddConstraint(con); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// benchReplay runs b.N full replays of h on fresh engines and reports
+// the per-transaction cost.
+func benchReplay(b *testing.B, kind string, h workload.History) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := newEngine(b, kind, h)
+		for _, s := range h.Steps {
+			if _, err := eng.Step(s.Time, s.Tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if len(h.Steps) > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(h.Steps)), "ns/tx")
+	}
+}
+
+// unboundedHistory is the Table 1 workload: an unbounded-window
+// constraint, where the naive evaluator must walk the whole history.
+func unboundedHistory(n int) workload.History {
+	h := workload.Uniform(workload.UniformConfig{Steps: n, Seed: 42, OpsPerTx: 1, Domain: 8})
+	h.Constraints = []workload.ConstraintSpec{{Name: "c", Source: "p(x) -> not once q(x)"}}
+	return h
+}
+
+// windowHistory is the bounded-window workload used by the space and
+// update-rate experiments.
+func windowHistory(n, ops int, window string) workload.History {
+	h := workload.Uniform(workload.UniformConfig{Steps: n, Seed: 43, OpsPerTx: ops, Domain: 8})
+	h.Constraints = []workload.ConstraintSpec{
+		{Name: "c", Source: fmt.Sprintf("p(x) -> not once[0,%s] q(x)", window)},
+	}
+	return h
+}
+
+// BenchmarkTable1HistoryLength — per-transaction cost vs history length
+// (unbounded window). Expected shape: incremental ns/tx flat across n,
+// naive ns/tx growing with n.
+func BenchmarkTable1HistoryLength(b *testing.B) {
+	for _, n := range []int{250, 500, 1000} {
+		h := unboundedHistory(n)
+		for _, kind := range []string{"incremental", "naive"} {
+			b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+				benchReplay(b, kind, h)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure1Space — space vs history length (window [0,100]).
+// Reported as aux_bytes (incremental) and hist_bytes (naive) metrics.
+func BenchmarkFigure1Space(b *testing.B) {
+	for _, n := range []int{500, 1000, 2000} {
+		h := windowHistory(n, 1, "100")
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			var bytes int
+			for i := 0; i < b.N; i++ {
+				eng := core.New(h.Schema)
+				con, _ := check.Parse("c", h.Constraints[0].Source, h.Schema)
+				if err := eng.AddConstraint(con); err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range h.Steps {
+					if _, err := eng.Step(s.Time, s.Tx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				bytes = eng.Stats().Bytes
+			}
+			b.ReportMetric(float64(bytes), "aux_bytes")
+		})
+		b.Run(fmt.Sprintf("naive/n=%d", n), func(b *testing.B) {
+			var bytes int
+			for i := 0; i < b.N; i++ {
+				eng := naive.New(h.Schema)
+				con, _ := check.Parse("c", h.Constraints[0].Source, h.Schema)
+				if err := eng.AddConstraint(con); err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range h.Steps {
+					if _, err := eng.Step(s.Time, s.Tx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				bytes = eng.HistoryBytes()
+			}
+			b.ReportMetric(float64(bytes), "hist_bytes")
+		})
+	}
+}
+
+// BenchmarkTable2Window — incremental cost vs metric window size.
+func BenchmarkTable2Window(b *testing.B) {
+	for _, w := range []string{"10", "100", "1000"} {
+		h := windowHistory(800, 1, w)
+		b.Run("window="+w, func(b *testing.B) {
+			benchReplay(b, "incremental", h)
+		})
+	}
+	b.Run("window=inf", func(b *testing.B) {
+		benchReplay(b, "incremental", unboundedHistory(800))
+	})
+}
+
+// BenchmarkTable3UpdateRate — cost vs transaction size.
+func BenchmarkTable3UpdateRate(b *testing.B) {
+	for _, ops := range []int{1, 4, 16} {
+		h := windowHistory(400, ops, "100")
+		for _, kind := range []string{"incremental", "naive"} {
+			b.Run(fmt.Sprintf("%s/ops=%d", kind, ops), func(b *testing.B) {
+				benchReplay(b, kind, h)
+			})
+		}
+	}
+}
+
+// BenchmarkTable4Depth — cost vs temporal nesting depth.
+func BenchmarkTable4Depth(b *testing.B) {
+	constraints := []string{
+		"p(x) -> not once[0,50] q(x)",
+		"p(x) -> not once[0,50] prev q(x)",
+		"p(x) -> not once[0,50] prev once[0,50] q(x)",
+		"p(x) -> not once[0,50] prev once[0,50] prev q(x)",
+	}
+	for d, src := range constraints {
+		h := workload.Uniform(workload.UniformConfig{Steps: 400, Seed: 46, OpsPerTx: 1, Domain: 8})
+		h.Constraints = []workload.ConstraintSpec{{Name: "c", Source: src}}
+		for _, kind := range []string{"incremental", "naive"} {
+			b.Run(fmt.Sprintf("%s/depth=%d", kind, d+1), func(b *testing.B) {
+				benchReplay(b, kind, h)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure2Crossover — total cost on short histories.
+func BenchmarkFigure2Crossover(b *testing.B) {
+	for _, n := range []int{4, 32, 256} {
+		h := unboundedHistory(n)
+		for _, kind := range []string{"incremental", "naive"} {
+			b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+				benchReplay(b, kind, h)
+			})
+		}
+	}
+}
+
+// BenchmarkTable5Active — direct incremental checking vs the
+// trigger-compiled active-DBMS route.
+func BenchmarkTable5Active(b *testing.B) {
+	h := workload.Tickets(workload.TicketsConfig{Steps: 300, Seed: 48, ViolationRate: 0.01})
+	for _, kind := range []string{"incremental", "active"} {
+		b.Run(kind, func(b *testing.B) {
+			benchReplay(b, kind, h)
+		})
+	}
+}
+
+// BenchmarkFigure3Violations — cost under injected violation rates.
+func BenchmarkFigure3Violations(b *testing.B) {
+	for _, rate := range []float64{0, 0.01, 0.1} {
+		h := workload.Tickets(workload.TicketsConfig{Steps: 300, Seed: 49, ViolationRate: rate})
+		b.Run(fmt.Sprintf("rate=%g", rate), func(b *testing.B) {
+			benchReplay(b, "incremental", h)
+		})
+	}
+}
+
+// BenchmarkTable6Ablation — the pruning ablation: replay cost with the
+// bounded-encoding pruning rules on vs off; the aux_timestamps metric
+// shows the space divergence.
+func BenchmarkTable6Ablation(b *testing.B) {
+	h := windowHistory(800, 1, "100")
+	b.Run("pruned", func(b *testing.B) {
+		var ts int
+		for i := 0; i < b.N; i++ {
+			eng := core.New(h.Schema)
+			con, _ := check.Parse("c", h.Constraints[0].Source, h.Schema)
+			if err := eng.AddConstraint(con); err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range h.Steps {
+				if _, err := eng.Step(s.Time, s.Tx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ts = eng.Stats().Timestamps
+		}
+		b.ReportMetric(float64(ts), "aux_timestamps")
+	})
+	b.Run("unpruned", func(b *testing.B) {
+		var ts int
+		for i := 0; i < b.N; i++ {
+			eng := core.New(h.Schema)
+			if err := eng.DisablePruning(); err != nil {
+				b.Fatal(err)
+			}
+			con, _ := check.Parse("c", h.Constraints[0].Source, h.Schema)
+			if err := eng.AddConstraint(con); err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range h.Steps {
+				if _, err := eng.Step(s.Time, s.Tx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ts = eng.Stats().Timestamps
+		}
+		b.ReportMetric(float64(ts), "aux_timestamps")
+	})
+}
+
+// BenchmarkFigure4Storage — storage comparison including the
+// checkpointed naive baseline; reported via the *_bytes metrics.
+func BenchmarkFigure4Storage(b *testing.B) {
+	h := windowHistory(1000, 1, "100")
+	b.Run("naive-checkpointed", func(b *testing.B) {
+		var bytes int
+		for i := 0; i < b.N; i++ {
+			eng := naive.NewCheckpointed(h.Schema, 64)
+			con, _ := check.Parse("c", h.Constraints[0].Source, h.Schema)
+			if err := eng.AddConstraint(con); err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range h.Steps {
+				if _, err := eng.Step(s.Time, s.Tx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			bytes = eng.HistoryBytes()
+		}
+		b.ReportMetric(float64(bytes), "hist_bytes")
+	})
+}
+
+// BenchmarkTable7SinceChain — the since-chain workload.
+func BenchmarkTable7SinceChain(b *testing.B) {
+	h := workload.Alarms(workload.AlarmsConfig{Steps: 400, Seed: 52, ViolationRate: 0.02})
+	h.Constraints = []workload.ConstraintSpec{
+		{Name: "ack_before_clear", Source: "clear(a) -> (ack(a) since[0,50] raisd(a))"},
+	}
+	for _, kind := range []string{"incremental", "naive"} {
+		b.Run(kind, func(b *testing.B) {
+			benchReplay(b, kind, h)
+		})
+	}
+}

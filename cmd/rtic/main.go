@@ -1,0 +1,156 @@
+// Command rtic checks a transaction log against real-time integrity
+// constraints.
+//
+// Usage:
+//
+//	rtic -spec constraints.rtic [-mode incremental|naive|active] [log...]
+//
+// The spec file declares relations and constraints (see package
+// internal/spec). Transaction logs are read from the given files, or
+// from stdin when none are given; each line is "@time ±rel(args) …".
+// Violations are printed to stdout as they are detected; the exit code
+// is 2 when any violation occurred, 1 on errors, 0 otherwise.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rtic/internal/active"
+	"rtic/internal/check"
+	"rtic/internal/core"
+	"rtic/internal/naive"
+	"rtic/internal/spec"
+	"rtic/internal/storage"
+)
+
+type engine interface {
+	AddConstraint(*check.Constraint) error
+	Step(uint64, *storage.Transaction) ([]check.Violation, error)
+}
+
+func main() {
+	specPath := flag.String("spec", "", "spec file with relations and constraints (required)")
+	mode := flag.String("mode", "incremental", "checking engine: incremental, naive or active")
+	quiet := flag.Bool("quiet", false, "suppress per-violation output; print only the summary")
+	explain := flag.Bool("explain", false, "print evidence trails for violations (incremental mode only)")
+	flag.Parse()
+
+	if err := run2(*specPath, *mode, *quiet, *explain, flag.Args(), os.Stdout); err != nil {
+		if err == errViolations {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "rtic:", err)
+		os.Exit(1)
+	}
+}
+
+var errViolations = fmt.Errorf("violations detected")
+
+// run keeps the original signature for tests; run2 adds -explain.
+func run(specPath, mode string, quiet bool, logs []string, out io.Writer) error {
+	return run2(specPath, mode, quiet, false, logs, out)
+}
+
+func run2(specPath, mode string, quiet, explain bool, logs []string, out io.Writer) error {
+	if specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	f, err := os.Open(specPath)
+	if err != nil {
+		return err
+	}
+	sp, err := spec.ParseSpec(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	var eng engine
+	var inc *core.Checker
+	switch mode {
+	case "incremental":
+		inc = core.New(sp.Schema)
+		eng = inc
+	case "naive":
+		eng = naive.New(sp.Schema)
+	case "active":
+		eng = active.New(sp.Schema)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if explain && inc == nil {
+		return fmt.Errorf("-explain requires -mode incremental")
+	}
+	for _, cs := range sp.Constraints {
+		con, err := check.Parse(cs.Name, cs.Source, sp.Schema)
+		if err != nil {
+			return err
+		}
+		if err := eng.AddConstraint(con); err != nil {
+			return err
+		}
+	}
+
+	total, states := 0, 0
+	process := func(r io.Reader, name string) error {
+		sc := bufio.NewScanner(r)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			t, tx, ok, err := spec.ParseLogLine(sc.Text())
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", name, lineNo, err)
+			}
+			if !ok {
+				continue
+			}
+			vs, err := eng.Step(t, tx)
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", name, lineNo, err)
+			}
+			states++
+			total += len(vs)
+			if !quiet {
+				for _, v := range vs {
+					if explain && inc != nil {
+						ex, err := inc.Explain(v)
+						if err != nil {
+							return err
+						}
+						fmt.Fprint(out, ex.String())
+					} else {
+						fmt.Fprintln(out, v.String())
+					}
+				}
+			}
+		}
+		return sc.Err()
+	}
+
+	if len(logs) == 0 {
+		if err := process(os.Stdin, "stdin"); err != nil {
+			return err
+		}
+	}
+	for _, path := range logs {
+		lf, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = process(lf, path)
+		lf.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(out, "checked %d transactions: %d violations\n", states, total)
+	if total > 0 {
+		return errViolations
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const hrSpec = `
+relation hire/1
+relation fire/1
+constraint no_quick_rehire: hire(e) -> not once[0,365] fire(e)
+`
+
+func TestRunDetectsViolations(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "hr.rtic", hrSpec)
+	log := writeFile(t, dir, "log.txt", "@0 +fire(7)\n@100 -fire(7) +hire(7)\n@500 +hire(8)\n")
+
+	for _, mode := range []string{"incremental", "naive", "active"} {
+		var out bytes.Buffer
+		err := run(spec, mode, false, []string{log}, &out)
+		if err != errViolations {
+			t.Fatalf("mode %s: err = %v, want errViolations", mode, err)
+		}
+		s := out.String()
+		if !strings.Contains(s, "no_quick_rehire violated") || !strings.Contains(s, "e=7") {
+			t.Fatalf("mode %s: output missing violation:\n%s", mode, s)
+		}
+		if !strings.Contains(s, "checked 3 transactions: 1 violations") {
+			t.Fatalf("mode %s: summary wrong:\n%s", mode, s)
+		}
+	}
+}
+
+func TestRunCleanLog(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "hr.rtic", hrSpec)
+	log := writeFile(t, dir, "log.txt", "@0 +fire(7)\n@400 -fire(7)\n")
+	var out bytes.Buffer
+	if err := run(spec, "incremental", false, []string{log}, &out); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(out.String(), "0 violations") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "hr.rtic", hrSpec)
+	log := writeFile(t, dir, "log.txt", "@0 +fire(7)\n@1 +hire(7)\n")
+	var out bytes.Buffer
+	err := run(spec, "incremental", true, []string{log}, &out)
+	if err != errViolations {
+		t.Fatalf("err = %v", err)
+	}
+	if strings.Contains(out.String(), "violated at state") {
+		t.Fatalf("quiet mode printed violations:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "hr.rtic", hrSpec)
+	badLog := writeFile(t, dir, "bad.txt", "@1 +nosuch(1)\n")
+	var out bytes.Buffer
+
+	if err := run("", "incremental", false, nil, &out); err == nil {
+		t.Fatal("missing -spec accepted")
+	}
+	if err := run(spec, "warp", false, nil, &out); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run(filepath.Join(dir, "nope.rtic"), "incremental", false, nil, &out); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+	if err := run(spec, "incremental", false, []string{badLog}, &out); err == nil {
+		t.Fatal("log referencing unknown relation accepted")
+	}
+	if err := run(spec, "incremental", false, []string{filepath.Join(dir, "nope.txt")}, &out); err == nil {
+		t.Fatal("missing log file accepted")
+	}
+
+	badSpec := writeFile(t, dir, "bad.rtic", "relation hire/1\nconstraint c: not hire(e)\n")
+	goodLog := writeFile(t, dir, "ok.txt", "@1 +hire(1)\n")
+	// Denial of "not hire(e)" is hire(e): actually safe. Use an unsafe one.
+	_ = badSpec
+	unsafeSpec := writeFile(t, dir, "unsafe.rtic", "relation hire/1\nconstraint c: hire(e)\n")
+	if err := run(unsafeSpec, "incremental", false, []string{goodLog}, &out); err == nil {
+		t.Fatal("unsafe constraint accepted")
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "hr.rtic", hrSpec)
+	log := writeFile(t, dir, "log.txt", "@0 +fire(7)\n@100 -fire(7) +hire(7)\n")
+	var out bytes.Buffer
+	err := run2(spec, "incremental", false, true, []string{log}, &out)
+	if err != errViolations {
+		t.Fatalf("err = %v", err)
+	}
+	s := out.String()
+	for _, frag := range []string{"required: once[0,365] fire(e)", "witnessed at t=[0]"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("explain output missing %q:\n%s", frag, s)
+		}
+	}
+	// -explain with other modes is rejected.
+	if err := run2(spec, "naive", false, true, []string{log}, &out); err == nil {
+		t.Fatal("explain with naive mode accepted")
+	}
+}

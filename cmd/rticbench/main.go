@@ -1,0 +1,49 @@
+// Command rticbench regenerates every table and figure of the
+// reconstructed evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	rticbench [-quick] [-only "Table 1"]
+//
+// -quick runs smaller sweeps (seconds instead of minutes); -only runs a
+// single experiment by its id.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtic/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced sweeps")
+	only := flag.String("only", "", "run a single experiment by id (e.g. \"Table 1\")")
+	flag.Parse()
+
+	if *only != "" {
+		for _, e := range bench.Experiments() {
+			if e.ID != *only {
+				continue
+			}
+			tbl, err := e.Run(*quick)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rticbench:", err)
+				os.Exit(1)
+			}
+			tbl.Render(os.Stdout)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "rticbench: unknown experiment %q\n", *only)
+		os.Exit(1)
+	}
+	tables, err := bench.All(*quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rticbench:", err)
+		os.Exit(1)
+	}
+	for i := range tables {
+		tables[i].Render(os.Stdout)
+	}
+}

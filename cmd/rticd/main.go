@@ -1,0 +1,120 @@
+// Command rticd runs a network integrity monitor: one shared
+// incremental checker, fed transactions over a TCP line protocol.
+//
+// Usage:
+//
+//	rticd -spec constraints.rtic [-listen 127.0.0.1:7411]
+//	      [-snapshot state.snap] [-restore]
+//
+// Protocol (one line per transaction, shared global clock):
+//
+//	-> @100 -fire(7) +hire(7)
+//	<- violation no_quick_rehire violated at state 1 (time 100) by e=7
+//	<- ok 1
+//	-> stats
+//	<- stats nodes=1 entries=1 timestamps=1 bytes=93
+//	-> quit
+//
+// With -snapshot the monitor checkpoints its (small, bounded) state to
+// the given file on shutdown; -restore starts from that checkpoint
+// instead of an empty history.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"rtic/internal/monitor"
+	"rtic/internal/spec"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "spec file with relations and constraints (required)")
+	listen := flag.String("listen", "127.0.0.1:7411", "TCP listen address")
+	snapPath := flag.String("snapshot", "", "checkpoint file written on shutdown")
+	restore := flag.Bool("restore", false, "start from the -snapshot checkpoint")
+	flag.Parse()
+
+	if err := run(*specPath, *listen, *snapPath, *restore); err != nil {
+		fmt.Fprintln(os.Stderr, "rticd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specPath, listen, snapPath string, restore bool) error {
+	if specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	f, err := os.Open(specPath)
+	if err != nil {
+		return err
+	}
+	sp, err := spec.ParseSpec(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	var m *monitor.Monitor
+	if restore {
+		if snapPath == "" {
+			return fmt.Errorf("-restore requires -snapshot")
+		}
+		sf, err := os.Open(snapPath)
+		if err != nil {
+			return err
+		}
+		m, err = monitor.Restore(sp.Schema, sf)
+		sf.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("restored checkpoint: %d states, t=%d\n", m.Len(), m.Now())
+	} else {
+		m, err = monitor.New(sp.Schema, sp.Constraints)
+		if err != nil {
+			return err
+		}
+	}
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv := monitor.NewServer(m)
+	fmt.Printf("rticd listening on %s (%d constraints)\n", l.Addr(), len(sp.Constraints))
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case <-sig:
+	case err := <-done:
+		if err != nil {
+			return err
+		}
+	}
+	l.Close()
+	srv.Close()
+
+	if snapPath != "" {
+		sf, err := os.Create(snapPath)
+		if err != nil {
+			return err
+		}
+		err = m.Snapshot(sf)
+		if cerr := sf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written to %s (%d states)\n", snapPath, m.Len())
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunArgValidation(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "s.rtic")
+	if err := os.WriteFile(spec, []byte("relation p/1\nconstraint c: p(x) -> not once p(x)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run("", "127.0.0.1:0", "", false); err == nil || !strings.Contains(err.Error(), "-spec") {
+		t.Fatalf("missing spec: %v", err)
+	}
+	if err := run(filepath.Join(dir, "nope.rtic"), "127.0.0.1:0", "", false); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+	if err := run(spec, "127.0.0.1:0", "", true); err == nil || !strings.Contains(err.Error(), "-snapshot") {
+		t.Fatalf("restore without snapshot: %v", err)
+	}
+	if err := run(spec, "127.0.0.1:0", filepath.Join(dir, "nope.snap"), true); err == nil {
+		t.Fatal("missing snapshot file accepted")
+	}
+	// Bad listen address fails fast.
+	if err := run(spec, "500.500.500.500:99999", "", false); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+	// Bad spec contents fail fast.
+	bad := filepath.Join(dir, "bad.rtic")
+	if err := os.WriteFile(bad, []byte("bogus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "127.0.0.1:0", "", false); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	// Unsafe constraint fails fast.
+	unsafe := filepath.Join(dir, "unsafe.rtic")
+	if err := os.WriteFile(unsafe, []byte("relation p/1\nconstraint c: p(x)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(unsafe, "127.0.0.1:0", "", false); err == nil {
+		t.Fatal("unsafe constraint accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package rtic_test
+
+import (
+	"fmt"
+
+	"rtic"
+)
+
+// The package-level example is the README quick start: a real-time
+// separation constraint, violated inside its window and legal outside it.
+func Example() {
+	s, _ := rtic.NewSchema().Relation("hire", 1).Relation("fire", 1).Build()
+	c, _ := rtic.NewChecker(s)
+	_ = c.AddConstraint("no_quick_rehire", "hire(e) -> not once[0,365] fire(e)")
+
+	vs, _ := c.Begin().Insert("fire", rtic.Int(7)).Commit(0)
+	fmt.Println("day 0:", len(vs), "violations")
+
+	vs, _ = c.Begin().Delete("fire", rtic.Int(7)).Insert("hire", rtic.Int(7)).Commit(100)
+	fmt.Println("day 100:", vs[0])
+
+	vs, _ = c.Begin().Commit(366)
+	fmt.Println("day 366:", len(vs), "violations")
+
+	// Output:
+	// day 0: 0 violations
+	// day 100: no_quick_rehire violated at state 1 (time 100) by e=7
+	// day 366: 0 violations
+}
+
+// Queries inspect the current state with the same first-order language
+// constraints use.
+func ExampleChecker_Query() {
+	s, _ := rtic.NewSchema().Relation("emp", 2).Relation("mgr", 1).Build()
+	c, _ := rtic.NewChecker(s)
+	_ = c.AddConstraint("mgr_is_emp", "mgr(x) -> exists d: emp(x, d)")
+
+	_, _ = c.Begin().
+		Insert("emp", rtic.Int(1), rtic.Str("sales")).
+		Insert("emp", rtic.Int(2), rtic.Str("eng")).
+		Insert("mgr", rtic.Int(2)).
+		Commit(1)
+
+	res, _ := c.Query("emp(x, d) and not mgr(x)")
+	fmt.Println(res.Vars)
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+	// Output:
+	// [d x]
+	// ('sales', 1)
+}
+
+// Explanations trace a violation back to the auxiliary encoding: which
+// temporal conditions held, and which anchor timestamps witnessed them.
+func ExampleChecker_Explain() {
+	s, _ := rtic.NewSchema().Relation("hire", 1).Relation("fire", 1).Build()
+	c, _ := rtic.NewChecker(s)
+	_ = c.AddConstraint("no_quick_rehire", "hire(e) -> not once[0,365] fire(e)")
+
+	_, _ = c.Begin().Insert("fire", rtic.Int(7)).Commit(10)
+	vs, _ := c.Begin().Delete("fire", rtic.Int(7)).Insert("hire", rtic.Int(7)).Commit(100)
+
+	ex, _ := c.Explain(vs[0])
+	fmt.Println(ex.Evidence[0].Formula)
+	fmt.Println("witnessed at:", ex.Evidence[0].Times)
+	// Output:
+	// once[0,365] fire(e)
+	// witnessed at: [10]
+}
+
+// ParseFormula canonicalizes constraint syntax.
+func ExampleParseFormula() {
+	canon, _ := rtic.ParseFormula("paid(tk)  ->  once [ 0 , 3 ]  reserved(tk)")
+	fmt.Println(canon)
+	// Output:
+	// paid(tk) -> once[0,3] reserved(tk)
+}

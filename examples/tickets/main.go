@@ -1,0 +1,68 @@
+// Tickets: the paper's deadline pattern — an action must be preceded by
+// its enabling event within a real-time bound. A payment is only valid
+// if the ticket was reserved at most 3 days earlier; the example runs a
+// small booking desk and shows on-time, late and never-reserved payments.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtic"
+)
+
+func main() {
+	s, err := rtic.NewSchema().
+		Relation("reserved", 1).
+		Relation("paid", 1).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := rtic.NewChecker(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.MustAddConstraint("pay_in_time", "paid(tk) -> once[0,3] reserved(tk)")
+
+	day := uint64(0)
+	commit := func(what string, tx *rtic.Tx) {
+		day++
+		vs, err := tx.Commit(day)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ok"
+		if len(vs) > 0 {
+			status = ""
+			for _, v := range vs {
+				status += "VIOLATION " + v.String()
+			}
+		}
+		fmt.Printf("day %2d  %-34s %s\n", day, what, status)
+	}
+
+	// Reservations and payments are *events*: each marker is visible in
+	// exactly one state and removed by the next transaction, so the
+	// metric window — not tuple persistence — decides satisfaction.
+
+	// Ticket 1: reserved day 1, paid day 3 — within the deadline.
+	commit("reserve ticket 1", c.Begin().Insert("reserved", rtic.Int(1)))
+	commit("(idle)", c.Begin().Delete("reserved", rtic.Int(1)))
+	commit("pay ticket 1 (on time)", c.Begin().Insert("paid", rtic.Int(1)))
+
+	// Ticket 2: reserved day 4, paid day 9 — two days late.
+	commit("reserve ticket 2", c.Begin().
+		Delete("paid", rtic.Int(1)).
+		Insert("reserved", rtic.Int(2)))
+	commit("(idle)", c.Begin().Delete("reserved", rtic.Int(2)))
+	commit("(idle)", c.Begin())
+	commit("(idle)", c.Begin())
+	commit("(idle)", c.Begin())
+	commit("pay ticket 2 (late!)", c.Begin().Insert("paid", rtic.Int(2)))
+
+	// Ticket 3: paid without ever being reserved.
+	commit("pay ticket 3 (never reserved!)", c.Begin().
+		Delete("paid", rtic.Int(2)).
+		Insert("paid", rtic.Int(3)))
+}

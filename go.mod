@@ -1,0 +1,3 @@
+module rtic
+
+go 1.22

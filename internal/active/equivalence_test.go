@@ -1,0 +1,169 @@
+package active
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rtic/internal/check"
+	"rtic/internal/core"
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+)
+
+// The active (trigger-compiled) route must report exactly the violations
+// the direct incremental checker reports — and the incremental checker
+// is itself tested against the naive full-history semantics, closing the
+// three-way equivalence.
+
+func equivSchema() *schema.Schema {
+	return schema.NewBuilder().
+		Relation("p", 1).
+		Relation("q", 1).
+		Relation("r", 2).
+		MustBuild()
+}
+
+var pool = []string{
+	"p(x) -> not once[0,3] q(x)",
+	"p(x) -> once[0,5] q(x)",
+	"p(x) -> not once[1,*] q(x)",
+	"p(x) -> not once q(x)",
+	"q(x) -> not prev p(x)",
+	"p(x) -> prev[0,2] q(x)",
+	"p(x) -> not (q(x) since[0,4] p(x))",
+	"p(x) -> (q(x) since p(x))",
+	"r(x, y) -> not (p(x) since[0,6] r(x, y))",
+	"p(x) -> not once[0,4] prev q(x)",
+	"p(x) -> not prev once[0,3] q(x)",
+	"not (exists x: p(x) and once[0,2] q(x))",
+	"p(x) -> always[0,4] not q(x)",
+	"q(x) -> not once[0,3] (p(x) and not q(x))",
+	"p(x) leadsto[0,4] q(x)",
+	"r(x, y) leadsto[0,3] q(x)",
+}
+
+func randomTx(r *rand.Rand, domain int64) *storage.Transaction {
+	tx := storage.NewTransaction()
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		v := r.Int63n(domain)
+		w := r.Int63n(domain)
+		rel := []string{"p", "q", "r"}[r.Intn(3)]
+		var row tuple.Tuple
+		if rel == "r" {
+			row = tuple.Ints(v, w)
+		} else {
+			row = tuple.Ints(v)
+		}
+		if r.Intn(3) == 0 {
+			tx.Delete(rel, row)
+		} else {
+			tx.Insert(rel, row)
+		}
+	}
+	return tx
+}
+
+func canon(vs []check.Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Constraint + "|" + v.Binding.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameCanon(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestActiveEquivalentToIncremental(t *testing.T) {
+	s := equivSchema()
+	for seed := int64(0); seed < 15; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		act := New(s)
+		inc := core.New(s)
+		nCons := 1 + r.Intn(2)
+		var names []string
+		for k := 0; k < nCons; k++ {
+			src := pool[r.Intn(len(pool))]
+			name := fmt.Sprintf("c%d", k)
+			conA, err := check.Parse(name, src, s)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := act.AddConstraint(conA); err != nil {
+				t.Fatalf("seed %d: active: %v", seed, err)
+			}
+			conB, _ := check.Parse(name, src, s)
+			if err := inc.AddConstraint(conB); err != nil {
+				t.Fatalf("seed %d: core: %v", seed, err)
+			}
+			names = append(names, src)
+		}
+		tm := uint64(0)
+		for i := 0; i < 35; i++ {
+			tm += uint64(1 + r.Intn(3))
+			tx := randomTx(r, 3)
+			got, err := act.Step(tm, tx.Clone())
+			if err != nil {
+				t.Fatalf("seed %d step %d: active: %v\nconstraints: %v", seed, i, err, names)
+			}
+			want, err := inc.Step(tm, tx)
+			if err != nil {
+				t.Fatalf("seed %d step %d: core: %v", seed, i, err)
+			}
+			if cg, cw := canon(got), canon(want); !sameCanon(cg, cw) {
+				t.Fatalf("seed %d step %d (t=%d, tx=%s):\nactive: %v\ncore:   %v\nconstraints: %v",
+					seed, i, tm, tx, cg, cw, names)
+			}
+		}
+	}
+}
+
+func TestActivePoolConstraintsIndividually(t *testing.T) {
+	s := equivSchema()
+	for ci, src := range pool {
+		r := rand.New(rand.NewSource(int64(500 + ci)))
+		act := New(s)
+		inc := core.New(s)
+		conA, err := check.Parse("c", src, s)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if err := act.AddConstraint(conA); err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		conB, _ := check.Parse("c", src, s)
+		if err := inc.AddConstraint(conB); err != nil {
+			t.Fatal(err)
+		}
+		tm := uint64(0)
+		for i := 0; i < 50; i++ {
+			tm += uint64(1 + r.Intn(2))
+			tx := randomTx(r, 3)
+			got, err := act.Step(tm, tx.Clone())
+			if err != nil {
+				t.Fatalf("%q step %d: active: %v", src, i, err)
+			}
+			want, err := inc.Step(tm, tx)
+			if err != nil {
+				t.Fatalf("%q step %d: core: %v", src, i, err)
+			}
+			if cg, cw := canon(got), canon(want); !sameCanon(cg, cw) {
+				t.Fatalf("%q step %d: active %v vs core %v", src, i, cg, cw)
+			}
+		}
+	}
+}

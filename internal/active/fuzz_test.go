@@ -1,0 +1,61 @@
+package active
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtic/internal/check"
+	"rtic/internal/core"
+	"rtic/internal/formgen"
+)
+
+// Fuzzing layer for the rule-compiled route: freshly generated safe
+// constraints, held against the direct incremental checker.
+func TestFuzzActiveEquivalence(t *testing.T) {
+	s := formgen.Schema()
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(7000 + seed))
+		act := New(s)
+		inc := core.New(s)
+		var names []string
+		nCons := 1 + r.Intn(2)
+		for k := 0; k < nCons; k++ {
+			src := formgen.Constraint(r)
+			name := fmt.Sprintf("c%d", k)
+			conA, err := check.Parse(name, src, s)
+			if err != nil {
+				t.Fatalf("seed %d: %q: %v", seed, src, err)
+			}
+			if err := act.AddConstraint(conA); err != nil {
+				t.Fatalf("seed %d: %q: %v", seed, src, err)
+			}
+			conB, _ := check.Parse(name, src, s)
+			if err := inc.AddConstraint(conB); err != nil {
+				t.Fatal(err)
+			}
+			names = append(names, src)
+		}
+		tm := uint64(0)
+		for i := 0; i < 30; i++ {
+			tm += uint64(1 + r.Intn(3))
+			tx := randomTx(r, 3)
+			got, err := act.Step(tm, tx.Clone())
+			if err != nil {
+				t.Fatalf("seed %d step %d: active: %v\nconstraints: %q", seed, i, err, names)
+			}
+			want, err := inc.Step(tm, tx)
+			if err != nil {
+				t.Fatalf("seed %d step %d: core: %v\nconstraints: %q", seed, i, err, names)
+			}
+			if cg, cw := canon(got), canon(want); !sameCanon(cg, cw) {
+				t.Fatalf("seed %d step %d (t=%d, tx=%s):\nactive: %v\ncore:   %v\nconstraints: %q",
+					seed, i, tm, tx, cg, cw, names)
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package bench implements the reconstructed evaluation: one experiment
+// per table/figure listed in DESIGN.md, each returning a formatted table
+// with the same rows/series the write-up reports. The absolute numbers
+// depend on the host; the shapes (who wins, by what factor, where
+// growth appears) are what the experiments reproduce.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"rtic/internal/active"
+	"rtic/internal/check"
+	"rtic/internal/core"
+	"rtic/internal/naive"
+	"rtic/internal/workload"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "  %-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Columns)
+	var sep []string
+	for _, wd := range widths {
+		sep = append(sep, strings.Repeat("-", wd))
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+// replayResult carries the measurements of one replay.
+type replayResult struct {
+	nsPerStepAll  float64 // average over all steps
+	nsPerStepTail float64 // average over the final 10% (steady state)
+	violations    int
+	totalNs       int64
+}
+
+type stepFn func(t uint64, s workload.Step) ([]check.Violation, error)
+
+func replay(h workload.History, step stepFn) (replayResult, error) {
+	// Settle the heap so one experiment's garbage does not tax the next
+	// experiment's timings.
+	runtime.GC()
+	var res replayResult
+	n := len(h.Steps)
+	tailStart := n - n/10
+	if tailStart >= n {
+		tailStart = 0
+	}
+	var tailNs int64
+	tailCount := 0
+	for i, s := range h.Steps {
+		t0 := time.Now()
+		vs, err := step(s.Time, s)
+		d := time.Since(t0).Nanoseconds()
+		if err != nil {
+			return res, fmt.Errorf("step %d: %w", i, err)
+		}
+		res.totalNs += d
+		if i >= tailStart {
+			tailNs += d
+			tailCount++
+		}
+		res.violations += len(vs)
+	}
+	if n > 0 {
+		res.nsPerStepAll = float64(res.totalNs) / float64(n)
+	}
+	if tailCount > 0 {
+		res.nsPerStepTail = float64(tailNs) / float64(tailCount)
+	}
+	return res, nil
+}
+
+func newIncremental(h workload.History) (*core.Checker, error) {
+	c := core.New(h.Schema)
+	for _, cs := range h.Constraints {
+		con, err := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.AddConstraint(con); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func newNaive(h workload.History) (*naive.Checker, error) {
+	c := naive.New(h.Schema)
+	for _, cs := range h.Constraints {
+		con, err := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.AddConstraint(con); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func newActive(h workload.History) (*active.Checker, error) {
+	c := active.New(h.Schema)
+	for _, cs := range h.Constraints {
+		con, err := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.AddConstraint(con); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// repeats is how many fresh replays the timing experiments take the
+// fastest of; single runs are too exposed to GC scheduling noise.
+func repeats(quick bool) int {
+	if quick {
+		return 1
+	}
+	return 3
+}
+
+func runIncremental(h workload.History) (replayResult, core.Stats, error) {
+	c, err := newIncremental(h)
+	if err != nil {
+		return replayResult{}, core.Stats{}, err
+	}
+	res, err := replay(h, func(t uint64, s workload.Step) ([]check.Violation, error) {
+		return c.Step(t, s.Tx)
+	})
+	return res, c.Stats(), err
+}
+
+// bestIncremental replays n times on fresh checkers and keeps the
+// fastest run (stats are identical across runs).
+func bestIncremental(h workload.History, n int) (replayResult, core.Stats, error) {
+	var best replayResult
+	var stats core.Stats
+	for i := 0; i < n; i++ {
+		res, st, err := runIncremental(h)
+		if err != nil {
+			return res, st, err
+		}
+		if i == 0 || res.totalNs < best.totalNs {
+			best, stats = res, st
+		}
+	}
+	return best, stats, nil
+}
+
+// runUnpruned replays h on an incremental checker with the pruning
+// rules disabled (the space ablation) and returns its auxiliary stats.
+func runUnpruned(h workload.History) (core.Stats, error) {
+	c := core.New(h.Schema)
+	if err := c.DisablePruning(); err != nil {
+		return core.Stats{}, err
+	}
+	for _, cs := range h.Constraints {
+		con, err := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err != nil {
+			return core.Stats{}, err
+		}
+		if err := c.AddConstraint(con); err != nil {
+			return core.Stats{}, err
+		}
+	}
+	if _, err := replay(h, func(t uint64, s workload.Step) ([]check.Violation, error) {
+		return c.Step(t, s.Tx)
+	}); err != nil {
+		return core.Stats{}, err
+	}
+	return c.Stats(), nil
+}
+
+// runCheckpointedNaive replays h on the checkpointed-history naive
+// checker and returns its storage footprint.
+func runCheckpointedNaive(h workload.History, interval int) (int, error) {
+	c := naive.NewCheckpointed(h.Schema, interval)
+	for _, cs := range h.Constraints {
+		con, err := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err != nil {
+			return 0, err
+		}
+		if err := c.AddConstraint(con); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := replay(h, func(t uint64, s workload.Step) ([]check.Violation, error) {
+		return c.Step(t, s.Tx)
+	}); err != nil {
+		return 0, err
+	}
+	return c.HistoryBytes(), nil
+}
+
+func runNaive(h workload.History) (replayResult, int, error) {
+	c, err := newNaive(h)
+	if err != nil {
+		return replayResult{}, 0, err
+	}
+	res, err := replay(h, func(t uint64, s workload.Step) ([]check.Violation, error) {
+		return c.Step(t, s.Tx)
+	})
+	return res, c.HistoryBytes(), err
+}
+
+// bestNaive replays n times on fresh checkers and keeps the fastest run.
+func bestNaive(h workload.History, n int) (replayResult, int, error) {
+	var best replayResult
+	var bytes int
+	for i := 0; i < n; i++ {
+		res, b, err := runNaive(h)
+		if err != nil {
+			return res, b, err
+		}
+		if i == 0 || res.totalNs < best.totalNs {
+			best, bytes = res, b
+		}
+	}
+	return best, bytes, nil
+}
+
+// bestActive replays n times on fresh checkers and keeps the fastest run.
+func bestActive(h workload.History, n int) (replayResult, int, error) {
+	var best replayResult
+	var aux int
+	for i := 0; i < n; i++ {
+		res, a, err := runActive(h)
+		if err != nil {
+			return res, a, err
+		}
+		if i == 0 || res.totalNs < best.totalNs {
+			best, aux = res, a
+		}
+	}
+	return best, aux, nil
+}
+
+func runActive(h workload.History) (replayResult, int, error) {
+	c, err := newActive(h)
+	if err != nil {
+		return replayResult{}, 0, err
+	}
+	res, err := replay(h, func(t uint64, s workload.Step) ([]check.Violation, error) {
+		return c.Step(t, s.Tx)
+	})
+	if err != nil {
+		return res, 0, err
+	}
+	aux, err := c.AuxTuples()
+	return res, aux, err
+}
+
+func ns(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2f ms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1f µs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f ns", v)
+	}
+}
+
+func bytesStr(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", a/b)
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rtic/internal/workload"
+)
+
+func TestRenderTable(t *testing.T) {
+	tbl := Table{
+		ID:      "Table X",
+		Title:   "demo",
+		Columns: []string{"a", "long column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "a note",
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, frag := range []string{"Table X — demo", "long column", "333", "note: a note"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendered table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := ns(500); got != "500 ns" {
+		t.Errorf("ns(500) = %q", got)
+	}
+	if got := ns(2500); got != "2.5 µs" {
+		t.Errorf("ns(2500) = %q", got)
+	}
+	if got := ns(3.2e6); got != "3.20 ms" {
+		t.Errorf("ns(3.2e6) = %q", got)
+	}
+	if got := bytesStr(100); got != "100 B" {
+		t.Errorf("bytesStr(100) = %q", got)
+	}
+	if got := bytesStr(4 << 10); got != "4.0 KiB" {
+		t.Errorf("bytesStr = %q", got)
+	}
+	if got := bytesStr(3 << 20); got != "3.0 MiB" {
+		t.Errorf("bytesStr = %q", got)
+	}
+	if got := ratio(10, 0); got != "-" {
+		t.Errorf("ratio div by zero = %q", got)
+	}
+	if got := ratio(10, 4); got != "2.5x" {
+		t.Errorf("ratio = %q", got)
+	}
+}
+
+func TestReplayCountsViolations(t *testing.T) {
+	h := workload.Tickets(workload.TicketsConfig{Steps: 100, Seed: 1, ViolationRate: 0.5})
+	res, _, err := runIncremental(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.violations == 0 {
+		t.Fatal("expected violations in dirty workload")
+	}
+	if res.nsPerStepAll <= 0 || res.totalNs <= 0 {
+		t.Fatalf("timings not recorded: %+v", res)
+	}
+}
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	tables, err := All(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 11 {
+		t.Fatalf("got %d tables, want 11", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s has no rows", tbl.ID)
+		}
+		var buf bytes.Buffer
+		tbl.Render(&buf)
+		if buf.Len() == 0 {
+			t.Errorf("%s rendered empty", tbl.ID)
+		}
+	}
+}
+
+func TestFigure1SpaceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	tbl, err := Figure1Space(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive/incremental space ratio must grow with history length —
+	// the paper's headline space claim.
+	first := parseRatio(t, tbl.Rows[0][3])
+	last := parseRatio(t, tbl.Rows[len(tbl.Rows)-1][3])
+	if last <= first {
+		t.Fatalf("space ratio did not grow: first %.1f, last %.1f\nrows: %v", first, last, tbl.Rows)
+	}
+}
+
+func parseRatio(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad ratio %q", s)
+	}
+	return v
+}

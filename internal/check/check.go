@@ -1,0 +1,157 @@
+// Package check defines the objects shared by every checker in the
+// repository: compiled constraints (with their denial form) and
+// violation reports.
+//
+// A constraint C(x̄) with free variables x̄ is read as ∀x̄ C and must hold
+// in every state of the history. Checkers work with the denial
+// Δ = nnf(¬C): the satisfying bindings of Δ at a state are exactly the
+// violation witnesses of C there, so checking is witness enumeration.
+package check
+
+import (
+	"fmt"
+	"regexp"
+
+	"rtic/internal/fol"
+	"rtic/internal/mtl"
+	"rtic/internal/schema"
+	"rtic/internal/tuple"
+)
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// Constraint is a named, compiled integrity constraint.
+type Constraint struct {
+	// Name identifies the constraint in violation reports.
+	Name string
+	// Formula is the constraint C as written.
+	Formula mtl.Formula
+	// Denial is nnf(¬C), the formula whose satisfying bindings are the
+	// violation witnesses. It is safe (range-restricted).
+	Denial mtl.Formula
+	// Vars are the free variables of C, sorted; violation bindings are
+	// reported in this order.
+	Vars []string
+}
+
+// Compile validates and compiles a constraint: the formula is checked
+// against the schema, its denial is normalized, and the denial must be
+// safe so that violation witnesses are enumerable.
+func Compile(name string, formula mtl.Formula, s *schema.Schema) (*Constraint, error) {
+	if !nameRe.MatchString(name) {
+		return nil, fmt.Errorf("check: invalid constraint name %q", name)
+	}
+	if err := fol.CheckSchema(formula, s); err != nil {
+		return nil, fmt.Errorf("check: constraint %s: %w", name, err)
+	}
+	denial := mtl.Simplify(mtl.Normalize(&mtl.Not{F: formula}))
+	if err := mtl.CheckSafe(denial); err != nil {
+		return nil, fmt.Errorf("check: constraint %s: denial is not range-restricted: %w", name, err)
+	}
+	vars := mtl.FreeVars(formula)
+	// Simplification may fold a degenerate constraint into a form that
+	// no longer binds every constraint variable (e.g. "false and p(x)"
+	// is violated by every value of x); such constraints have no
+	// enumerable witness set and are rejected.
+	if !sameVarsList(vars, mtl.FreeVars(denial)) {
+		if t, ok := denial.(mtl.Truth); ok && !t.Bool {
+			// The denial is identically false: the constraint is a
+			// tautology and trivially holds; keep it (it reports
+			// nothing, cheaply).
+		} else {
+			return nil, fmt.Errorf("check: constraint %s: violation witnesses do not bind every constraint variable (constraint variables %v, denial binds %v)",
+				name, vars, mtl.FreeVars(denial))
+		}
+	}
+	return &Constraint{
+		Name:    name,
+		Formula: formula,
+		Denial:  denial,
+		Vars:    vars,
+	}, nil
+}
+
+func sameVarsList(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse compiles a constraint from surface syntax.
+func Parse(name, src string, s *schema.Schema) (*Constraint, error) {
+	f, err := mtl.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("check: constraint %s: %w", name, err)
+	}
+	return Compile(name, f, s)
+}
+
+// Violation reports one witness of a constraint failure.
+type Violation struct {
+	// Constraint is the name of the violated constraint.
+	Constraint string
+	// Index is the position of the violating state in the history
+	// (0-based), Time its timestamp.
+	Index int
+	Time  uint64
+	// Vars and Binding give the witness: Binding[i] is the value of
+	// Vars[i]. Both are empty for closed constraints.
+	Vars    []string
+	Binding tuple.Tuple
+}
+
+// String renders the violation for reports and logs.
+func (v Violation) String() string {
+	if len(v.Vars) == 0 {
+		return fmt.Sprintf("%s violated at state %d (time %d)", v.Constraint, v.Index, v.Time)
+	}
+	s := fmt.Sprintf("%s violated at state %d (time %d) by ", v.Constraint, v.Index, v.Time)
+	for i, name := range v.Vars {
+		if i > 0 {
+			s += ", "
+		}
+		s += name + "=" + v.Binding[i].String()
+	}
+	return s
+}
+
+// FromBindings converts the satisfying bindings of a constraint's denial
+// into violation reports. The binding set must range over a subset of
+// the constraint's variables (denial and constraint share free
+// variables).
+func FromBindings(c *Constraint, index int, t uint64, b *fol.Bindings) ([]Violation, error) {
+	if b.Empty() {
+		return nil, nil
+	}
+	var out []Violation
+	var convErr error
+	b.Each(func(env fol.Env) bool {
+		row := make(tuple.Tuple, len(c.Vars))
+		for i, v := range c.Vars {
+			val, ok := env[v]
+			if !ok {
+				convErr = fmt.Errorf("check: denial binding misses constraint variable %q", v)
+				return false
+			}
+			row[i] = val
+		}
+		out = append(out, Violation{
+			Constraint: c.Name,
+			Index:      index,
+			Time:       t,
+			Vars:       c.Vars,
+			Binding:    row,
+		})
+		return true
+	})
+	if convErr != nil {
+		return nil, convErr
+	}
+	return out, nil
+}

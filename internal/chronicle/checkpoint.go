@@ -1,0 +1,119 @@
+package chronicle
+
+import (
+	"fmt"
+
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+)
+
+// CheckpointedHistory stores a history as a delta log plus periodic full
+// snapshots: state i is reconstructed by cloning the nearest checkpoint
+// at or before i and replaying the deltas after it. Compared with
+// SnapshotHistory it trades random-access time for a large reduction in
+// space — the classic recovery-log layout. The most recently
+// reconstructed state is cached, which makes the naive checker's
+// backward walks (i, i−1, i−2, …) tolerable.
+type CheckpointedHistory struct {
+	schema   *schema.Schema
+	interval int
+
+	times       []uint64
+	txs         []*storage.Transaction
+	checkpoints map[int]*storage.State // state index -> snapshot
+	cur         *storage.State
+
+	cacheIdx   int
+	cacheState *storage.State
+}
+
+// NewCheckpointedHistory returns an empty history over s that snapshots
+// every interval commits (interval ≥ 1; 1 degenerates to full
+// snapshotting).
+func NewCheckpointedHistory(s *schema.Schema, interval int) *CheckpointedHistory {
+	if interval < 1 {
+		interval = 1
+	}
+	return &CheckpointedHistory{
+		schema:      s,
+		interval:    interval,
+		checkpoints: make(map[int]*storage.State),
+		cur:         storage.NewState(s),
+		cacheIdx:    -1,
+	}
+}
+
+// Commit appends a transaction at time t.
+func (h *CheckpointedHistory) Commit(t uint64, tx *storage.Transaction) error {
+	if n := len(h.times); n > 0 && t <= h.times[n-1] {
+		return fmt.Errorf("chronicle: non-increasing timestamp %d after %d", t, h.times[n-1])
+	}
+	if err := tx.Validate(h.schema); err != nil {
+		return err
+	}
+	if err := h.cur.Apply(tx); err != nil {
+		return err
+	}
+	idx := len(h.times)
+	h.times = append(h.times, t)
+	h.txs = append(h.txs, tx.Clone())
+	if idx%h.interval == 0 {
+		h.checkpoints[idx] = h.cur.Clone()
+	}
+	return nil
+}
+
+// Len reports the number of states.
+func (h *CheckpointedHistory) Len() int { return len(h.times) }
+
+// Time returns the timestamp of state i.
+func (h *CheckpointedHistory) Time(i int) uint64 { return h.times[i] }
+
+// State reconstructs state i. The returned state is owned by the
+// history's cache; callers must not mutate it.
+func (h *CheckpointedHistory) State(i int) *storage.State {
+	if i < 0 || i >= len(h.times) {
+		panic(fmt.Sprintf("chronicle: state index %d out of range [0,%d)", i, len(h.times)))
+	}
+	if i == len(h.times)-1 {
+		return h.cur
+	}
+	if h.cacheIdx == i {
+		return h.cacheState
+	}
+	// Nearest checkpoint at or before i.
+	base := (i / h.interval) * h.interval
+	st, ok := h.checkpoints[base]
+	if !ok {
+		panic(fmt.Sprintf("chronicle: missing checkpoint %d", base))
+	}
+	// Start from the cached state when it is a closer replay base.
+	start := base
+	rec := st.Clone()
+	if h.cacheIdx >= 0 && h.cacheIdx > base && h.cacheIdx < i {
+		start = h.cacheIdx
+		rec = h.cacheState.Clone()
+	}
+	for j := start + 1; j <= i; j++ {
+		if err := rec.Apply(h.txs[j]); err != nil {
+			panic(fmt.Sprintf("chronicle: replaying committed transaction %d: %v", j, err))
+		}
+	}
+	h.cacheIdx, h.cacheState = i, rec
+	return rec
+}
+
+// Size estimates the footprint: checkpoints plus the delta log.
+func (h *CheckpointedHistory) Size() int {
+	n := h.cur.Size()
+	for _, st := range h.checkpoints {
+		n += st.Size()
+	}
+	for _, tx := range h.txs {
+		n += 32
+		for _, op := range tx.Ops() {
+			n += len(op.Rel) + op.Tuple.Size() + 2
+		}
+	}
+	return n
+}

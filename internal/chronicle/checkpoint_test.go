@@ -1,0 +1,107 @@
+package chronicle
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+)
+
+func TestCheckpointedMatchesSnapshotHistory(t *testing.T) {
+	s := testSchema()
+	for _, interval := range []int{1, 3, 7, 100} {
+		full := NewSnapshotHistory(s)
+		cp := NewCheckpointedHistory(s, interval)
+		r := rand.New(rand.NewSource(int64(interval)))
+		tm := uint64(0)
+		for i := 0; i < 50; i++ {
+			tm += uint64(1 + r.Intn(2))
+			tx := storage.NewTransaction()
+			v := r.Int63n(5)
+			if r.Intn(2) == 0 {
+				tx.Insert("p", tuple.Ints(v))
+			} else {
+				tx.Delete("p", tuple.Ints(v))
+			}
+			if err := full.Commit(tm, tx.Clone()); err != nil {
+				t.Fatal(err)
+			}
+			if err := cp.Commit(tm, tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if full.Len() != cp.Len() {
+			t.Fatalf("interval %d: lengths differ", interval)
+		}
+		// Random-access every state in a scattered order.
+		order := r.Perm(cp.Len())
+		for _, i := range order {
+			if full.Time(i) != cp.Time(i) {
+				t.Fatalf("interval %d: Time(%d) differs", interval, i)
+			}
+			if !full.State(i).Equal(cp.State(i)) {
+				t.Fatalf("interval %d: State(%d) differs", interval, i)
+			}
+		}
+		// Backward walk (the naive checker's access pattern).
+		for i := cp.Len() - 1; i >= 0; i-- {
+			if !full.State(i).Equal(cp.State(i)) {
+				t.Fatalf("interval %d: backward State(%d) differs", interval, i)
+			}
+		}
+	}
+}
+
+func TestCheckpointedSpaceSmaller(t *testing.T) {
+	s := testSchema()
+	full := NewSnapshotHistory(s)
+	cp := NewCheckpointedHistory(s, 50)
+	for i := uint64(1); i <= 400; i++ {
+		tx := storage.NewTransaction().Insert("p", tuple.Ints(int64(i%20)))
+		if err := full.Commit(i, tx.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Commit(i, tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cp.Size() >= full.Size()/2 {
+		t.Fatalf("checkpointed size %d not substantially below snapshot size %d", cp.Size(), full.Size())
+	}
+}
+
+func TestCheckpointedErrors(t *testing.T) {
+	s := testSchema()
+	cp := NewCheckpointedHistory(s, 0) // clamped to 1
+	if err := cp.Commit(5, storage.NewTransaction()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Commit(5, storage.NewTransaction()); err == nil {
+		t.Fatal("equal timestamp accepted")
+	}
+	if err := cp.Commit(6, storage.NewTransaction().Insert("zz", tuple.Ints(1))); err == nil {
+		t.Fatal("invalid tx accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range State did not panic")
+		}
+	}()
+	cp.State(99)
+}
+
+func TestCheckpointedLastStateIsLive(t *testing.T) {
+	s := testSchema()
+	cp := NewCheckpointedHistory(s, 10)
+	if err := cp.Commit(1, storage.NewTransaction().Insert("p", tuple.Ints(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Commit(2, storage.NewTransaction().Insert("p", tuple.Ints(2))); err != nil {
+		t.Fatal(err)
+	}
+	st := cp.State(1)
+	if ok, _ := st.Contains("p", tuple.Ints(2)); !ok {
+		t.Fatal("latest state missing latest insert")
+	}
+}

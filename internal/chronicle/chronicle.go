@@ -1,0 +1,147 @@
+// Package chronicle records timestamped database histories.
+//
+// A history is the sequence of states D_0, D_1, … produced by committing
+// transactions at strictly increasing integer timestamps t_0 < t_1 < …
+// (one state per committed transaction, per the paper's model). The
+// package offers two recordings:
+//
+//   - Log: the cheap delta log (timestamp + transaction per step), enough
+//     to replay a history into any consumer;
+//   - SnapshotHistory: full cloned states per step, the storage model of
+//     the naive full-history checker.
+package chronicle
+
+import (
+	"fmt"
+
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+)
+
+// Entry is one committed transaction with its timestamp.
+type Entry struct {
+	Time uint64
+	Tx   *storage.Transaction
+}
+
+// Log is an append-only delta log over a schema.
+type Log struct {
+	schema  *schema.Schema
+	entries []Entry
+}
+
+// NewLog returns an empty log over s.
+func NewLog(s *schema.Schema) *Log {
+	return &Log{schema: s}
+}
+
+// Schema returns the schema the log ranges over.
+func (l *Log) Schema() *schema.Schema { return l.schema }
+
+// Append validates and records a transaction at the given timestamp.
+// Timestamps must be strictly increasing.
+func (l *Log) Append(t uint64, tx *storage.Transaction) error {
+	if n := len(l.entries); n > 0 && t <= l.entries[n-1].Time {
+		return fmt.Errorf("chronicle: non-increasing timestamp %d after %d", t, l.entries[n-1].Time)
+	}
+	if err := tx.Validate(l.schema); err != nil {
+		return err
+	}
+	l.entries = append(l.entries, Entry{Time: t, Tx: tx.Clone()})
+	return nil
+}
+
+// Len reports the number of committed transactions.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Entry returns the i-th entry.
+func (l *Log) Entry(i int) Entry { return l.entries[i] }
+
+// Replay feeds every entry in order to step. Replay stops and returns
+// the first error from step.
+func (l *Log) Replay(step func(t uint64, tx *storage.Transaction) error) error {
+	for _, e := range l.entries {
+		if err := step(e.Time, e.Tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SnapshotHistory materializes every state of a history — the memory
+// model of the naive checker. State i is the database after the i-th
+// transaction committed at Time(i).
+type SnapshotHistory struct {
+	schema *schema.Schema
+	cur    *storage.State
+	times  []uint64
+	states []*storage.State
+}
+
+// NewSnapshotHistory returns an empty history over s. The history has no
+// states until the first Commit; the paper's state D_0 is the result of
+// the first committed transaction.
+func NewSnapshotHistory(s *schema.Schema) *SnapshotHistory {
+	return &SnapshotHistory{schema: s, cur: storage.NewState(s)}
+}
+
+// Commit applies tx at time t, snapshotting the resulting state.
+func (h *SnapshotHistory) Commit(t uint64, tx *storage.Transaction) error {
+	if n := len(h.times); n > 0 && t <= h.times[n-1] {
+		return fmt.Errorf("chronicle: non-increasing timestamp %d after %d", t, h.times[n-1])
+	}
+	if err := tx.Validate(h.schema); err != nil {
+		return err
+	}
+	if err := h.cur.Apply(tx); err != nil {
+		return err
+	}
+	h.times = append(h.times, t)
+	h.states = append(h.states, h.cur.Clone())
+	return nil
+}
+
+// Len reports the number of states.
+func (h *SnapshotHistory) Len() int { return len(h.states) }
+
+// Time returns the timestamp of state i.
+func (h *SnapshotHistory) Time(i int) uint64 { return h.times[i] }
+
+// State returns state i. The caller must not mutate it.
+func (h *SnapshotHistory) State(i int) *storage.State { return h.states[i] }
+
+// Size estimates the total footprint of all stored snapshots in bytes.
+func (h *SnapshotHistory) Size() int {
+	n := 0
+	for _, st := range h.states {
+		n += st.Size()
+	}
+	return n
+}
+
+// Clock issues strictly increasing timestamps; a convenience for
+// generators and examples that advance time by variable gaps.
+type Clock struct {
+	now     uint64
+	started bool
+}
+
+// NewClock returns a clock whose first Advance yields start.
+func NewClock(start uint64) *Clock { return &Clock{now: start} }
+
+// Advance moves the clock forward by gap (minimum 1 to preserve strict
+// monotonicity) and returns the new time.
+func (c *Clock) Advance(gap uint64) uint64 {
+	if gap == 0 {
+		gap = 1
+	}
+	if !c.started {
+		c.started = true
+		return c.now
+	}
+	c.now += gap
+	return c.now
+}
+
+// Now returns the last issued timestamp.
+func (c *Clock) Now() uint64 { return c.now }

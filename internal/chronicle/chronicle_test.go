@@ -1,0 +1,164 @@
+package chronicle
+
+import (
+	"testing"
+
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+)
+
+func testSchema() *schema.Schema {
+	return schema.NewBuilder().Relation("p", 1).MustBuild()
+}
+
+func TestLogAppendAndReplay(t *testing.T) {
+	l := NewLog(testSchema())
+	if err := l.Append(1, storage.NewTransaction().Insert("p", tuple.Ints(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(5, storage.NewTransaction().Delete("p", tuple.Ints(1))); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 || l.Entry(1).Time != 5 {
+		t.Fatalf("log shape wrong: len=%d", l.Len())
+	}
+	var times []uint64
+	err := l.Replay(func(tm uint64, tx *storage.Transaction) error {
+		times = append(times, tm)
+		return nil
+	})
+	if err != nil || len(times) != 2 || times[0] != 1 || times[1] != 5 {
+		t.Fatalf("replay times = %v err = %v", times, err)
+	}
+}
+
+func TestLogRejectsNonIncreasingTime(t *testing.T) {
+	l := NewLog(testSchema())
+	if err := l.Append(5, storage.NewTransaction()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(5, storage.NewTransaction()); err == nil {
+		t.Fatal("equal timestamp accepted")
+	}
+	if err := l.Append(4, storage.NewTransaction()); err == nil {
+		t.Fatal("decreasing timestamp accepted")
+	}
+}
+
+func TestLogRejectsInvalidTx(t *testing.T) {
+	l := NewLog(testSchema())
+	if err := l.Append(1, storage.NewTransaction().Insert("zz", tuple.Ints(1))); err == nil {
+		t.Fatal("invalid transaction accepted")
+	}
+	if l.Len() != 0 {
+		t.Fatal("failed append still recorded")
+	}
+}
+
+func TestLogAppendCopiesTx(t *testing.T) {
+	l := NewLog(testSchema())
+	tx := storage.NewTransaction().Insert("p", tuple.Ints(1))
+	if err := l.Append(1, tx); err != nil {
+		t.Fatal(err)
+	}
+	tx.Insert("p", tuple.Ints(2))
+	if l.Entry(0).Tx.Len() != 1 {
+		t.Fatal("log aliases caller transaction")
+	}
+}
+
+func TestReplayStopsOnError(t *testing.T) {
+	l := NewLog(testSchema())
+	for i := uint64(1); i <= 3; i++ {
+		if err := l.Append(i, storage.NewTransaction()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	err := l.Replay(func(uint64, *storage.Transaction) error {
+		n++
+		if n == 2 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop || n != 2 {
+		t.Fatalf("replay n=%d err=%v", n, err)
+	}
+}
+
+var errStop = &stopErr{}
+
+type stopErr struct{}
+
+func (*stopErr) Error() string { return "stop" }
+
+func TestSnapshotHistory(t *testing.T) {
+	h := NewSnapshotHistory(testSchema())
+	if h.Len() != 0 {
+		t.Fatal("fresh history not empty")
+	}
+	if err := h.Commit(10, storage.NewTransaction().Insert("p", tuple.Ints(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Commit(20, storage.NewTransaction().Insert("p", tuple.Ints(2))); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 2 || h.Time(0) != 10 || h.Time(1) != 20 {
+		t.Fatal("history shape wrong")
+	}
+	// State 0 must be unaffected by the second commit.
+	if ok, _ := h.State(0).Contains("p", tuple.Ints(2)); ok {
+		t.Fatal("snapshot 0 sees later insert")
+	}
+	if ok, _ := h.State(1).Contains("p", tuple.Ints(1)); !ok {
+		t.Fatal("snapshot 1 lost earlier insert")
+	}
+}
+
+func TestSnapshotHistoryErrors(t *testing.T) {
+	h := NewSnapshotHistory(testSchema())
+	if err := h.Commit(10, storage.NewTransaction()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Commit(10, storage.NewTransaction()); err == nil {
+		t.Fatal("equal timestamp accepted")
+	}
+	if err := h.Commit(11, storage.NewTransaction().Insert("zz", tuple.Ints(1))); err == nil {
+		t.Fatal("invalid tx accepted")
+	}
+	if h.Len() != 1 {
+		t.Fatal("failed commit recorded")
+	}
+}
+
+func TestSnapshotHistorySizeGrows(t *testing.T) {
+	h := NewSnapshotHistory(testSchema())
+	if err := h.Commit(1, storage.NewTransaction().Insert("p", tuple.Ints(1))); err != nil {
+		t.Fatal(err)
+	}
+	s1 := h.Size()
+	if err := h.Commit(2, storage.NewTransaction().Insert("p", tuple.Ints(2))); err != nil {
+		t.Fatal(err)
+	}
+	if h.Size() <= s1 {
+		t.Fatal("history size must grow with states")
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock(100)
+	if got := c.Advance(5); got != 100 {
+		t.Fatalf("first Advance = %d, want 100", got)
+	}
+	if got := c.Advance(5); got != 105 {
+		t.Fatalf("second Advance = %d, want 105", got)
+	}
+	if got := c.Advance(0); got != 106 {
+		t.Fatalf("zero-gap Advance = %d, want 106 (minimum gap 1)", got)
+	}
+	if c.Now() != 106 {
+		t.Fatalf("Now = %d", c.Now())
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+	"rtic/internal/value"
+)
+
+// Boundary-condition tests: window edges, huge timestamps, gap
+// semantics, and structural sharing across constraints.
+
+func TestWindowEdgeInclusive(t *testing.T) {
+	// once[a,b]: both ends of the window are inclusive.
+	s := hrSchema()
+	c := New(s)
+	addConstraint(t, c, s, "c", "p(x) -> not once[2,4] q(x)")
+
+	mustStep(t, c, 10, ins("q", 1))
+	// distance 1 < a: no violation yet (p present from here on).
+	tx := storage.NewTransaction().Delete("q", tuple.Ints(1)).Insert("p", tuple.Ints(1))
+	if vs := mustStep(t, c, 11, tx); len(vs) != 0 {
+		t.Fatalf("pre-window: %v", vs)
+	}
+	// distance exactly a = 2.
+	vs := mustStep(t, c, 12, storage.NewTransaction())
+	if len(vs) != 1 {
+		t.Fatalf("at lower edge: %v", vs)
+	}
+	// distance exactly b = 4.
+	if vs := mustStep(t, c, 14, storage.NewTransaction()); len(vs) != 1 {
+		t.Fatalf("at upper edge: %v", vs)
+	}
+	// distance b+1 = 5: aged out.
+	if vs := mustStep(t, c, 15, storage.NewTransaction()); len(vs) != 0 {
+		t.Fatalf("past upper edge: %v", vs)
+	}
+}
+
+func TestWindowEdgeInclusiveDuplicateTime(t *testing.T) {
+	// Same scenario but the boundary state carries the q re-insertion:
+	// the anchor refresh must not resurrect the aged-out witness.
+	s := hrSchema()
+	c := New(s)
+	addConstraint(t, c, s, "c", "p(x) -> not once[0,2] q(x)")
+	mustStep(t, c, 1, ins("q", 1))
+	mustStep(t, c, 2, del("q", 1))
+	mustStep(t, c, 5, ins("p", 1)) // q last held at distance 4 > 2
+	st := c.Stats()
+	if st.Timestamps != 0 {
+		t.Fatalf("aged-out anchor retained: %+v", st)
+	}
+}
+
+func TestPrevGapOutsideWindow(t *testing.T) {
+	s := hrSchema()
+	c := New(s)
+	addConstraint(t, c, s, "c", "p(x) -> not prev[0,5] q(x)")
+	mustStep(t, c, 1, ins("q", 1))
+	// Gap of 10 > 5: prev's metric guard fails, no violation.
+	tx := storage.NewTransaction().Delete("q", tuple.Ints(1)).Insert("p", tuple.Ints(1))
+	if vs := mustStep(t, c, 11, tx); len(vs) != 0 {
+		t.Fatalf("gap outside window: %v", vs)
+	}
+	// Re-establish with a small gap: violation.
+	mustStep(t, c, 12, storage.NewTransaction().Delete("p", tuple.Ints(1)).Insert("q", tuple.Ints(1)))
+	tx2 := storage.NewTransaction().Delete("q", tuple.Ints(1)).Insert("p", tuple.Ints(1))
+	if vs := mustStep(t, c, 13, tx2); len(vs) != 1 {
+		t.Fatalf("gap inside window: %v", vs)
+	}
+}
+
+func TestHugeTimestamps(t *testing.T) {
+	// Timestamps near 2^63 must not overflow window arithmetic.
+	s := hrSchema()
+	c := New(s)
+	addConstraint(t, c, s, "c", "p(x) -> not once[0,100] q(x)")
+	base := uint64(math.MaxInt64 - 10)
+	mustStep(t, c, base, ins("q", 1))
+	vs := mustStep(t, c, base+50, ins("p", 1))
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs := mustStep(t, c, base+200, storage.NewTransaction().Delete("q", tuple.Ints(1))); len(vs) != 0 {
+		t.Fatalf("aged out: %v", vs)
+	}
+}
+
+func TestSharedSubformulaAcrossConstraints(t *testing.T) {
+	// Two constraints containing structurally identical temporal
+	// subformulas share a single auxiliary node (structural dedup) and
+	// both answer correctly from it.
+	s := hrSchema()
+	c := New(s)
+	addConstraint(t, c, s, "c1", "p(x) -> not once[0,10] q(x)")
+	addConstraint(t, c, s, "c2", "hire(x) -> not once[0,10] q(x)")
+	mustStep(t, c, 1, ins("q", 3))
+	tx := storage.NewTransaction().
+		Delete("q", tuple.Ints(3)).
+		Insert("p", tuple.Ints(3)).
+		Insert("hire", tuple.Ints(3))
+	vs := mustStep(t, c, 2, tx)
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v, want one per constraint", vs)
+	}
+	if c.Stats().Nodes != 1 {
+		t.Fatalf("nodes = %d, want 1 shared auxiliary node", c.Stats().Nodes)
+	}
+	// Variable renaming or a different window defeats sharing.
+	c2 := New(s)
+	addConstraint(t, c2, s, "c1", "p(x) -> not once[0,10] q(x)")
+	addConstraint(t, c2, s, "c2", "p(y) -> not once[0,10] q(y)")
+	addConstraint(t, c2, s, "c3", "p(x) -> not once[0,11] q(x)")
+	mustStep(t, c2, 1, ins("q", 1))
+	if c2.Stats().Nodes != 3 {
+		t.Fatalf("nodes = %d, want 3 distinct shapes", c2.Stats().Nodes)
+	}
+}
+
+func TestEmptyTransactionsAdvanceTime(t *testing.T) {
+	// Pure clock ticks (empty transactions) age anchors out of windows.
+	s := hrSchema()
+	c := New(s)
+	addConstraint(t, c, s, "c", "p(x) -> not once[0,3] q(x)")
+	mustStep(t, c, 1, ins("q", 1))
+	mustStep(t, c, 2, del("q", 1))
+	for tm := uint64(3); tm <= 4; tm++ {
+		mustStep(t, c, tm, storage.NewTransaction())
+	}
+	// t=5: distance from anchor (1) is 4 > 3.
+	if vs := mustStep(t, c, 5, ins("p", 1)); len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestZeroWidthWindow(t *testing.T) {
+	// once[0,0]: only the current state qualifies.
+	s := hrSchema()
+	c := New(s)
+	addConstraint(t, c, s, "c", "p(x) -> not once[0,0] q(x)")
+	tx := storage.NewTransaction().Insert("p", tuple.Ints(1)).Insert("q", tuple.Ints(1))
+	if vs := mustStep(t, c, 1, tx); len(vs) != 1 {
+		t.Fatalf("same-state window: %v", vs)
+	}
+	// One tick later q is still present (persists) so still violating;
+	// after deleting q the zero-width window clears instantly.
+	if vs := mustStep(t, c, 2, del("q", 1)); len(vs) != 0 {
+		t.Fatalf("after delete: %v", vs)
+	}
+}
+
+func TestManyConstraintsAtOnce(t *testing.T) {
+	s := schema.NewBuilder().Relation("p", 1).Relation("q", 1).MustBuild()
+	c := New(s)
+	srcs := []string{
+		"p(x) -> not once[0,5] q(x)",
+		"p(x) -> not once[2,8] q(x)",
+		"p(x) -> not prev q(x)",
+		"p(x) -> not (q(x) since[0,9] p(x))",
+		"q(x) -> not once[1,*] p(x)",
+		"p(x) leadsto[0,4] q(x)",
+	}
+	for i, src := range srcs {
+		addConstraint(t, c, s, "c"+string(rune('0'+i)), src)
+	}
+	tm := uint64(0)
+	for i := int64(0); i < 50; i++ {
+		tm += 1
+		var tx *storage.Transaction
+		switch i % 3 {
+		case 0:
+			tx = ins("q", i%4)
+		case 1:
+			tx = ins("p", i%4)
+		default:
+			tx = storage.NewTransaction().
+				Delete("p", tuple.Ints((i-1)%4)).
+				Delete("q", tuple.Ints((i-2)%4))
+		}
+		if _, err := c.Step(tm, tx); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Nodes < 6 {
+		t.Fatalf("nodes = %d", c.Stats().Nodes)
+	}
+}
+
+func TestStringValuedTemporalConstraints(t *testing.T) {
+	// Temporal auxiliary state keyed by string (and mixed) tuples.
+	s := schema.NewBuilder().Relation("badge", 2).Relation("revoked", 1).MustBuild()
+	c := New(s)
+	addConstraint(t, c, s, "no_reissue", "badge(p, b) -> not once[0,30] revoked(p)")
+
+	mustStep(t, c, 1, storage.NewTransaction().Insert("revoked", tuple.Strs("ann")))
+	tx := storage.NewTransaction().
+		Delete("revoked", tuple.Strs("ann")).
+		Insert("badge", tuple.Of(value.Str("ann"), value.Int(7)))
+	vs := mustStep(t, c, 10, tx)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if !vs[0].Binding[1].Equal(value.Str("ann")) && !vs[0].Binding[0].Equal(value.Str("ann")) {
+		t.Fatalf("witness = %v", vs[0])
+	}
+	// Outside the window: legal again.
+	if vs := mustStep(t, c, 40, storage.NewTransaction()); len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+}

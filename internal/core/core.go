@@ -1,0 +1,305 @@
+// Package core implements the paper's contribution: incremental checking
+// of real-time (metric past-temporal) integrity constraints using
+// bounded history encoding.
+//
+// The checker never stores the history. Instead, for every temporal
+// subformula of every installed constraint it maintains a small
+// auxiliary relation (see aux.go) that is updated once per committed
+// transaction; the constraint's denial is then evaluated against the
+// current state with temporal subformulas answered from the auxiliary
+// relations. Space is bounded by the constraints' metric windows and the
+// data that flowed through the database — independent of history length
+// — and so is per-transaction checking time.
+package core
+
+import (
+	"fmt"
+
+	"rtic/internal/check"
+	"rtic/internal/fol"
+	"rtic/internal/mtl"
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+)
+
+// Checker is the incremental bounded-history checker.
+type Checker struct {
+	schema      *schema.Schema
+	cur         *storage.State
+	constraints []*check.Constraint
+
+	nodes  []auxNode // bottom-up (children before parents)
+	byNode map[mtl.Formula]auxNode
+	// byShape dedups structurally identical temporal subformulas across
+	// constraints: one auxiliary node serves every occurrence with the
+	// same canonical form (the form includes variable names and
+	// intervals, so equal shape means equal semantics).
+	byShape map[string]auxNode
+
+	index   int
+	now     uint64
+	started bool
+
+	pruningDisabled bool
+}
+
+// New returns an empty checker over s. Install constraints with
+// AddConstraint before the first Step.
+func New(s *schema.Schema) *Checker {
+	return &Checker{
+		schema:  s,
+		cur:     storage.NewState(s),
+		byNode:  make(map[mtl.Formula]auxNode),
+		byShape: make(map[string]auxNode),
+	}
+}
+
+// DisablePruning turns off the window-pruning rules — the ablation knob
+// of the space experiments. Answers are unaffected (stale timestamps
+// simply never satisfy the window test) but auxiliary storage grows
+// with history length instead of staying bounded. Must be called before
+// constraints are added.
+func (c *Checker) DisablePruning() error {
+	if len(c.nodes) > 0 || c.started {
+		return fmt.Errorf("core: DisablePruning must be called before constraints are added")
+	}
+	c.pruningDisabled = true
+	return nil
+}
+
+// AddConstraint installs a compiled constraint and builds auxiliary
+// nodes for its temporal subformulas. Constraints must be installed
+// before the first transaction: the encoding summarizes the history from
+// its beginning.
+func (c *Checker) AddConstraint(con *check.Constraint) error {
+	if c.started {
+		return fmt.Errorf("core: constraint %q added after the history started; the auxiliary encoding would miss past states", con.Name)
+	}
+	for _, existing := range c.constraints {
+		if existing.Name == con.Name {
+			return fmt.Errorf("core: duplicate constraint %q", con.Name)
+		}
+	}
+	if err := c.compile(con.Denial); err != nil {
+		return err
+	}
+	c.constraints = append(c.constraints, con)
+	return nil
+}
+
+// compile walks the denial bottom-up and allocates one auxiliary node
+// per temporal subformula occurrence.
+func (c *Checker) compile(f mtl.Formula) error {
+	switch n := f.(type) {
+	case mtl.Truth, *mtl.Cmp:
+		return nil
+	case *mtl.Atom:
+		return nil
+	case *mtl.Not:
+		return c.compile(n.F)
+	case *mtl.And:
+		if err := c.compile(n.L); err != nil {
+			return err
+		}
+		return c.compile(n.R)
+	case *mtl.Or:
+		if err := c.compile(n.L); err != nil {
+			return err
+		}
+		return c.compile(n.R)
+	case *mtl.Exists:
+		return c.compile(n.F)
+	case *mtl.Prev:
+		if err := c.compile(n.F); err != nil {
+			return err
+		}
+		c.register(n, newPrevNode(n))
+		return nil
+	case *mtl.Once:
+		if err := c.compile(n.F); err != nil {
+			return err
+		}
+		node, err := newOnceNode(n)
+		if err != nil {
+			return err
+		}
+		node.noPrune = c.pruningDisabled
+		c.register(n, node)
+		return nil
+	case *mtl.Since:
+		if err := c.compile(n.L); err != nil {
+			return err
+		}
+		if err := c.compile(n.R); err != nil {
+			return err
+		}
+		node, err := newSinceNode(n)
+		if err != nil {
+			return err
+		}
+		node.noPrune = c.pruningDisabled
+		c.register(n, node)
+		return nil
+	default:
+		return fmt.Errorf("core: compile: non-kernel node %T (%q)", f, f.String())
+	}
+}
+
+func (c *Checker) register(f mtl.Formula, node auxNode) {
+	if _, ok := c.byNode[f]; ok {
+		return
+	}
+	shape := f.String()
+	if existing, ok := c.byShape[shape]; ok {
+		// Alias this occurrence to the shared node; it is updated once
+		// per transaction and answers for every occurrence.
+		c.byNode[f] = existing
+		return
+	}
+	c.byShape[shape] = node
+	c.byNode[f] = node
+	c.nodes = append(c.nodes, node)
+}
+
+// Step commits a transaction at time t, updates every auxiliary node,
+// and checks every constraint in the resulting state.
+func (c *Checker) Step(t uint64, tx *storage.Transaction) ([]check.Violation, error) {
+	if c.started && t <= c.now {
+		return nil, fmt.Errorf("core: non-increasing timestamp %d after %d", t, c.now)
+	}
+	if err := tx.Validate(c.schema); err != nil {
+		return nil, err
+	}
+	if err := c.cur.Apply(tx); err != nil {
+		return nil, err
+	}
+
+	ev := fol.NewEvaluator(c.cur, &oracle{c: c, now: t})
+
+	// Phase A: bring every node's answer up to the new state,
+	// children first.
+	for _, node := range c.nodes {
+		if err := node.phaseA(ev, t); err != nil {
+			return nil, err
+		}
+	}
+
+	// Check constraints against the new state.
+	var out []check.Violation
+	for _, con := range c.constraints {
+		b, err := ev.Eval(con.Denial)
+		if err != nil {
+			return nil, fmt.Errorf("core: constraint %s at state %d: %w", con.Name, c.index, err)
+		}
+		vs, err := check.FromBindings(con, c.index, t, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+
+	// Phase B: compute the carry-over state for the next transition
+	// (all computations first, so nodes keep answering for this state),
+	// then commit.
+	for _, node := range c.nodes {
+		if err := node.phaseBCompute(ev, t); err != nil {
+			return nil, err
+		}
+	}
+	for _, node := range c.nodes {
+		node.phaseBCommit(t)
+	}
+
+	c.index++
+	c.now = t
+	c.started = true
+	return out, nil
+}
+
+// State returns the current database state; callers must not mutate it.
+func (c *Checker) State() *storage.State { return c.cur }
+
+// Len reports the number of committed states.
+func (c *Checker) Len() int { return c.index }
+
+// ConstraintNames returns the installed constraint names in order.
+func (c *Checker) ConstraintNames() []string {
+	out := make([]string, len(c.constraints))
+	for i, con := range c.constraints {
+		out[i] = con.Name
+	}
+	return out
+}
+
+// Now returns the timestamp of the latest state.
+func (c *Checker) Now() uint64 { return c.now }
+
+// Stats summarizes the auxiliary storage — the space side of the
+// paper's claim (compare with the naive checker's HistoryBytes).
+type Stats struct {
+	Nodes      int
+	Entries    int
+	Timestamps int
+	Bytes      int
+	PerNode    []NodeStats
+}
+
+// Stats reports the current auxiliary storage of the checker.
+func (c *Checker) Stats() Stats {
+	s := Stats{Nodes: len(c.nodes)}
+	for _, n := range c.nodes {
+		ns := n.stats()
+		s.Entries += ns.Entries
+		s.Timestamps += ns.Timestamps
+		s.Bytes += ns.Bytes
+		s.PerNode = append(s.PerNode, ns)
+	}
+	return s
+}
+
+// CheckInvariants verifies the internal invariants of every auxiliary
+// node (sorted, in-window, deduplicated timestamp sets); used by tests.
+func (c *Checker) CheckInvariants() error {
+	if !c.started {
+		return nil
+	}
+	for _, n := range c.nodes {
+		if s, ok := n.(*sinceNode); ok {
+			if err := s.invariants(c.now); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// oracle resolves temporal nodes from the auxiliary state at the
+// current evaluation time.
+type oracle struct {
+	c   *Checker
+	now uint64
+}
+
+func (o *oracle) lookup(f mtl.Formula) (auxNode, error) {
+	node, ok := o.c.byNode[f]
+	if !ok {
+		return nil, fmt.Errorf("core: no auxiliary state for temporal node %q; was the constraint compiled?", f.String())
+	}
+	return node, nil
+}
+
+func (o *oracle) Enumerate(f mtl.Formula) (*fol.Bindings, error) {
+	node, err := o.lookup(f)
+	if err != nil {
+		return nil, err
+	}
+	return node.enumerate(o.now)
+}
+
+func (o *oracle) Test(f mtl.Formula, env fol.Env) (bool, error) {
+	node, err := o.lookup(f)
+	if err != nil {
+		return false, err
+	}
+	return node.test(env, o.now)
+}

@@ -1,0 +1,36 @@
+package core_test
+
+import (
+	"fmt"
+
+	"rtic/internal/check"
+	"rtic/internal/core"
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+)
+
+// The incremental checker end to end: install a constraint, commit
+// transactions, inspect the bounded auxiliary state.
+func ExampleChecker() {
+	s := schema.NewBuilder().
+		Relation("hire", 1).
+		Relation("fire", 1).
+		MustBuild()
+	c := core.New(s)
+	con, _ := check.Parse("no_quick_rehire", "hire(e) -> not once[0,365] fire(e)", s)
+	_ = c.AddConstraint(con)
+
+	_, _ = c.Step(0, storage.NewTransaction().Insert("fire", tuple.Ints(7)))
+	vs, _ := c.Step(100, storage.NewTransaction().
+		Delete("fire", tuple.Ints(7)).
+		Insert("hire", tuple.Ints(7)))
+	for _, v := range vs {
+		fmt.Println(v)
+	}
+	st := c.Stats()
+	fmt.Printf("aux: %d node(s), %d entries, %d timestamps\n", st.Nodes, st.Entries, st.Timestamps)
+	// Output:
+	// no_quick_rehire violated at state 1 (time 100) by e=7
+	// aux: 1 node(s), 1 entries, 1 timestamps
+}

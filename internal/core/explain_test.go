@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+)
+
+func TestExplainRehire(t *testing.T) {
+	s := hrSchema()
+	c := New(s)
+	addConstraint(t, c, s, "no_quick_rehire", "hire(e) -> not once[0,365] fire(e)")
+
+	mustStep(t, c, 10, ins("fire", 7))
+	tx := storage.NewTransaction().Delete("fire", tuple.Ints(7)).Insert("hire", tuple.Ints(7))
+	vs := mustStep(t, c, 100, tx)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+
+	ex, err := c.Explain(vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Constraint != "hire(e) -> not once[0,365] fire(e)" {
+		t.Fatalf("constraint = %q", ex.Constraint)
+	}
+	if len(ex.Evidence) != 1 {
+		t.Fatalf("evidence = %+v", ex.Evidence)
+	}
+	ev := ex.Evidence[0]
+	if ev.Formula != "once[0,365] fire(e)" || ev.Negated || !ev.Holds {
+		t.Fatalf("evidence = %+v", ev)
+	}
+	if len(ev.Times) != 1 || ev.Times[0] != 10 {
+		t.Fatalf("witness times = %v, want [10]", ev.Times)
+	}
+	out := ex.String()
+	for _, frag := range []string{"no_quick_rehire", "witnessed at t=[10]", "required: once[0,365] fire(e)"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("explanation text missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExplainNegatedEvidence(t *testing.T) {
+	// Deadline constraint: the violation requires the ABSENCE of a
+	// recent reservation — evidence is a negated, non-holding node.
+	s := ticketSchema()
+	c := New(s)
+	addConstraint(t, c, s, "pay_in_time", "paid(tk) -> once[0,3] reserved(tk)")
+	vs := mustStep(t, c, 5, ins("paid", 9))
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	ex, err := c.Explain(vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Evidence) != 1 {
+		t.Fatalf("evidence = %+v", ex.Evidence)
+	}
+	ev := ex.Evidence[0]
+	if !ev.Negated || ev.Holds || len(ev.Times) != 0 {
+		t.Fatalf("evidence = %+v, want negated non-holding", ev)
+	}
+	if !strings.Contains(ex.String(), "required absent") {
+		t.Fatalf("explanation text:\n%s", ex.String())
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	s := hrSchema()
+	c := New(s)
+	addConstraint(t, c, s, "c", "hire(e) -> not once[0,365] fire(e)")
+	mustStep(t, c, 10, ins("fire", 7))
+	vs := mustStep(t, c, 100, ins("hire", 7))
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	// Move past the violating state: explanation must refuse.
+	mustStep(t, c, 200, storage.NewTransaction())
+	if _, err := c.Explain(vs[0]); err == nil {
+		t.Fatal("stale violation explained")
+	}
+	// Unknown constraint.
+	vs2 := mustStep(t, c, 300, storage.NewTransaction())
+	_ = vs2
+	bad := vs[0]
+	bad.Time = c.Now()
+	bad.Constraint = "nope"
+	if _, err := c.Explain(bad); err == nil {
+		t.Fatal("unknown constraint explained")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtic/internal/check"
+	"rtic/internal/formgen"
+	"rtic/internal/naive"
+)
+
+// The fuzzing layer over the equivalence property: instead of fixed
+// constraint templates, every run draws freshly generated safe
+// constraints from formgen's grammar (random operators, windows,
+// nesting, deadline obligations) and holds the incremental checker to
+// the naive full-history semantics on a random update stream.
+func TestFuzzEquivalence(t *testing.T) {
+	s := formgen.Schema()
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(9000 + seed))
+		inc := New(s)
+		ref := naive.New(s)
+		var names []string
+		nCons := 1 + r.Intn(3)
+		for k := 0; k < nCons; k++ {
+			src := formgen.Constraint(r)
+			name := fmt.Sprintf("c%d", k)
+			con, err := check.Parse(name, src, s)
+			if err != nil {
+				t.Fatalf("seed %d: %q: %v", seed, src, err)
+			}
+			if err := inc.AddConstraint(con); err != nil {
+				t.Fatalf("seed %d: %q: %v", seed, src, err)
+			}
+			con2, _ := check.Parse(name, src, s)
+			if err := ref.AddConstraint(con2); err != nil {
+				t.Fatal(err)
+			}
+			names = append(names, src)
+		}
+		tm := uint64(0)
+		for i := 0; i < 40; i++ {
+			tm += uint64(1 + r.Intn(3))
+			tx := randomTx(r, 3)
+			got, err := inc.Step(tm, tx.Clone())
+			if err != nil {
+				t.Fatalf("seed %d step %d: incremental: %v\nconstraints: %q", seed, i, err, names)
+			}
+			want, err := ref.Step(tm, tx)
+			if err != nil {
+				t.Fatalf("seed %d step %d: naive: %v\nconstraints: %q", seed, i, err, names)
+			}
+			if cg, cw := canon(got), canon(want); !sameCanon(cg, cw) {
+				t.Fatalf("seed %d step %d (t=%d, tx=%s):\nincremental: %v\nnaive:       %v\nconstraints: %q",
+					seed, i, tm, tx, cg, cw, names)
+			}
+			if err := inc.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d step %d: %v\nconstraints: %q", seed, i, err, names)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+	"rtic/internal/value"
+)
+
+// End-to-end behaviour of the deadline-obligation extension: the
+// obligation "reserved leadsto[0,3] paid" is violated at the first
+// commit after the deadline expires, for each unfulfilled ticket.
+
+func ticketSchema() *schema.Schema {
+	return schema.NewBuilder().Relation("reserved", 1).Relation("paid", 1).MustBuild()
+}
+
+func TestLeadsToFulfilledInTime(t *testing.T) {
+	s := ticketSchema()
+	c := New(s)
+	addConstraint(t, c, s, "deadline", "reserved(tk) leadsto[0,3] paid(tk)")
+
+	// Reserve at t=1 (event markers: removed next step).
+	mustStep(t, c, 1, ins("reserved", 1))
+	// Pay at t=3 — inside the deadline.
+	tx := storage.NewTransaction().Delete("reserved", tuple.Ints(1)).Insert("paid", tuple.Ints(1))
+	if vs := mustStep(t, c, 3, tx); len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+	// Long after the deadline: still no violation, the obligation was met.
+	if vs := mustStep(t, c, 50, del("paid", 1)); len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestLeadsToExpires(t *testing.T) {
+	s := ticketSchema()
+	c := New(s)
+	addConstraint(t, c, s, "deadline", "reserved(tk) leadsto[0,3] paid(tk)")
+
+	mustStep(t, c, 1, ins("reserved", 1))
+	mustStep(t, c, 2, del("reserved", 1))
+	// t=4: deadline (1+3) not yet passed — distance 3 is still in time.
+	if vs := mustStep(t, c, 4, storage.NewTransaction()); len(vs) != 0 {
+		t.Fatalf("violations at deadline = %v", vs)
+	}
+	// t=5: distance 4 > 3 — the obligation expired.
+	vs := mustStep(t, c, 5, storage.NewTransaction())
+	if len(vs) != 1 || !vs[0].Binding[0].Equal(value.Int(1)) {
+		t.Fatalf("violations = %v, want tk=1", vs)
+	}
+	// Late payment silences the monitor from the next state on.
+	if vs := mustStep(t, c, 6, ins("paid", 1)); len(vs) != 0 {
+		t.Fatalf("violations after late payment = %v", vs)
+	}
+}
+
+func TestLeadsToSameStateFulfillment(t *testing.T) {
+	s := ticketSchema()
+	c := New(s)
+	addConstraint(t, c, s, "deadline", "reserved(tk) leadsto[0,3] paid(tk)")
+
+	// Reserved and paid in the same transaction: fulfilled at distance 0.
+	tx := storage.NewTransaction().Insert("reserved", tuple.Ints(9)).Insert("paid", tuple.Ints(9))
+	mustStep(t, c, 1, tx)
+	tx2 := storage.NewTransaction().Delete("reserved", tuple.Ints(9)).Delete("paid", tuple.Ints(9))
+	mustStep(t, c, 2, tx2)
+	if vs := mustStep(t, c, 100, storage.NewTransaction()); len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestLeadsToMultipleObligations(t *testing.T) {
+	s := ticketSchema()
+	c := New(s)
+	addConstraint(t, c, s, "deadline", "reserved(tk) leadsto[0,2] paid(tk)")
+
+	// Two reservations; only ticket 2 is paid.
+	tx := storage.NewTransaction().Insert("reserved", tuple.Ints(1)).Insert("reserved", tuple.Ints(2))
+	mustStep(t, c, 1, tx)
+	tx2 := storage.NewTransaction().
+		Delete("reserved", tuple.Ints(1)).
+		Delete("reserved", tuple.Ints(2)).
+		Insert("paid", tuple.Ints(2))
+	mustStep(t, c, 2, tx2)
+	vs := mustStep(t, c, 10, del("paid", 2))
+	if len(vs) != 1 || !vs[0].Binding[0].Equal(value.Int(1)) {
+		t.Fatalf("violations = %v, want only tk=1", vs)
+	}
+}

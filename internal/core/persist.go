@@ -1,0 +1,214 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"rtic/internal/check"
+	"rtic/internal/fol"
+	"rtic/internal/schema"
+	"rtic/internal/tuple"
+)
+
+// Snapshot persistence: the whole point of bounded history encoding is
+// that the checker's state is small, so a monitor can checkpoint it and
+// restart without replaying the history. SaveSnapshot serializes the
+// current database state, the clock, and every auxiliary node;
+// LoadSnapshot rebuilds an equivalent checker. Constraints travel as
+// their canonical surface syntax (the printer/parser round-trip is
+// exact), so a snapshot is self-describing up to the schema.
+
+const snapshotVersion = 1
+
+type snapConstraint struct {
+	Name   string
+	Source string
+}
+
+type snapRelation struct {
+	Name string
+	Rows []tuple.Tuple
+}
+
+type snapEntry struct {
+	Row   tuple.Tuple
+	Times []uint64
+}
+
+type snapNode struct {
+	Kind       string // "prev" or "since"
+	Formula    string // diagnostic only
+	Has        bool
+	StoredTime uint64
+	Rows       []tuple.Tuple // prev: stored enumeration
+	Entries    []snapEntry   // since: bounded history encoding
+}
+
+type snapshot struct {
+	Version     int
+	Constraints []snapConstraint
+	Index       int
+	Now         uint64
+	Started     bool
+	Relations   []snapRelation
+	Nodes       []snapNode
+}
+
+// SaveSnapshot writes the checker's complete state to w.
+func (c *Checker) SaveSnapshot(w io.Writer) error {
+	snap := snapshot{
+		Version: snapshotVersion,
+		Index:   c.index,
+		Now:     c.now,
+		Started: c.started,
+	}
+	for _, con := range c.constraints {
+		snap.Constraints = append(snap.Constraints, snapConstraint{
+			Name:   con.Name,
+			Source: con.Formula.String(),
+		})
+	}
+	names := c.schema.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		rel, err := c.cur.Relation(name)
+		if err != nil {
+			return err
+		}
+		snap.Relations = append(snap.Relations, snapRelation{Name: name, Rows: rel.Tuples()})
+	}
+	for _, node := range c.nodes {
+		sn, err := encodeNode(node)
+		if err != nil {
+			return err
+		}
+		snap.Nodes = append(snap.Nodes, sn)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+func encodeNode(node auxNode) (snapNode, error) {
+	switch n := node.(type) {
+	case *prevNode:
+		sn := snapNode{Kind: "prev", Formula: n.n.String(), Has: n.has, StoredTime: n.storedTime}
+		if n.has {
+			sn.Rows = n.stored.Rows()
+		}
+		return sn, nil
+	case *sinceNode:
+		sn := snapNode{Kind: "since", Formula: n.node.String()}
+		keys := make([]string, 0, len(n.entries))
+		for k := range n.entries {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e := n.entries[k]
+			sn.Entries = append(sn.Entries, snapEntry{
+				Row:   e.row.Clone(),
+				Times: append([]uint64(nil), e.times...),
+			})
+		}
+		return sn, nil
+	default:
+		return snapNode{}, fmt.Errorf("core: cannot snapshot node %T", node)
+	}
+}
+
+// LoadSnapshot rebuilds a checker over s from a snapshot written by
+// SaveSnapshot. The schema must define every relation the snapshot
+// references.
+func LoadSnapshot(s *schema.Schema, r io.Reader) (*Checker, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
+	}
+	c := New(s)
+	for _, sc := range snap.Constraints {
+		con, err := check.Parse(sc.Name, sc.Source, s)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot constraint %s: %w", sc.Name, err)
+		}
+		if err := c.AddConstraint(con); err != nil {
+			return nil, err
+		}
+	}
+	if len(c.nodes) != len(snap.Nodes) {
+		return nil, fmt.Errorf("core: snapshot has %d auxiliary nodes, compiled constraints need %d",
+			len(snap.Nodes), len(c.nodes))
+	}
+	for _, sr := range snap.Relations {
+		rel, err := c.cur.Relation(sr.Name)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot relation %q not in schema: %w", sr.Name, err)
+		}
+		for _, row := range sr.Rows {
+			if _, err := rel.Insert(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, sn := range snap.Nodes {
+		if err := decodeNode(c.nodes[i], sn); err != nil {
+			return nil, err
+		}
+	}
+	c.index = snap.Index
+	c.now = snap.Now
+	c.started = snap.Started
+	return c, nil
+}
+
+func decodeNode(node auxNode, sn snapNode) error {
+	switch n := node.(type) {
+	case *prevNode:
+		if sn.Kind != "prev" {
+			return fmt.Errorf("core: snapshot node kind %q, compiled node is prev (%s)", sn.Kind, n.n.String())
+		}
+		n.has = sn.Has
+		n.storedTime = sn.StoredTime
+		if sn.Has {
+			b := newBindingsForRows(n.fvars, sn.Rows)
+			if b == nil {
+				return fmt.Errorf("core: snapshot prev rows have wrong arity for %s", n.n.String())
+			}
+			n.stored = b
+		}
+		return nil
+	case *sinceNode:
+		if sn.Kind != "since" {
+			return fmt.Errorf("core: snapshot node kind %q, compiled node is since (%s)", sn.Kind, n.node.String())
+		}
+		for _, e := range sn.Entries {
+			if len(e.Row) != len(n.vars) {
+				return fmt.Errorf("core: snapshot entry arity %d for node %s (want %d)",
+					len(e.Row), n.node.String(), len(n.vars))
+			}
+			n.entries[e.Row.Key()] = &sinceEntry{
+				row:   e.Row.Clone(),
+				times: append([]uint64(nil), e.Times...),
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: cannot restore node %T", node)
+	}
+}
+
+func newBindingsForRows(vars []string, rows []tuple.Tuple) *fol.Bindings {
+	b := fol.NewBindings(vars)
+	for _, row := range rows {
+		if len(row) != len(vars) {
+			return nil
+		}
+		if err := b.AddRow(row); err != nil {
+			return nil
+		}
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtic/internal/check"
+	"rtic/internal/schema"
+)
+
+// A long soak: thousands of transactions against a wide constraint set,
+// with the auxiliary invariants and the bounded-space property audited
+// throughout. This is the "leave it running" confidence test for the
+// monitor use case.
+func TestSoakLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	s := schema.NewBuilder().
+		Relation("p", 1).
+		Relation("q", 1).
+		Relation("r", 2).
+		MustBuild()
+	c := New(s)
+	srcs := []string{
+		"p(x) -> not once[0,20] q(x)",
+		"p(x) -> not once[5,40] q(x)",
+		"p(x) -> not once q(x)",
+		"q(x) -> not prev p(x)",
+		"r(x, y) -> not (p(x) since[0,30] r(x, y))",
+		"p(x) -> not once[0,10] prev q(x)",
+		"p(x) leadsto[0,15] q(x)",
+	}
+	for i, src := range srcs {
+		con, err := check.Parse("soak"+string(rune('a'+i)), src, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddConstraint(con); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := rand.New(rand.NewSource(777))
+	tm := uint64(0)
+	maxBytes := 0
+	for i := 0; i < 5000; i++ {
+		tm += uint64(1 + r.Intn(3))
+		if _, err := c.Step(tm, randomTx(r, 6)); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if i%250 == 0 {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+		if b := c.Stats().Bytes; b > maxBytes {
+			maxBytes = b
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The space high-water mark must stay within the window-implied
+	// budget: windows ≤ 40, domain 6, a handful of nodes — far below
+	// what 5000 stored states would take.
+	if maxBytes > 64*1024 {
+		t.Fatalf("auxiliary high-water mark %d bytes; bounded encoding should stay in the KiB range", maxBytes)
+	}
+	if c.Len() != 5000 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}

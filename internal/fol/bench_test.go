@@ -1,0 +1,94 @@
+package fol
+
+import (
+	"fmt"
+	"testing"
+
+	"rtic/internal/mtl"
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+	"rtic/internal/value"
+)
+
+func benchBindings(vars []string, n int) *Bindings {
+	b := NewBindings(vars)
+	env := make(Env, len(vars))
+	for i := int64(0); i < int64(n); i++ {
+		for k, v := range vars {
+			env[v] = value.Int((i + int64(k)) % 97)
+		}
+		env[vars[0]] = value.Int(i % 97)
+		if len(vars) > 1 {
+			env[vars[1]] = value.Int(i)
+		}
+		_ = b.Add(env)
+	}
+	return b
+}
+
+func BenchmarkJoin(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		l := benchBindings([]string{"x", "y"}, n)
+		r := benchBindings([]string{"y", "z"}, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Join(l, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchState(b *testing.B, rows int) *storage.State {
+	b.Helper()
+	s := schema.NewBuilder().Relation("emp", 2).Relation("mgr", 1).MustBuild()
+	st := storage.NewState(s)
+	tx := storage.NewTransaction()
+	for i := int64(0); i < int64(rows); i++ {
+		tx.Insert("emp", tuple.Ints(i, i%8))
+		if i%3 == 0 {
+			tx.Insert("mgr", tuple.Ints(i))
+		}
+	}
+	if err := st.Apply(tx); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+type noOracle struct{}
+
+func (noOracle) Enumerate(f mtl.Formula) (*Bindings, error) {
+	return nil, fmt.Errorf("no temporal nodes in benchmarks")
+}
+func (noOracle) Test(f mtl.Formula, _ Env) (bool, error) {
+	return false, fmt.Errorf("no temporal nodes in benchmarks")
+}
+
+func BenchmarkEvalConjunction(b *testing.B) {
+	st := benchState(b, 1024)
+	f := mtl.Normalize(mtl.MustParse("emp(x, d) and mgr(x) and not emp(x, 7)"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEvaluator(st, noOracle{}).Eval(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTestQuantifier(b *testing.B) {
+	st := benchState(b, 256)
+	f := mtl.MustParse("forall x: mgr(x) -> exists d: emp(x, d)")
+	ev := NewEvaluator(st, noOracle{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Test(f, Env{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

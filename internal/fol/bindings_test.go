@@ -1,0 +1,253 @@
+package fol
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rtic/internal/tuple"
+	"rtic/internal/value"
+)
+
+func TestNewBindingsSortsAndDedups(t *testing.T) {
+	b := NewBindings([]string{"y", "x", "y"})
+	vs := b.Vars()
+	if len(vs) != 2 || vs[0] != "x" || vs[1] != "y" {
+		t.Fatalf("Vars = %v", vs)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Unit()
+	if u.Len() != 1 || len(u.Vars()) != 0 {
+		t.Fatalf("Unit = %s", u)
+	}
+}
+
+func TestAddContainsEach(t *testing.T) {
+	b := NewBindings([]string{"x", "y"})
+	if err := b.Add(Env{"x": value.Int(1), "y": value.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(Env{"x": value.Int(1), "y": value.Int(2), "z": value.Int(9)}); err != nil {
+		t.Fatal(err) // extra vars ignored
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (dedup)", b.Len())
+	}
+	ok, err := b.Contains(Env{"x": value.Int(1), "y": value.Int(2)})
+	if err != nil || !ok {
+		t.Fatalf("Contains = %v err=%v", ok, err)
+	}
+	if err := b.Add(Env{"x": value.Int(1)}); err == nil {
+		t.Fatal("Add with missing variable accepted")
+	}
+	if _, err := b.Contains(Env{"x": value.Int(1)}); err == nil {
+		t.Fatal("Contains with missing variable accepted")
+	}
+	n := 0
+	b.Each(func(env Env) bool {
+		n++
+		if !env["x"].Equal(value.Int(1)) {
+			t.Error("Each env wrong")
+		}
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("Each visited %d", n)
+	}
+}
+
+func TestEachReusesEnvSafely(t *testing.T) {
+	b := NewBindings([]string{"x"})
+	for i := int64(0); i < 3; i++ {
+		if err := b.Add(Env{"x": value.Int(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var kept []Env
+	b.Each(func(env Env) bool {
+		kept = append(kept, env.Clone())
+		return true
+	})
+	seen := map[int64]bool{}
+	for _, env := range kept {
+		seen[env["x"].AsInt()] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("cloned envs collapsed: %v", seen)
+	}
+}
+
+func TestProject(t *testing.T) {
+	b := NewBindings([]string{"x", "y"})
+	_ = b.Add(Env{"x": value.Int(1), "y": value.Int(10)})
+	_ = b.Add(Env{"x": value.Int(1), "y": value.Int(20)})
+	p, err := b.Project([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("projection Len = %d, want 1", p.Len())
+	}
+	if _, err := b.Project([]string{"z"}); err == nil {
+		t.Fatal("projection onto unknown variable accepted")
+	}
+	// Projection onto all vars is identity.
+	q, err := b.Project([]string{"y", "x"})
+	if err != nil || q.Len() != 2 {
+		t.Fatalf("full projection Len = %d err=%v", q.Len(), err)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := NewBindings([]string{"x"})
+	for i := int64(0); i < 5; i++ {
+		_ = b.Add(Env{"x": value.Int(i)})
+	}
+	f, err := b.Filter(func(env Env) (bool, error) { return env["x"].AsInt()%2 == 0, nil })
+	if err != nil || f.Len() != 3 {
+		t.Fatalf("Filter Len = %d err=%v", f.Len(), err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewBindings([]string{"x"})
+	b := NewBindings([]string{"x"})
+	_ = a.Add(Env{"x": value.Int(1)})
+	_ = b.Add(Env{"x": value.Int(1)})
+	_ = b.Add(Env{"x": value.Int(2)})
+	u, err := Union(a, b)
+	if err != nil || u.Len() != 2 {
+		t.Fatalf("Union Len = %d err=%v", u.Len(), err)
+	}
+	c := NewBindings([]string{"y"})
+	if _, err := Union(a, c); err == nil {
+		t.Fatal("union over different vars accepted")
+	}
+}
+
+func TestJoinNatural(t *testing.T) {
+	a := NewBindings([]string{"x", "y"})
+	_ = a.Add(Env{"x": value.Int(1), "y": value.Int(10)})
+	_ = a.Add(Env{"x": value.Int(2), "y": value.Int(20)})
+	b := NewBindings([]string{"y", "z"})
+	_ = b.Add(Env{"y": value.Int(10), "z": value.Str("a")})
+	_ = b.Add(Env{"y": value.Int(10), "z": value.Str("b")})
+	_ = b.Add(Env{"y": value.Int(99), "z": value.Str("c")})
+	j, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Vars(); len(got) != 3 {
+		t.Fatalf("join vars = %v", got)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("join Len = %d, want 2", j.Len())
+	}
+	ok, _ := j.Contains(Env{"x": value.Int(1), "y": value.Int(10), "z": value.Str("b")})
+	if !ok {
+		t.Fatal("join missing expected row")
+	}
+}
+
+func TestJoinDisjointIsCartesian(t *testing.T) {
+	a := NewBindings([]string{"x"})
+	b := NewBindings([]string{"y"})
+	for i := int64(0); i < 3; i++ {
+		_ = a.Add(Env{"x": value.Int(i)})
+		_ = b.Add(Env{"y": value.Int(i)})
+	}
+	j, err := Join(a, b)
+	if err != nil || j.Len() != 9 {
+		t.Fatalf("cartesian Len = %d err=%v", j.Len(), err)
+	}
+}
+
+func TestJoinWithUnit(t *testing.T) {
+	a := NewBindings([]string{"x"})
+	_ = a.Add(Env{"x": value.Int(1)})
+	j, err := Join(Unit(), a)
+	if err != nil || j.Len() != 1 {
+		t.Fatalf("unit join Len = %d err=%v", j.Len(), err)
+	}
+	j2, err := Join(a, NewBindings(nil)) // empty nullary = false
+	if err != nil || j2.Len() != 0 {
+		t.Fatalf("join with empty = %d err=%v", j2.Len(), err)
+	}
+}
+
+func TestRowsAligned(t *testing.T) {
+	b := NewBindings([]string{"b", "a"})
+	_ = b.Add(Env{"a": value.Int(1), "b": value.Int(2)})
+	rows := b.Rows()
+	if len(rows) != 1 || !rows[0].Equal(tuple.Ints(1, 2)) {
+		t.Fatalf("Rows = %v (vars %v)", rows, b.Vars())
+	}
+}
+
+func TestAntiJoin(t *testing.T) {
+	a := NewBindings([]string{"x", "y"})
+	_ = a.Add(Env{"x": value.Int(1), "y": value.Int(10)})
+	_ = a.Add(Env{"x": value.Int(2), "y": value.Int(20)})
+	_ = a.Add(Env{"x": value.Int(3), "y": value.Int(30)})
+	b := NewBindings([]string{"x"})
+	_ = b.Add(Env{"x": value.Int(2)})
+	out, err := AntiJoin(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("antijoin Len = %d, want 2", out.Len())
+	}
+	if ok, _ := out.Contains(Env{"x": value.Int(2), "y": value.Int(20)}); ok {
+		t.Fatal("excluded row survived")
+	}
+	// Variable of b absent from a: error.
+	c := NewBindings([]string{"z"})
+	if _, err := AntiJoin(a, c); err == nil {
+		t.Fatal("antijoin with foreign variable accepted")
+	}
+	// Empty b is identity.
+	out, err = AntiJoin(a, NewBindings([]string{"x"}))
+	if err != nil || out.Len() != 3 {
+		t.Fatalf("antijoin with empty = %d err=%v", out.Len(), err)
+	}
+}
+
+func TestQuickAntiJoinComplementsSemiJoin(t *testing.T) {
+	f := func(p genPair) bool {
+		proj, err := p.b.Project([]string{"y"})
+		if err != nil {
+			return false
+		}
+		anti, err := AntiJoin(p.a, proj)
+		if err != nil {
+			return false
+		}
+		// Every row of a is either in the antijoin or joins with proj.
+		count := 0
+		ok := true
+		p.a.Each(func(env Env) bool {
+			inAnti, err := anti.Contains(env)
+			if err != nil {
+				ok = false
+				return false
+			}
+			hit, err := proj.Contains(Env{"y": env["y"]})
+			if err != nil {
+				ok = false
+				return false
+			}
+			if inAnti == hit {
+				ok = false // must be exactly one of the two
+				return false
+			}
+			count++
+			return true
+		})
+		return ok && count == p.a.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,340 @@
+package fol
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rtic/internal/mtl"
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+	"rtic/internal/value"
+)
+
+// stubOracle answers temporal nodes from a fixed table keyed by the
+// printed form of the node.
+type stubOracle struct {
+	enums map[string]*Bindings
+	tests map[string]bool
+}
+
+func (o *stubOracle) Enumerate(f mtl.Formula) (*Bindings, error) {
+	b, ok := o.enums[f.String()]
+	if !ok {
+		return nil, fmt.Errorf("stub: no enumeration for %q", f.String())
+	}
+	return b, nil
+}
+
+func (o *stubOracle) Test(f mtl.Formula, env Env) (bool, error) {
+	key := f.String()
+	if b, ok := o.enums[key]; ok {
+		return b.Contains(env)
+	}
+	v, ok := o.tests[key]
+	if !ok {
+		return false, fmt.Errorf("stub: no test for %q", f.String())
+	}
+	return v, nil
+}
+
+func emptyOracle() *stubOracle {
+	return &stubOracle{enums: map[string]*Bindings{}, tests: map[string]bool{}}
+}
+
+func buildState(t *testing.T) *storage.State {
+	t.Helper()
+	s := schema.NewBuilder().
+		Relation("emp", 2). // emp(id, dept)
+		Relation("mgr", 1).
+		Relation("flag", 0).
+		MustBuild()
+	st := storage.NewState(s)
+	tx := storage.NewTransaction().
+		Insert("emp", tuple.Of(value.Int(1), value.Str("sales"))).
+		Insert("emp", tuple.Of(value.Int(2), value.Str("sales"))).
+		Insert("emp", tuple.Of(value.Int(3), value.Str("eng"))).
+		Insert("mgr", tuple.Ints(2)).
+		Insert("mgr", tuple.Ints(3))
+	if err := st.Apply(tx); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func evalStr(t *testing.T, st *storage.State, o Oracle, src string) *Bindings {
+	t.Helper()
+	f := mtl.Normalize(mtl.MustParse(src))
+	b, err := NewEvaluator(st, o).Eval(f)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return b
+}
+
+func testStr(t *testing.T, st *storage.State, o Oracle, src string, env Env) bool {
+	t.Helper()
+	f := mtl.MustParse(src)
+	ok, err := NewEvaluator(st, o).Test(f, env)
+	if err != nil {
+		t.Fatalf("Test(%q): %v", src, err)
+	}
+	return ok
+}
+
+func TestEvalAtom(t *testing.T) {
+	st := buildState(t)
+	b := evalStr(t, st, emptyOracle(), "emp(x, d)")
+	if b.Len() != 3 {
+		t.Fatalf("emp(x,d) -> %d rows", b.Len())
+	}
+	b = evalStr(t, st, emptyOracle(), "emp(x, 'sales')")
+	if b.Len() != 2 {
+		t.Fatalf("emp(x,'sales') -> %d rows", b.Len())
+	}
+	b = evalStr(t, st, emptyOracle(), "emp(1, d)")
+	if b.Len() != 1 || !b.Rows()[0].Equal(tuple.Strs("sales")) {
+		t.Fatalf("emp(1,d) -> %s", b)
+	}
+	// Repeated variable forces equality between columns.
+	b = evalStr(t, st, emptyOracle(), "emp(x, x)")
+	if b.Len() != 0 {
+		t.Fatalf("emp(x,x) -> %d rows, want 0", b.Len())
+	}
+	// Nullary atom over empty relation is false.
+	b = evalStr(t, st, emptyOracle(), "flag()")
+	if b.Len() != 0 {
+		t.Fatal("flag() should be empty")
+	}
+}
+
+func TestEvalConjunction(t *testing.T) {
+	st := buildState(t)
+	b := evalStr(t, st, emptyOracle(), "emp(x, d) and mgr(x)")
+	if b.Len() != 2 {
+		t.Fatalf("join -> %d rows", b.Len())
+	}
+	b = evalStr(t, st, emptyOracle(), "emp(x, d) and mgr(x) and d = 'sales'")
+	if b.Len() != 1 {
+		t.Fatalf("join+select -> %d rows", b.Len())
+	}
+	// Negation as filter.
+	b = evalStr(t, st, emptyOracle(), "emp(x, d) and not mgr(x)")
+	if b.Len() != 1 {
+		t.Fatalf("antijoin -> %d rows", b.Len())
+	}
+	// Comparison filter.
+	b = evalStr(t, st, emptyOracle(), "emp(x, d) and x >= 2")
+	if b.Len() != 2 {
+		t.Fatalf("x>=2 -> %d rows", b.Len())
+	}
+	// Variable equality as filter.
+	b = evalStr(t, st, emptyOracle(), "emp(x, d) and mgr(y) and x = y")
+	if b.Len() != 2 {
+		t.Fatalf("x=y filter -> %d rows", b.Len())
+	}
+}
+
+func TestEvalDisjunction(t *testing.T) {
+	st := buildState(t)
+	b := evalStr(t, st, emptyOracle(), "mgr(x) or emp(x, 'eng')")
+	if b.Len() != 2 { // ids 2 and 3; 3 appears in both
+		t.Fatalf("or -> %d rows", b.Len())
+	}
+}
+
+func TestEvalExists(t *testing.T) {
+	st := buildState(t)
+	b := evalStr(t, st, emptyOracle(), "exists x: emp(x, d)")
+	if b.Len() != 2 { // sales, eng
+		t.Fatalf("exists -> %d rows", b.Len())
+	}
+	if len(b.Vars()) != 1 || b.Vars()[0] != "d" {
+		t.Fatalf("exists vars = %v", b.Vars())
+	}
+}
+
+func TestEvalEqualityBinding(t *testing.T) {
+	st := buildState(t)
+	b := evalStr(t, st, emptyOracle(), "x = 2 and mgr(x)")
+	if b.Len() != 1 {
+		t.Fatalf("x=2 binding -> %d rows", b.Len())
+	}
+	b = evalStr(t, st, emptyOracle(), "2 = x and mgr(x)")
+	if b.Len() != 1 {
+		t.Fatalf("2=x binding -> %d rows", b.Len())
+	}
+}
+
+func TestEvalTruth(t *testing.T) {
+	st := buildState(t)
+	if b := evalStr(t, st, emptyOracle(), "true"); b.Len() != 1 {
+		t.Fatal("true not unit")
+	}
+	if b := evalStr(t, st, emptyOracle(), "false"); b.Len() != 0 {
+		t.Fatal("false not empty")
+	}
+	if b := evalStr(t, st, emptyOracle(), "3 < 5"); b.Len() != 1 {
+		t.Fatal("const comparison true not unit")
+	}
+	if b := evalStr(t, st, emptyOracle(), "5 < 3"); b.Len() != 0 {
+		t.Fatal("const comparison false not empty")
+	}
+}
+
+func TestEvalTemporalThroughOracle(t *testing.T) {
+	st := buildState(t)
+	o := emptyOracle()
+	fired := NewBindings([]string{"x"})
+	_ = fired.Add(Env{"x": value.Int(1)})
+	o.enums["once[0,365] fired(x)"] = fired
+	b := evalStr(t, st, o, "emp(x, d) and once[0,365] fired(x)")
+	if b.Len() != 1 {
+		t.Fatalf("temporal join -> %d rows", b.Len())
+	}
+	// Negated temporal as filter (membership test against enumeration).
+	b = evalStr(t, st, o, "emp(x, d) and not once[0,365] fired(x)")
+	if b.Len() != 2 {
+		t.Fatalf("negated temporal -> %d rows", b.Len())
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	st := buildState(t)
+	ev := NewEvaluator(st, emptyOracle())
+	if _, err := ev.Eval(mtl.MustParse("not emp(x, d)")); err == nil {
+		t.Fatal("bare negation enumerated")
+	}
+	if _, err := ev.Eval(mtl.MustParse("nosuch(x)")); err == nil {
+		t.Fatal("unknown relation enumerated")
+	}
+	if _, err := ev.Eval(mtl.MustParse("emp(x)")); err == nil {
+		t.Fatal("arity mismatch enumerated")
+	}
+	if _, err := ev.Eval(mtl.MustParse("x < 5")); err == nil {
+		t.Fatal("bare comparison enumerated")
+	}
+	if _, err := ev.Eval(mtl.MustParse("emp(x, d) and y < 5")); err == nil {
+		t.Fatal("unbound filter variable accepted")
+	}
+	if _, err := ev.Eval(mtl.MustParse("p(x) -> q(x)")); err == nil {
+		t.Fatal("sugar node enumerated")
+	}
+}
+
+func TestTestBasic(t *testing.T) {
+	st := buildState(t)
+	o := emptyOracle()
+	env := Env{"x": value.Int(2), "d": value.Str("sales")}
+	if !testStr(t, st, o, "emp(x, d)", env) {
+		t.Fatal("emp(2,'sales') should hold")
+	}
+	if testStr(t, st, o, "emp(x, 'eng')", env) {
+		t.Fatal("emp(2,'eng') should not hold")
+	}
+	if !testStr(t, st, o, "mgr(x) and x >= 2", env) {
+		t.Fatal("conjunction should hold")
+	}
+	if !testStr(t, st, o, "not emp(x, 'eng')", env) {
+		t.Fatal("negation should hold")
+	}
+	if !testStr(t, st, o, "emp(x, 'eng') or mgr(x)", env) {
+		t.Fatal("disjunction should hold")
+	}
+	if !testStr(t, st, o, "emp(x, 'eng') -> false", env) {
+		t.Fatal("implication with false antecedent should hold")
+	}
+	if !testStr(t, st, o, "mgr(x) <-> emp(x, d)", env) {
+		t.Fatal("iff of two truths should hold")
+	}
+	if testStr(t, st, o, "false", env) {
+		t.Fatal("false held")
+	}
+}
+
+func TestTestQuantifiers(t *testing.T) {
+	st := buildState(t)
+	o := emptyOracle()
+	env := Env{}
+	if !testStr(t, st, o, "exists x: mgr(x)", env) {
+		t.Fatal("exists over nonempty mgr failed")
+	}
+	if testStr(t, st, o, "exists x: emp(x, x)", env) {
+		t.Fatal("exists emp(x,x) should fail")
+	}
+	if !testStr(t, st, o, "forall x: mgr(x) -> exists d: emp(x, d)", env) {
+		t.Fatal("every manager is an employee")
+	}
+	if testStr(t, st, o, "forall x: mgr(x)", env) {
+		t.Fatal("not everything is a manager")
+	}
+	// Quantifier sees values from the env too.
+	if !testStr(t, st, o, "exists y: y = x", Env{"x": value.Int(777)}) {
+		t.Fatal("quantifier domain must include env values")
+	}
+	// And constants from the formula.
+	if !testStr(t, st, o, "exists y: y = 123456", Env{}) {
+		t.Fatal("quantifier domain must include formula constants")
+	}
+}
+
+func TestTestTemporalDelegation(t *testing.T) {
+	st := buildState(t)
+	o := emptyOracle()
+	o.tests["once p()"] = true
+	o.tests["always q()"] = false
+	if !testStr(t, st, o, "once p()", Env{}) {
+		t.Fatal("oracle test not consulted")
+	}
+	if testStr(t, st, o, "always q()", Env{}) {
+		t.Fatal("oracle Always test not consulted")
+	}
+	// The env passed to the oracle is restricted to the node's vars.
+	probe := &probeOracle{}
+	f := mtl.MustParse("once fired(x)")
+	_, err := NewEvaluator(st, probe).Test(f, Env{"x": value.Int(1), "junk": value.Int(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.lastEnv) != 1 {
+		t.Fatalf("oracle saw env %v, want only x", probe.lastEnv)
+	}
+}
+
+type probeOracle struct{ lastEnv Env }
+
+func (p *probeOracle) Enumerate(mtl.Formula) (*Bindings, error) { return Unit(), nil }
+func (p *probeOracle) Test(f mtl.Formula, env Env) (bool, error) {
+	p.lastEnv = env.Clone()
+	return true, nil
+}
+
+func TestTestErrors(t *testing.T) {
+	st := buildState(t)
+	ev := NewEvaluator(st, emptyOracle())
+	if _, err := ev.Test(mtl.MustParse("emp(x, d)"), Env{}); err == nil {
+		t.Fatal("unbound variable accepted in test")
+	}
+	if _, err := ev.Test(mtl.MustParse("nosuch()"), Env{}); err == nil {
+		t.Fatal("unknown relation accepted in test")
+	}
+	if _, err := ev.Test(mtl.MustParse("once nosuch(x)"), Env{}); err == nil {
+		t.Fatal("temporal test with missing var accepted")
+	}
+}
+
+func TestCheckSchema(t *testing.T) {
+	s := schema.NewBuilder().Relation("p", 1).MustBuild()
+	if err := CheckSchema(mtl.MustParse("p(x) and once p(y)"), s); err != nil {
+		t.Fatal(err)
+	}
+	err := CheckSchema(mtl.MustParse("q(x)"), s)
+	if err == nil || !strings.Contains(err.Error(), "unknown relation") {
+		t.Fatalf("unknown relation: %v", err)
+	}
+	err = CheckSchema(mtl.MustParse("p(x, y)"), s)
+	if err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+}

@@ -1,0 +1,200 @@
+package fol
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rtic/internal/value"
+)
+
+// randBindings generates a random binding set over the given variables
+// from quick's rand source.
+func randBindings(r *rand.Rand, vars []string, rows int) *Bindings {
+	b := NewBindings(vars)
+	for i := 0; i < rows; i++ {
+		env := make(Env, len(vars))
+		for _, v := range vars {
+			env[v] = value.Int(r.Int63n(4))
+		}
+		_ = b.Add(env)
+	}
+	return b
+}
+
+// genPair is a quick.Generator producing two joinable binding sets with
+// overlapping variable sets.
+type genPair struct {
+	a, b *Bindings
+}
+
+func (genPair) Generate(r *rand.Rand, size int) reflect.Value {
+	rows := 1 + r.Intn(8)
+	p := genPair{
+		a: randBindings(r, []string{"x", "y"}, rows),
+		b: randBindings(r, []string{"y", "z"}, rows),
+	}
+	return reflect.ValueOf(p)
+}
+
+func equalBindings(a, b *Bindings) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	ra, rb := a.Rows(), b.Rows()
+	for i := range ra {
+		if !ra[i].Equal(rb[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickJoinCommutative(t *testing.T) {
+	f := func(p genPair) bool {
+		ab, err1 := Join(p.a, p.b)
+		ba, err2 := Join(p.b, p.a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return equalBindings(ab, ba)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinWithUnitIsIdentity(t *testing.T) {
+	f := func(p genPair) bool {
+		j, err := Join(p.a, Unit())
+		if err != nil {
+			return false
+		}
+		return equalBindings(j, p.a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinIdempotent(t *testing.T) {
+	f := func(p genPair) bool {
+		j, err := Join(p.a, p.a)
+		if err != nil {
+			return false
+		}
+		return equalBindings(j, p.a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionLaws(t *testing.T) {
+	gen := func(r *rand.Rand) *Bindings { return randBindings(r, []string{"x"}, 1+r.Intn(6)) }
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		ab, err1 := Union(a, b)
+		ba, err2 := Union(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !equalBindings(ab, ba) {
+			return false // commutative
+		}
+		aa, err := Union(a, a)
+		if err != nil || !equalBindings(aa, a) {
+			return false // idempotent
+		}
+		// |a ∪ b| ≤ |a| + |b| and ≥ max(|a|,|b|).
+		if ab.Len() > a.Len()+b.Len() || ab.Len() < a.Len() || ab.Len() < b.Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickProjectionShrinks(t *testing.T) {
+	f := func(p genPair) bool {
+		proj, err := p.a.Project([]string{"x"})
+		if err != nil {
+			return false
+		}
+		// Projection never grows the set and preserves emptiness.
+		if proj.Len() > p.a.Len() {
+			return false
+		}
+		if p.a.Empty() != proj.Empty() {
+			return false
+		}
+		// Projecting again is idempotent.
+		again, err := proj.Project([]string{"x"})
+		if err != nil {
+			return false
+		}
+		return equalBindings(proj, again)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinSubsetOfCartesian(t *testing.T) {
+	f := func(p genPair) bool {
+		j, err := Join(p.a, p.b)
+		if err != nil {
+			return false
+		}
+		// The natural join never exceeds the cartesian bound, and every
+		// joined row restricts to rows present in both inputs.
+		if j.Len() > p.a.Len()*p.b.Len() {
+			return false
+		}
+		ok := true
+		j.Each(func(env Env) bool {
+			inA, err1 := p.a.Contains(env)
+			inB, err2 := p.b.Contains(env)
+			if err1 != nil || err2 != nil || !inA || !inB {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFilterSubset(t *testing.T) {
+	f := func(p genPair, keepEven bool) bool {
+		flt, err := p.a.Filter(func(env Env) (bool, error) {
+			return (env["x"].AsInt()%2 == 0) == keepEven, nil
+		})
+		if err != nil {
+			return false
+		}
+		if flt.Len() > p.a.Len() {
+			return false
+		}
+		ok := true
+		flt.Each(func(env Env) bool {
+			in, err := p.a.Contains(env)
+			if err != nil || !in {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package fol
+
+import (
+	"fmt"
+
+	"rtic/internal/mtl"
+	"rtic/internal/schema"
+)
+
+// CheckSchema verifies that every atom of f names a schema relation with
+// the right arity, so that evaluation errors surface at constraint
+// installation time rather than mid-history.
+func CheckSchema(f mtl.Formula, s *schema.Schema) error {
+	var firstErr error
+	mtl.Walk(f, func(g mtl.Formula) {
+		if firstErr != nil {
+			return
+		}
+		a, ok := g.(*mtl.Atom)
+		if !ok {
+			return
+		}
+		arity, err := s.Arity(a.Rel)
+		if err != nil {
+			firstErr = fmt.Errorf("fol: %w", err)
+			return
+		}
+		if arity != len(a.Args) {
+			firstErr = fmt.Errorf("fol: atom %q has %d arguments, relation %s has arity %d",
+				a.String(), len(a.Args), a.Rel, arity)
+		}
+	})
+	return firstErr
+}

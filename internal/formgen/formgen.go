@@ -1,0 +1,173 @@
+// Package formgen generates random *safe* constraints for the
+// cross-checker equivalence fuzzers. Candidates are drawn from a grammar
+// biased toward the interesting corners (nested temporal operators,
+// negated views, metric windows of every shape, deadline obligations)
+// and filtered through the real constraint compiler, so every returned
+// constraint is installable on all three checking engines.
+package formgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtic/internal/check"
+	"rtic/internal/schema"
+)
+
+// Schema is the vocabulary generated constraints range over.
+func Schema() *schema.Schema {
+	return schema.NewBuilder().
+		Relation("p", 1).
+		Relation("q", 1).
+		Relation("r", 2).
+		MustBuild()
+}
+
+// Constraint returns a random safe constraint (surface syntax) over
+// Schema(). It always terminates: after a bounded number of rejected
+// candidates it falls back to a known-safe template.
+func Constraint(r *rand.Rand) string {
+	s := Schema()
+	for attempt := 0; attempt < 32; attempt++ {
+		src := candidate(r)
+		if _, err := check.Parse("fuzz", src, s); err == nil {
+			return src
+		}
+	}
+	return "p(x) -> not once[0,3] q(x)"
+}
+
+func interval(r *rand.Rand) string {
+	switch r.Intn(5) {
+	case 0:
+		return "" // [0,∞)
+	case 1:
+		return fmt.Sprintf("[%d,*]", 1+r.Intn(3))
+	case 2:
+		lo := r.Intn(3)
+		return fmt.Sprintf("[%d,%d]", lo, lo+r.Intn(5))
+	case 3:
+		return fmt.Sprintf("[0,%d]", 1+r.Intn(6))
+	default:
+		return fmt.Sprintf("[%d]", r.Intn(4))
+	}
+}
+
+// guard produces an enumerable positive antecedent and reports the
+// variables it binds.
+func guard(r *rand.Rand) (string, []string) {
+	switch r.Intn(5) {
+	case 0:
+		return "p(x)", []string{"x"}
+	case 1:
+		return "q(x)", []string{"x"}
+	case 2:
+		return "r(x, y)", []string{"x", "y"}
+	case 3:
+		return "p(x) and q(x)", []string{"x"}
+	default:
+		return "r(x, y) and p(x)", []string{"x", "y"}
+	}
+}
+
+// atom produces a (possibly negated) literal over the bound variables.
+func atom(r *rand.Rand, vars []string, allowNeg bool) string {
+	v := vars[r.Intn(len(vars))]
+	var a string
+	switch r.Intn(4) {
+	case 0:
+		a = "p(" + v + ")"
+	case 1:
+		a = "q(" + v + ")"
+	case 2:
+		if len(vars) >= 2 {
+			a = "r(" + vars[0] + ", " + vars[1] + ")"
+		} else {
+			a = "r(" + v + ", " + v + ")"
+		}
+	default:
+		a = fmt.Sprintf("%s = %d", v, r.Intn(3))
+	}
+	if allowNeg && r.Intn(3) == 0 {
+		return "not " + a
+	}
+	return a
+}
+
+// anchor produces an enumerable formula binding exactly vars (so it can
+// serve as a temporal argument or since right-hand side).
+func anchor(r *rand.Rand, vars []string) string {
+	var base string
+	if len(vars) >= 2 {
+		base = "r(" + vars[0] + ", " + vars[1] + ")"
+	} else {
+		switch r.Intn(2) {
+		case 0:
+			base = "p(" + vars[0] + ")"
+		default:
+			base = "q(" + vars[0] + ")"
+		}
+	}
+	// Optionally conjoin a filter.
+	if r.Intn(3) == 0 {
+		base = "(" + base + " and " + atom(r, vars, true) + ")"
+	}
+	return base
+}
+
+// temporal produces a temporal subformula over vars.
+func temporal(r *rand.Rand, vars []string, depth int) string {
+	switch r.Intn(6) {
+	case 0:
+		return "once" + interval(r) + " " + operand(r, vars, depth)
+	case 1:
+		return "prev" + interval(r) + " " + operand(r, vars, depth)
+	case 2:
+		return "always" + interval(r) + " " + atom(r, vars, true)
+	case 3:
+		return "(" + atom(r, vars, true) + " since" + interval(r) + " " + operand(r, vars, depth) + ")"
+	case 4:
+		return "(" + anchor(r, vars) + " since" + interval(r) + " " + operand(r, vars, depth) + ")"
+	default:
+		return "not once" + interval(r) + " " + operand(r, vars, depth)
+	}
+}
+
+// operand is an enumerable temporal argument: an anchor, or (below the
+// depth limit) a nested temporal formula over an anchor.
+func operand(r *rand.Rand, vars []string, depth int) string {
+	if depth <= 0 || r.Intn(2) == 0 {
+		return anchor(r, vars)
+	}
+	switch r.Intn(3) {
+	case 0:
+		return "once" + interval(r) + " " + operand(r, vars, depth-1)
+	case 1:
+		return "prev" + interval(r) + " " + operand(r, vars, depth-1)
+	default:
+		return "(" + anchor(r, vars) + " and " + temporal(r, vars, depth-1) + ")"
+	}
+}
+
+// candidate builds one random constraint.
+func candidate(r *rand.Rand) string {
+	g, vars := guard(r)
+	switch r.Intn(8) {
+	case 0: // deadline obligation
+		return fmt.Sprintf("%s leadsto[0,%d] %s", g, 1+r.Intn(5), anchor(r, vars))
+	case 1: // closed constraint
+		return fmt.Sprintf("not (exists x: p(x) and %s)", temporal(r, []string{"x"}, 1))
+	case 2: // conjunction of temporal consequents
+		return fmt.Sprintf("%s -> %s and %s", g, temporal(r, vars, 1), temporal(r, vars, 1))
+	case 3: // disjunctive consequent
+		return fmt.Sprintf("%s -> %s or %s", g, temporal(r, vars, 1), temporal(r, vars, 1))
+	case 4: // guarded literal consequent (non-temporal)
+		return fmt.Sprintf("%s -> %s", g, atom(r, vars, true))
+	case 5: // nested consequent
+		return fmt.Sprintf("%s -> %s", g, temporal(r, vars, 2))
+	case 6: // negated guard chain
+		return fmt.Sprintf("%s -> not %s", g, temporal(r, vars, 1))
+	default:
+		return fmt.Sprintf("%s -> %s", g, temporal(r, vars, 1))
+	}
+}

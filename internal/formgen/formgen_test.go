@@ -1,0 +1,48 @@
+package formgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtic/internal/check"
+	"rtic/internal/mtl"
+)
+
+func TestConstraintAlwaysCompiles(t *testing.T) {
+	s := Schema()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		src := Constraint(r)
+		if _, err := check.Parse("c", src, s); err != nil {
+			t.Fatalf("iteration %d: generated uncompilable constraint %q: %v", i, src, err)
+		}
+	}
+}
+
+func TestConstraintDiversity(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	seen := map[string]bool{}
+	temporalCount := 0
+	for i := 0; i < 300; i++ {
+		src := Constraint(r)
+		seen[src] = true
+		f := mtl.MustParse(src)
+		if mtl.TemporalDepth(f) > 0 {
+			temporalCount++
+		}
+	}
+	if len(seen) < 100 {
+		t.Fatalf("only %d distinct constraints in 300 draws", len(seen))
+	}
+	if temporalCount < 200 {
+		t.Fatalf("only %d/300 constraints are temporal", temporalCount)
+	}
+}
+
+func TestConstraintDeterministic(t *testing.T) {
+	a := Constraint(rand.New(rand.NewSource(7)))
+	b := Constraint(rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Fatalf("same seed produced %q and %q", a, b)
+	}
+}

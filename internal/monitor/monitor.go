@@ -1,0 +1,184 @@
+// Package monitor wraps the incremental checker for long-running use:
+// serialized concurrent commits, violation fan-out to subscribers,
+// snapshot/restore, and a line-protocol network server so external
+// producers can stream transactions to one shared checker.
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"rtic/internal/check"
+	"rtic/internal/core"
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/workload"
+)
+
+// Monitor is a thread-safe integrity monitor around one incremental
+// checker. Commits are serialized; subscribers receive every violation.
+type Monitor struct {
+	mu     sync.Mutex
+	c      *core.Checker
+	schema *schema.Schema
+
+	subMu   sync.Mutex
+	nextSub int
+	subs    map[int]chan check.Violation
+	dropped int
+
+	recent     []check.Violation // ring buffer of the latest violations
+	recentNext int
+	recentFull bool
+}
+
+// recentCapacity bounds the violation ring buffer.
+const recentCapacity = 128
+
+// New builds a monitor over the schema with the given constraints.
+func New(s *schema.Schema, constraints []workload.ConstraintSpec) (*Monitor, error) {
+	c := core.New(s)
+	for _, cs := range constraints {
+		con, err := check.Parse(cs.Name, cs.Source, s)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.AddConstraint(con); err != nil {
+			return nil, err
+		}
+	}
+	return &Monitor{c: c, schema: s, subs: make(map[int]chan check.Violation)}, nil
+}
+
+// Restore rebuilds a monitor from a checker snapshot (see
+// core.SaveSnapshot); the snapshot carries its constraints.
+func Restore(s *schema.Schema, r io.Reader) (*Monitor, error) {
+	c, err := core.LoadSnapshot(s, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{c: c, schema: s, subs: make(map[int]chan check.Violation)}, nil
+}
+
+// Apply commits a transaction at time t and returns its violations.
+// Calls are serialized; timestamps must be strictly increasing across
+// all callers.
+func (m *Monitor) Apply(t uint64, tx *storage.Transaction) ([]check.Violation, error) {
+	m.mu.Lock()
+	vs, err := m.c.Step(t, tx)
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if len(vs) > 0 {
+		m.publish(vs)
+	}
+	return vs, nil
+}
+
+func (m *Monitor) publish(vs []check.Violation) {
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	for _, v := range vs {
+		if len(m.recent) < recentCapacity {
+			m.recent = append(m.recent, v)
+		} else {
+			m.recent[m.recentNext] = v
+			m.recentNext = (m.recentNext + 1) % recentCapacity
+			m.recentFull = true
+		}
+	}
+	for _, ch := range m.subs {
+		for _, v := range vs {
+			select {
+			case ch <- v:
+			default:
+				m.dropped++ // slow subscriber: drop rather than stall commits
+			}
+		}
+	}
+}
+
+// Recent returns up to n of the most recent violations, oldest first
+// (the monitor retains the last 128).
+func (m *Monitor) Recent(n int) []check.Violation {
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	var ordered []check.Violation
+	if m.recentFull {
+		ordered = append(ordered, m.recent[m.recentNext:]...)
+		ordered = append(ordered, m.recent[:m.recentNext]...)
+	} else {
+		ordered = append(ordered, m.recent...)
+	}
+	if n > 0 && len(ordered) > n {
+		ordered = ordered[len(ordered)-n:]
+	}
+	return ordered
+}
+
+// Subscribe returns a channel receiving every future violation and a
+// cancel function. A subscriber that falls behind its buffer loses
+// violations (counted in Dropped) instead of blocking commits.
+func (m *Monitor) Subscribe(buffer int) (<-chan check.Violation, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan check.Violation, buffer)
+	m.subMu.Lock()
+	id := m.nextSub
+	m.nextSub++
+	m.subs[id] = ch
+	m.subMu.Unlock()
+	cancel := func() {
+		m.subMu.Lock()
+		if _, ok := m.subs[id]; ok {
+			delete(m.subs, id)
+			close(ch)
+		}
+		m.subMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Dropped reports how many violations were discarded because
+// subscribers lagged.
+func (m *Monitor) Dropped() int {
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	return m.dropped
+}
+
+// Snapshot checkpoints the checker state.
+func (m *Monitor) Snapshot(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.SaveSnapshot(w)
+}
+
+// Stats reports the checker's auxiliary storage.
+func (m *Monitor) Stats() core.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.Stats()
+}
+
+// Len reports the number of committed transactions.
+func (m *Monitor) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.Len()
+}
+
+// Now returns the latest committed timestamp.
+func (m *Monitor) Now() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.Now()
+}
+
+// String describes the monitor for logs.
+func (m *Monitor) String() string {
+	return fmt.Sprintf("monitor(%s, %d states)", m.schema.String(), m.Len())
+}

@@ -1,0 +1,141 @@
+package monitor
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"rtic/internal/spec"
+)
+
+// Server speaks a line protocol over any net.Listener, sharing one
+// Monitor across all connections:
+//
+//	client: @100 -fire(7) +hire(7)       -- one transaction per line
+//	server: violation <constraint> ...   -- zero or more, then
+//	server: ok 1                         -- violation count, or
+//	server: error <message>
+//
+// Additional client commands:
+//
+//	stats   -> "stats nodes=N entries=E timestamps=T bytes=B"
+//	quit    -> closes the connection
+//
+// Timestamps are global across clients (the monitor serializes commits),
+// so interleaved producers must coordinate their clocks; a stale
+// timestamp earns an "error" reply and the connection stays open.
+type Server struct {
+	M *Monitor
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+}
+
+// NewServer wraps a monitor.
+func NewServer(m *Monitor) *Server {
+	return &Server{M: m, conns: make(map[net.Conn]bool)}
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close terminates every open connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		conn.Close()
+		delete(s.conns, conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	reply := func(format string, args ...interface{}) bool {
+		fmt.Fprintf(w, format+"\n", args...)
+		return w.Flush() == nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+			continue
+		case line == "quit":
+			return
+		case line == "stats":
+			st := s.M.Stats()
+			if !reply("stats nodes=%d entries=%d timestamps=%d bytes=%d",
+				st.Nodes, st.Entries, st.Timestamps, st.Bytes) {
+				return
+			}
+		case line == "recent" || strings.HasPrefix(line, "recent "):
+			n := 10
+			if rest := strings.TrimSpace(strings.TrimPrefix(line, "recent")); rest != "" {
+				parsed, err := strconv.Atoi(rest)
+				if err != nil || parsed < 1 {
+					if !reply("error recent wants a positive count, got %q", rest) {
+						return
+					}
+					continue
+				}
+				n = parsed
+			}
+			vs := s.M.Recent(n)
+			for _, v := range vs {
+				if !reply("violation %s", v.String()) {
+					return
+				}
+			}
+			if !reply("ok %d", len(vs)) {
+				return
+			}
+		default:
+			t, tx, ok, err := spec.ParseLogLine(line)
+			if err != nil {
+				if !reply("error %v", err) {
+					return
+				}
+				continue
+			}
+			if !ok {
+				continue
+			}
+			vs, err := s.M.Apply(t, tx)
+			if err != nil {
+				if !reply("error %v", err) {
+					return
+				}
+				continue
+			}
+			for _, v := range vs {
+				if !reply("violation %s", v.String()) {
+					return
+				}
+			}
+			if !reply("ok %d", len(vs)) {
+				return
+			}
+		}
+	}
+}

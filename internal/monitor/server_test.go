@@ -1,0 +1,171 @@
+package monitor
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) (*Server, net.Addr) {
+	t.Helper()
+	m, _ := hrMonitor(t)
+	srv := NewServer(m)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l) //nolint:errcheck — returns when the listener closes
+	t.Cleanup(func() {
+		l.Close()
+		srv.Close()
+	})
+	return srv, l.Addr()
+}
+
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr net.Addr) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) send(t *testing.T, line string) {
+	t.Helper()
+	if _, err := c.conn.Write([]byte(line + "\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (c *client) recv(t *testing.T) string {
+	t.Helper()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(line)
+}
+
+func TestServerProtocol(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+
+	c.send(t, "@0 +fire(7)")
+	if got := c.recv(t); got != "ok 0" {
+		t.Fatalf("reply = %q", got)
+	}
+
+	c.send(t, "@100 -fire(7) +hire(7)")
+	if got := c.recv(t); !strings.HasPrefix(got, "violation no_quick_rehire") {
+		t.Fatalf("reply = %q", got)
+	}
+	if got := c.recv(t); got != "ok 1" {
+		t.Fatalf("reply = %q", got)
+	}
+
+	c.send(t, "stats")
+	if got := c.recv(t); !strings.HasPrefix(got, "stats nodes=1") {
+		t.Fatalf("reply = %q", got)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+
+	c.send(t, "@5 +nosuch(1)")
+	if got := c.recv(t); !strings.HasPrefix(got, "error") {
+		t.Fatalf("reply = %q", got)
+	}
+	// Connection survives errors.
+	c.send(t, "@5 +fire(1)")
+	if got := c.recv(t); got != "ok 0" {
+		t.Fatalf("reply = %q", got)
+	}
+	// Stale timestamp.
+	c.send(t, "@5 +fire(2)")
+	if got := c.recv(t); !strings.HasPrefix(got, "error") {
+		t.Fatalf("reply = %q", got)
+	}
+	// Malformed line.
+	c.send(t, "bogus")
+	if got := c.recv(t); !strings.HasPrefix(got, "error") {
+		t.Fatalf("reply = %q", got)
+	}
+}
+
+func TestServerMultipleClients(t *testing.T) {
+	_, addr := startServer(t)
+	a := dial(t, addr)
+	b := dial(t, addr)
+
+	a.send(t, "@1 +fire(1)")
+	if got := a.recv(t); got != "ok 0" {
+		t.Fatalf("a reply = %q", got)
+	}
+	// Client b shares the same monitor and clock.
+	b.send(t, "@2 +hire(1)")
+	if got := b.recv(t); !strings.HasPrefix(got, "violation") {
+		t.Fatalf("b reply = %q", got)
+	}
+	if got := b.recv(t); got != "ok 1" {
+		t.Fatalf("b reply = %q", got)
+	}
+}
+
+func TestServerQuitAndComments(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	c.send(t, "-- a comment, no reply expected")
+	c.send(t, "@1 +fire(9)")
+	if got := c.recv(t); got != "ok 0" {
+		t.Fatalf("reply = %q", got)
+	}
+	c.send(t, "quit")
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after quit")
+	}
+}
+
+func TestServerRecentCommand(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	c.send(t, "@0 +fire(7)")
+	if got := c.recv(t); got != "ok 0" {
+		t.Fatalf("reply = %q", got)
+	}
+	c.send(t, "@10 +hire(7)")
+	if got := c.recv(t); !strings.HasPrefix(got, "violation") {
+		t.Fatalf("reply = %q", got)
+	}
+	if got := c.recv(t); got != "ok 1" {
+		t.Fatalf("reply = %q", got)
+	}
+	c.send(t, "recent")
+	if got := c.recv(t); !strings.HasPrefix(got, "violation no_quick_rehire") {
+		t.Fatalf("recent reply = %q", got)
+	}
+	if got := c.recv(t); got != "ok 1" {
+		t.Fatalf("recent count = %q", got)
+	}
+	c.send(t, "recent 0")
+	if got := c.recv(t); !strings.HasPrefix(got, "error") {
+		t.Fatalf("recent 0 reply = %q", got)
+	}
+	c.send(t, "recent xyz")
+	if got := c.recv(t); !strings.HasPrefix(got, "error") {
+		t.Fatalf("recent xyz reply = %q", got)
+	}
+}

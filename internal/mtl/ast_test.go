@@ -1,0 +1,105 @@
+package mtl
+
+import (
+	"testing"
+
+	"rtic/internal/value"
+)
+
+func atom(rel string, vars ...string) *Atom {
+	args := make([]Term, len(vars))
+	for i, v := range vars {
+		args[i] = Var{Name: v}
+	}
+	return &Atom{Rel: rel, Args: args}
+}
+
+func TestCmpOpNegateInvolution(t *testing.T) {
+	for _, op := range []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		if op.Negate().Negate() != op {
+			t.Errorf("Negate not involutive for %s", op)
+		}
+	}
+}
+
+func TestCmpOpApply(t *testing.T) {
+	a, b := value.Int(1), value.Int(2)
+	cases := []struct {
+		op   CmpOp
+		want bool
+	}{
+		{OpEq, false}, {OpNe, true}, {OpLt, true}, {OpLe, true}, {OpGt, false}, {OpGe, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(a, b); got != c.want {
+			t.Errorf("1 %s 2 = %v, want %v", c.op, got, c.want)
+		}
+	}
+	if !OpEq.Apply(value.Str("x"), value.Str("x")) {
+		t.Fatal("string equality broken")
+	}
+}
+
+func TestCmpOpApplyComplement(t *testing.T) {
+	vals := []value.Value{value.Int(-1), value.Int(0), value.Int(1), value.Str("a"), value.Str("b")}
+	ops := []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, op := range ops {
+				if op.Apply(a, b) == op.Negate().Apply(a, b) {
+					t.Fatalf("%v %s %v agrees with its negation", a, op, b)
+				}
+			}
+		}
+	}
+}
+
+func TestConjunctsDisjuncts(t *testing.T) {
+	f := &And{L: &And{L: atom("a"), R: atom("b")}, R: atom("c")}
+	cs := Conjuncts(f)
+	if len(cs) != 3 {
+		t.Fatalf("Conjuncts = %d, want 3", len(cs))
+	}
+	g := &Or{L: atom("a"), R: &Or{L: atom("b"), R: atom("c")}}
+	ds := Disjuncts(g)
+	if len(ds) != 3 {
+		t.Fatalf("Disjuncts = %d, want 3", len(ds))
+	}
+	if len(Conjuncts(atom("x"))) != 1 {
+		t.Fatal("Conjuncts of non-And should be singleton")
+	}
+}
+
+func TestAndAllOrAll(t *testing.T) {
+	if f, ok := AndAll(nil).(Truth); !ok || !f.Bool {
+		t.Fatal("AndAll(nil) should be true")
+	}
+	if f, ok := OrAll(nil).(Truth); !ok || f.Bool {
+		t.Fatal("OrAll(nil) should be false")
+	}
+	fs := []Formula{atom("a"), atom("b"), atom("c")}
+	if got := AndAll(fs); len(Conjuncts(got)) != 3 {
+		t.Fatal("AndAll lost conjuncts")
+	}
+	if got := OrAll(fs); len(Disjuncts(got)) != 3 {
+		t.Fatal("OrAll lost disjuncts")
+	}
+	if !Equal(AndAll(fs[:1]), fs[0]) {
+		t.Fatal("AndAll of singleton should be identity")
+	}
+}
+
+func TestTermEqual(t *testing.T) {
+	if !(Var{Name: "x"}).EqualTerm(Var{Name: "x"}) {
+		t.Fatal("var self-equality")
+	}
+	if (Var{Name: "x"}).EqualTerm(Var{Name: "y"}) {
+		t.Fatal("distinct vars equal")
+	}
+	if (Var{Name: "x"}).EqualTerm(Const{Val: value.Str("x")}) {
+		t.Fatal("var equals const")
+	}
+	if !(Const{Val: value.Int(1)}).EqualTerm(Const{Val: value.Int(1)}) {
+		t.Fatal("const self-equality")
+	}
+}

@@ -1,0 +1,50 @@
+package mtl
+
+import "testing"
+
+const benchSrc = "hire(e) and r(e, d) -> not once[0,365] (fire(e) and not rehired(e)) or (ok(e) since[2,9] r(e, d))"
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	f := MustParse(benchSrc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Normalize(&Not{F: f})
+	}
+}
+
+func BenchmarkString(b *testing.B) {
+	f := MustParse(benchSrc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.String()
+	}
+}
+
+func BenchmarkCheckSafe(b *testing.B) {
+	f := Normalize(&Not{F: MustParse(benchSrc)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CheckSafe(f)
+	}
+}
+
+func BenchmarkSimplify(b *testing.B) {
+	f := Normalize(&Not{F: MustParse(benchSrc)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Simplify(f)
+	}
+}

@@ -1,0 +1,38 @@
+package mtl_test
+
+import (
+	"fmt"
+
+	"rtic/internal/mtl"
+)
+
+// Parsing, normalizing and printing a constraint.
+func ExampleParse() {
+	f, _ := mtl.Parse("hire(e) -> not once[0,365] fire(e)")
+	fmt.Println("parsed: ", f)
+	fmt.Println("denial: ", mtl.Simplify(mtl.Normalize(&mtl.Not{F: f})))
+	fmt.Println("depth:  ", mtl.TemporalDepth(f))
+	fmt.Println("vars:   ", mtl.FreeVars(f))
+	// Output:
+	// parsed:  hire(e) -> not once[0,365] fire(e)
+	// denial:  hire(e) and once[0,365] fire(e)
+	// depth:   1
+	// vars:    [e]
+}
+
+// The deadline-obligation extension compiles to a past-form monitor.
+func ExampleNormalize_leadsto() {
+	f, _ := mtl.Parse("reserved(tk) leadsto[0,3] paid(tk)")
+	fmt.Println(mtl.Normalize(&mtl.Not{F: f}))
+	// Output:
+	// not paid(tk) since[4,*] (reserved(tk) and not paid(tk))
+}
+
+// Safety analysis explains why a constraint cannot be checked.
+func ExampleCheckSafe() {
+	denial := mtl.Normalize(&mtl.Not{F: mtl.MustParse("hire(e)")})
+	err := mtl.CheckSafe(denial)
+	fmt.Println(err)
+	// Output:
+	// mtl: unsafe formula "not hire(e)": negation cannot enumerate bindings; its variables must be bound by a positive conjunct
+}

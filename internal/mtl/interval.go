@@ -1,0 +1,75 @@
+// Package mtl defines the constraint language of the paper: first-order
+// logic over database states extended with metric past-temporal
+// connectives (prev, once, always-in-past, since), together with its
+// parser, printer, negation normal form and safety (range-restriction)
+// analysis.
+package mtl
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a metric time window [Lo, Hi] over non-negative integer
+// distances; Hi may be unbounded ("[a,*]" in the surface syntax).
+// The zero Interval is the degenerate point [0,0]; use Full() for the
+// default window of an unannotated temporal operator.
+type Interval struct {
+	Lo        uint64
+	Hi        uint64
+	Unbounded bool
+}
+
+// Full returns [0, ∞), the window of an unannotated temporal operator.
+func Full() Interval { return Interval{Lo: 0, Unbounded: true} }
+
+// Bounded returns [lo, hi].
+func Bounded(lo, hi uint64) (Interval, error) {
+	if lo > hi {
+		return Interval{}, fmt.Errorf("mtl: empty interval [%d,%d]", lo, hi)
+	}
+	return Interval{Lo: lo, Hi: hi}, nil
+}
+
+// AtLeast returns [lo, ∞).
+func AtLeast(lo uint64) Interval { return Interval{Lo: lo, Unbounded: true} }
+
+// Point returns [d, d].
+func Point(d uint64) Interval { return Interval{Lo: d, Hi: d} }
+
+// Contains reports whether distance d lies in the window.
+func (iv Interval) Contains(d uint64) bool {
+	return d >= iv.Lo && (iv.Unbounded || d <= iv.Hi)
+}
+
+// IsFull reports whether the window is [0, ∞).
+func (iv Interval) IsFull() bool { return iv.Lo == 0 && iv.Unbounded }
+
+// Upper returns the inclusive upper bound, with math.MaxUint64 standing
+// in for ∞; used by the pruning rules.
+func (iv Interval) Upper() uint64 {
+	if iv.Unbounded {
+		return math.MaxUint64
+	}
+	return iv.Hi
+}
+
+// Equal reports structural equality of windows.
+func (iv Interval) Equal(o Interval) bool {
+	if iv.Unbounded != o.Unbounded || iv.Lo != o.Lo {
+		return false
+	}
+	return iv.Unbounded || iv.Hi == o.Hi
+}
+
+// String renders the window in surface syntax: "" for the default
+// [0, ∞), "[a,*]" for half-bounded, "[a,b]" otherwise.
+func (iv Interval) String() string {
+	if iv.IsFull() {
+		return ""
+	}
+	if iv.Unbounded {
+		return fmt.Sprintf("[%d,*]", iv.Lo)
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}

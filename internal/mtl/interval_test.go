@@ -1,0 +1,74 @@
+package mtl
+
+import "testing"
+
+func TestIntervalConstructors(t *testing.T) {
+	if !Full().IsFull() {
+		t.Fatal("Full not full")
+	}
+	iv, err := Bounded(2, 5)
+	if err != nil || iv.Lo != 2 || iv.Hi != 5 || iv.Unbounded {
+		t.Fatalf("Bounded(2,5) = %+v err=%v", iv, err)
+	}
+	if _, err := Bounded(5, 2); err == nil {
+		t.Fatal("empty interval accepted")
+	}
+	if p := Point(3); !p.Contains(3) || p.Contains(2) || p.Contains(4) {
+		t.Fatal("Point wrong")
+	}
+	if al := AtLeast(10); !al.Unbounded || al.Lo != 10 {
+		t.Fatalf("AtLeast = %+v", al)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv, _ := Bounded(2, 5)
+	for d, want := range map[uint64]bool{0: false, 1: false, 2: true, 3: true, 5: true, 6: false} {
+		if got := iv.Contains(d); got != want {
+			t.Errorf("[2,5].Contains(%d) = %v", d, got)
+		}
+	}
+	al := AtLeast(3)
+	if al.Contains(2) || !al.Contains(3) || !al.Contains(1<<60) {
+		t.Fatal("AtLeast Contains wrong")
+	}
+	if !Full().Contains(0) || !Full().Contains(1<<62) {
+		t.Fatal("Full Contains wrong")
+	}
+}
+
+func TestIntervalUpper(t *testing.T) {
+	iv, _ := Bounded(0, 9)
+	if iv.Upper() != 9 {
+		t.Fatal("Upper of bounded wrong")
+	}
+	if AtLeast(1).Upper() != ^uint64(0) {
+		t.Fatal("Upper of unbounded wrong")
+	}
+}
+
+func TestIntervalEqual(t *testing.T) {
+	a, _ := Bounded(1, 2)
+	b, _ := Bounded(1, 2)
+	c, _ := Bounded(1, 3)
+	if !a.Equal(b) || a.Equal(c) || a.Equal(AtLeast(1)) {
+		t.Fatal("Equal wrong")
+	}
+	// Hi is irrelevant when unbounded.
+	if !(Interval{Lo: 1, Hi: 7, Unbounded: true}).Equal(AtLeast(1)) {
+		t.Fatal("unbounded Equal must ignore Hi")
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if Full().String() != "" {
+		t.Fatalf("Full string = %q", Full().String())
+	}
+	if AtLeast(2).String() != "[2,*]" {
+		t.Fatalf("AtLeast string = %q", AtLeast(2).String())
+	}
+	iv, _ := Bounded(0, 3)
+	if iv.String() != "[0,3]" {
+		t.Fatalf("Bounded string = %q", iv.String())
+	}
+}

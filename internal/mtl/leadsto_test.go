@@ -1,0 +1,97 @@
+package mtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLeadsTo(t *testing.T) {
+	f := mustParse(t, "reserved(tk) leadsto[0,3] paid(tk)")
+	n, ok := f.(*LeadsTo)
+	if !ok {
+		t.Fatalf("parsed %#v", f)
+	}
+	if !n.I.Equal(Interval{Lo: 0, Hi: 3}) {
+		t.Fatalf("interval = %+v", n.I)
+	}
+	if _, ok := n.L.(*Atom); !ok {
+		t.Fatalf("left = %#v", n.L)
+	}
+}
+
+func TestParseLeadsToErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"p(x) leadsto q(x)", "bounded deadline"},
+		{"p(x) leadsto[2,*] q(x)", "bounded deadline"},
+		{"p(x) leadsto[1,3] q(x)", "must start at 0"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestLeadsToPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		"reserved(tk) leadsto[0,3] paid(tk)",
+		"p(x) and (q(x) leadsto[0,9] r(x, x))",
+		"(a() leadsto[0,1] b()) leadsto[0,2] c()",
+	}
+	for _, src := range srcs {
+		f := mustParse(t, src)
+		g := mustParse(t, f.String())
+		if !Equal(f, g) {
+			t.Errorf("round trip changed %q -> %q", src, f.String())
+		}
+	}
+}
+
+func TestLeadsToNormalize(t *testing.T) {
+	f := mustParse(t, "reserved(tk) leadsto[0,3] paid(tk)")
+	got := Normalize(f)
+	want := mustParse(t, "not (not paid(tk) since[4,*] (reserved(tk) and not paid(tk)))")
+	if !Equal(got, want) {
+		t.Fatalf("Normalize = %s, want %s", got, want)
+	}
+	// Negation gives the bare violation monitor.
+	neg := Normalize(&Not{F: f})
+	wantNeg := mustParse(t, "not paid(tk) since[4,*] (reserved(tk) and not paid(tk))")
+	if !Equal(neg, wantNeg) {
+		t.Fatalf("Normalize(¬) = %s, want %s", neg, wantNeg)
+	}
+	if !IsKernel(got) || !IsKernel(neg) {
+		t.Fatal("normalized leadsto is not kernel")
+	}
+}
+
+func TestLeadsToDenialIsSafe(t *testing.T) {
+	f := mustParse(t, "reserved(tk) leadsto[0,3] paid(tk)")
+	denial := Normalize(&Not{F: f})
+	if err := CheckSafe(denial); err != nil {
+		t.Fatalf("denial unsafe: %v", err)
+	}
+}
+
+func TestLeadsToHelpers(t *testing.T) {
+	f := mustParse(t, "p(x) leadsto[0,3] q(x, y)")
+	fv := FreeVars(f)
+	if len(fv) != 2 || fv[0] != "x" || fv[1] != "y" {
+		t.Fatalf("FreeVars = %v", fv)
+	}
+	if d := TemporalDepth(f); d != 1 {
+		t.Fatalf("TemporalDepth = %d", d)
+	}
+	if !Equal(f, mustParse(t, "p(x) leadsto[0,3] q(x, y)")) {
+		t.Fatal("Equal broken for leadsto")
+	}
+	if Equal(f, mustParse(t, "p(x) leadsto[0,4] q(x, y)")) {
+		t.Fatal("Equal ignores leadsto interval")
+	}
+	n := 0
+	Walk(f, func(Formula) { n++ })
+	if n != 3 {
+		t.Fatalf("Walk visited %d nodes", n)
+	}
+}

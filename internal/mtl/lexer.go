@@ -1,0 +1,184 @@
+package mtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokColon
+	tokStar
+	tokEq     // =
+	tokNe     // !=
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokArrow  // ->
+	tokDArrow // <->
+)
+
+var keywords = map[string]bool{
+	"not": true, "and": true, "or": true, "true": true, "false": true,
+	"exists": true, "forall": true, "prev": true, "once": true,
+	"always": true, "since": true, "leadsto": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...interface{}) error {
+	return fmt.Errorf("mtl: parse error at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+			continue
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9':
+		return l.lexInt(start)
+	case c == '-':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			l.pos += 2
+			return token{kind: tokArrow, text: "->", pos: start}, nil
+		}
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			l.pos++
+			return l.lexInt(start)
+		}
+		return token{}, l.errf(start, "stray '-'")
+	case c == '\'':
+		return l.lexString(start)
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '[':
+		l.pos++
+		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case c == ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == ':':
+		l.pos++
+		return token{kind: tokColon, text: ":", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokNe, text: "!=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "stray '!'")
+	case c == '<':
+		if strings.HasPrefix(l.src[l.pos:], "<->") {
+			l.pos += 3
+			return token{kind: tokDArrow, text: "<->", pos: start}, nil
+		}
+		if strings.HasPrefix(l.src[l.pos:], "<=") {
+			l.pos += 2
+			return token{kind: tokLe, text: "<=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokLt, text: "<", pos: start}, nil
+	case c == '>':
+		if strings.HasPrefix(l.src[l.pos:], ">=") {
+			l.pos += 2
+			return token{kind: tokGe, text: ">=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokGt, text: ">", pos: start}, nil
+	default:
+		return token{}, l.errf(start, "unexpected character %q", rune(c))
+	}
+}
+
+func (l *lexer) lexInt(start int) (token, error) {
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	return token{kind: tokInt, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexString(start int) (token, error) {
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				l.pos += 2 // doubled quote
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: l.src[start:l.pos], pos: start}, nil
+		}
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated string literal")
+}
+
+// Identifiers are ASCII, matching the schema's relation-name rules.
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,126 @@
+package mtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	l := &lexer{src: src}
+	var out []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		out = append(out, tok)
+		if tok.kind == tokEOF {
+			return out
+		}
+	}
+}
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexerTokenKinds(t *testing.T) {
+	toks := lexAll(t, "p(x, -3, 'a''b') <-> x <= y -> z < w != v >= u")
+	want := []tokenKind{
+		tokIdent, tokLParen, tokIdent, tokComma, tokInt, tokComma, tokString, tokRParen,
+		tokDArrow, tokIdent, tokLe, tokIdent, tokArrow, tokIdent, tokLt, tokIdent,
+		tokNe, tokIdent, tokGe, tokIdent, tokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: kind %d, want %d (%v)", i, got[i], want[i], toks[i])
+		}
+	}
+}
+
+func TestLexerIntervalTokens(t *testing.T) {
+	toks := lexAll(t, "[2,*]")
+	want := []tokenKind{tokLBracket, tokInt, tokComma, tokStar, tokRBracket, tokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: %v", i, toks[i])
+		}
+	}
+}
+
+func TestLexerCommentsAndWhitespace(t *testing.T) {
+	toks := lexAll(t, "  p -- rest of line ignored\n\t q -- another\n")
+	if len(toks) != 3 || toks[0].text != "p" || toks[1].text != "q" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexerIdentifiersAreASCII(t *testing.T) {
+	// Identifiers follow the schema's ASCII rules; non-ASCII names are
+	// rejected with a clear position. Non-ASCII *data* is fine inside
+	// string literals.
+	if _, err := Parse("café(x)"); err == nil || !strings.Contains(err.Error(), "unexpected character") {
+		t.Fatalf("non-ascii identifier: %v", err)
+	}
+	f, err := Parse("name(x) and x = 'café'")
+	if err != nil {
+		t.Fatalf("non-ascii string literal rejected: %v", err)
+	}
+	if len(FreeVars(f)) != 1 {
+		t.Fatalf("free vars = %v", FreeVars(f))
+	}
+}
+
+func TestLexerStringEdgeCases(t *testing.T) {
+	toks := lexAll(t, "'' 'with space' 'quote''inside'")
+	if len(toks) != 4 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := 0; i < 3; i++ {
+		if toks[i].kind != tokString {
+			t.Fatalf("token %d = %v", i, toks[i])
+		}
+	}
+}
+
+func TestLexerErrorPositions(t *testing.T) {
+	l := &lexer{src: "p() &"}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			if !strings.Contains(err.Error(), "offset 4") {
+				t.Fatalf("error lacks position: %v", err)
+			}
+			return
+		}
+		if tok.kind == tokEOF {
+			t.Fatal("expected lex error")
+		}
+	}
+}
+
+func TestLexerEOFStable(t *testing.T) {
+	l := &lexer{src: "p"}
+	if tok, _ := l.next(); tok.kind != tokIdent {
+		t.Fatal("want ident")
+	}
+	for i := 0; i < 3; i++ {
+		tok, err := l.next()
+		if err != nil || tok.kind != tokEOF {
+			t.Fatalf("EOF not stable: %v %v", tok, err)
+		}
+	}
+	if got := (token{kind: tokEOF}).String(); got != "end of input" {
+		t.Fatalf("EOF renders %q", got)
+	}
+}

@@ -1,0 +1,125 @@
+package mtl
+
+import "fmt"
+
+// Normalize rewrites f into the evaluator kernel: it eliminates the
+// sugar connectives (Implies, Iff, Forall, Always), flips negated
+// comparisons, and pushes negation inward until every residual Not wraps
+// an Atom, Exists, Prev, Once or Since — the node shapes the evaluators
+// treat as membership tests. Normalize preserves the semantics of f on
+// every history (checked by the cross-evaluator property tests).
+func Normalize(f Formula) Formula {
+	switch n := f.(type) {
+	case Truth, *Cmp:
+		return f
+	case *Atom:
+		return f
+	case *Not:
+		return negate(n.F)
+	case *And:
+		return &And{L: Normalize(n.L), R: Normalize(n.R)}
+	case *Or:
+		return &Or{L: Normalize(n.L), R: Normalize(n.R)}
+	case *Implies:
+		return &Or{L: negate(n.L), R: Normalize(n.R)}
+	case *Iff:
+		// (L -> R) and (R -> L).
+		return &And{
+			L: &Or{L: negate(n.L), R: Normalize(n.R)},
+			R: &Or{L: negate(n.R), R: Normalize(n.L)},
+		}
+	case *Exists:
+		return &Exists{Vars: n.Vars, F: Normalize(n.F)}
+	case *Forall:
+		return &Not{F: &Exists{Vars: n.Vars, F: negate(n.F)}}
+	case *Prev:
+		return &Prev{I: n.I, F: Normalize(n.F)}
+	case *Once:
+		return &Once{I: n.I, F: Normalize(n.F)}
+	case *Always:
+		return &Not{F: &Once{I: n.I, F: negate(n.F)}}
+	case *Since:
+		return &Since{I: n.I, L: Normalize(n.L), R: Normalize(n.R)}
+	case *LeadsTo:
+		return &Not{F: leadsToViolation(n)}
+	default:
+		panic(fmt.Sprintf("mtl: Normalize: unknown node %T", f))
+	}
+}
+
+// leadsToViolation builds the past-form monitor of a deadline
+// obligation: "L leadsto[0,d] R" is violated exactly when
+// (¬R) since[d+1,*] (L ∧ ¬R) holds — an unfulfilled L-event aged past
+// the deadline.
+func leadsToViolation(n *LeadsTo) *Since {
+	expiry := n.I.Hi + 1
+	if expiry == 0 { // saturate on uint64 overflow
+		expiry = n.I.Hi
+	}
+	return &Since{
+		I: AtLeast(expiry),
+		L: negate(n.R),
+		R: &And{L: Normalize(n.L), R: negate(n.R)},
+	}
+}
+
+// negate returns the normal form of ¬f.
+func negate(f Formula) Formula {
+	switch n := f.(type) {
+	case Truth:
+		return Truth{Bool: !n.Bool}
+	case *Atom:
+		return &Not{F: n}
+	case *Cmp:
+		return &Cmp{Op: n.Op.Negate(), L: n.L, R: n.R}
+	case *Not:
+		return Normalize(n.F)
+	case *And:
+		return &Or{L: negate(n.L), R: negate(n.R)}
+	case *Or:
+		return &And{L: negate(n.L), R: negate(n.R)}
+	case *Implies:
+		return &And{L: Normalize(n.L), R: negate(n.R)}
+	case *Iff:
+		// ¬(L <-> R) = (L and ¬R) or (R and ¬L).
+		return &Or{
+			L: &And{L: Normalize(n.L), R: negate(n.R)},
+			R: &And{L: Normalize(n.R), R: negate(n.L)},
+		}
+	case *Exists:
+		return &Not{F: &Exists{Vars: n.Vars, F: Normalize(n.F)}}
+	case *Forall:
+		return &Exists{Vars: n.Vars, F: negate(n.F)}
+	case *Prev:
+		return &Not{F: &Prev{I: n.I, F: Normalize(n.F)}}
+	case *Once:
+		return &Not{F: &Once{I: n.I, F: Normalize(n.F)}}
+	case *Always:
+		return &Once{I: n.I, F: negate(n.F)}
+	case *Since:
+		return &Not{F: &Since{I: n.I, L: Normalize(n.L), R: Normalize(n.R)}}
+	case *LeadsTo:
+		return leadsToViolation(n)
+	default:
+		panic(fmt.Sprintf("mtl: negate: unknown node %T", f))
+	}
+}
+
+// IsKernel reports whether f contains only kernel nodes (no sugar) with
+// negation fully pushed inward; evaluator inputs must satisfy it.
+func IsKernel(f Formula) bool {
+	ok := true
+	Walk(f, func(g Formula) {
+		switch n := g.(type) {
+		case *Implies, *Iff, *Forall, *Always, *LeadsTo:
+			ok = false
+		case *Not:
+			switch n.F.(type) {
+			case *Atom, *Exists, *Prev, *Once, *Since:
+			default:
+				ok = false
+			}
+		}
+	})
+	return ok
+}

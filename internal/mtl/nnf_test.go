@@ -1,0 +1,98 @@
+package mtl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNormalizeExamples(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"p() -> q()", "not p() or q()"},
+		{"not (p() and q())", "not p() or not q()"},
+		{"not (p() or q())", "not p() and not q()"},
+		{"not not p()", "p()"},
+		{"not true", "false"},
+		{"not x < 3", "x >= 3"},
+		{"not x = y", "x != y"},
+		{"always p()", "not once not p()"},
+		{"always[2,5] p()", "not once[2,5] not p()"},
+		{"not always p()", "once not p()"},
+		{"forall x: p(x)", "not (exists x: not p(x))"},
+		{"not (forall x: p(x))", "exists x: not p(x)"},
+		{"not (exists x: p(x))", "not (exists x: p(x))"},
+		{"not prev p()", "not prev p()"},
+		{"not (p() since q())", "not (p() since q())"},
+		{"p() <-> q()", "(not p() or q()) and (not q() or p())"},
+		{"not (p() -> q())", "p() and not q()"},
+		{"not (p() <-> q())", "p() and not q() or q() and not p()"},
+	}
+	for _, c := range cases {
+		got := Normalize(mustParse(t, c.src))
+		want := mustParse(t, c.want)
+		if !Equal(got, want) {
+			t.Errorf("Normalize(%q) = %q, want %q", c.src, got.String(), c.want)
+		}
+	}
+}
+
+func TestNormalizeProducesKernel(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		f := randFormula(r, 5)
+		g := Normalize(f)
+		if !IsKernel(g) {
+			t.Fatalf("Normalize(%s) = %s is not kernel", f, g)
+		}
+		// Normalization is idempotent.
+		if !Equal(g, Normalize(g)) {
+			t.Fatalf("Normalize not idempotent on %s", f)
+		}
+	}
+}
+
+func TestIsKernelRejectsSugar(t *testing.T) {
+	sugar := []string{
+		"p() -> q()",
+		"p() <-> q()",
+		"forall x: p(x)",
+		"always p()",
+		"not (p() and q())",
+		"not not p()",
+		"once (p() -> q())",
+	}
+	for _, src := range sugar {
+		if IsKernel(mustParse(t, src)) {
+			t.Errorf("IsKernel(%q) = true", src)
+		}
+	}
+	kernel := []string{
+		"not p()",
+		"not (exists x: p(x))",
+		"not once p()",
+		"not prev p()",
+		"not (p() since q())",
+		"p() and (q() or not r())",
+		"x >= 3",
+	}
+	for _, src := range kernel {
+		if !IsKernel(mustParse(t, src)) {
+			t.Errorf("IsKernel(%q) = false", src)
+		}
+	}
+}
+
+func TestNormalizePreservesFreeVars(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		f := randFormula(r, 4)
+		a, b := FreeVars(f), FreeVars(Normalize(f))
+		if len(a) != len(b) {
+			t.Fatalf("free vars changed: %v vs %v for %s", a, b, f)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("free vars changed: %v vs %v for %s", a, b, f)
+			}
+		}
+	}
+}

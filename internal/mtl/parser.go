@@ -1,0 +1,466 @@
+package mtl
+
+import (
+	"fmt"
+	"strconv"
+
+	"rtic/internal/value"
+)
+
+// Parse reads a formula in the surface syntax. The grammar, loosest
+// binding first:
+//
+//	formula  := ('exists'|'forall') var (',' var)* ':' formula
+//	          | iff
+//	iff      := implies ('<->' implies)*            -- left-assoc
+//	implies  := or ('->' implies)?                  -- right-assoc
+//	or       := and ('or' and)*
+//	and      := since ('and' since)*
+//	since    := unary ('since' interval? unary)*    -- left-assoc
+//	unary    := ('not'|'prev' interval?|'once' interval?|'always' interval?) unary
+//	          | primary
+//	primary  := 'true' | 'false' | '(' formula ')'
+//	          | ident '(' terms? ')'                -- atom
+//	          | term cmpop term                     -- comparison
+//	interval := '[' int (',' (int|'*'))? ']'
+//	term     := ident | int | string
+//
+// A quantifier's body extends as far right as possible; parenthesize to
+// limit it. "--" starts a line comment.
+func Parse(src string) (Formula, error) {
+	p := &parser{lex: &lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s after formula", p.tok)
+	}
+	return f, nil
+}
+
+// MustParse parses or panics; for tests and examples with literal sources.
+func MustParse(src string) Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("mtl: parse error at offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errf("expected %s, found %s", what, p.tok)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == kw
+}
+
+func (p *parser) eatKeyword(kw string) (bool, error) {
+	if !p.isKeyword(kw) {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+func (p *parser) formula() (Formula, error) {
+	for _, kw := range []string{"exists", "forall"} {
+		ok, err := p.eatKeyword(kw)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		vars, err := p.varList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon, "':'"); err != nil {
+			return nil, err
+		}
+		body, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if kw == "exists" {
+			return &Exists{Vars: vars, F: body}, nil
+		}
+		return &Forall{Vars: vars, F: body}, nil
+	}
+	return p.iff()
+}
+
+func (p *parser) varList() ([]string, error) {
+	var vars []string
+	for {
+		t := p.tok
+		if t.kind != tokIdent || keywords[t.text] {
+			return nil, p.errf("expected variable name, found %s", t)
+		}
+		vars = append(vars, t.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokComma {
+			return vars, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) iff() (Formula, error) {
+	l, err := p.implies()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokDArrow {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.implies()
+		if err != nil {
+			return nil, err
+		}
+		l = &Iff{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) implies() (Formula, error) {
+	l, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokArrow {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.implies() // right-assoc
+		if err != nil {
+			return nil, err
+		}
+		return &Implies{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) or() (Formula, error) {
+	l, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		l = &Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) and() (Formula, error) {
+	l, err := p.since()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.since()
+		if err != nil {
+			return nil, err
+		}
+		l = &And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) since() (Formula, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("since") || p.isKeyword("leadsto") {
+		kw := p.tok.text
+		kwPos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		iv, err := p.intervalOpt()
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if kw == "since" {
+			l = &Since{I: iv, L: l, R: r}
+			continue
+		}
+		// leadsto needs a finite deadline starting at 0: the obligation
+		// is monitored as a bounded past formula.
+		if iv.Unbounded {
+			return nil, fmt.Errorf("mtl: parse error at offset %d: leadsto requires a bounded deadline, e.g. leadsto[0,3]", kwPos)
+		}
+		if iv.Lo != 0 {
+			return nil, fmt.Errorf("mtl: parse error at offset %d: leadsto interval must start at 0, got %s", kwPos, iv.String())
+		}
+		l = &LeadsTo{I: iv, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Formula, error) {
+	switch {
+	case p.isKeyword("exists"), p.isKeyword("forall"):
+		// Quantifiers are also accepted in operand position; the body
+		// still extends as far right as possible.
+		return p.formula()
+	case p.isKeyword("not"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{F: f}, nil
+	case p.isKeyword("prev"), p.isKeyword("once"), p.isKeyword("always"):
+		kw := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		iv, err := p.intervalOpt()
+		if err != nil {
+			return nil, err
+		}
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "prev":
+			return &Prev{I: iv, F: f}, nil
+		case "once":
+			return &Once{I: iv, F: f}, nil
+		default:
+			return &Always{I: iv, F: f}, nil
+		}
+	}
+	return p.primary()
+}
+
+func (p *parser) intervalOpt() (Interval, error) {
+	if p.tok.kind != tokLBracket {
+		return Full(), nil
+	}
+	if err := p.advance(); err != nil {
+		return Interval{}, err
+	}
+	loTok, err := p.expect(tokInt, "interval lower bound")
+	if err != nil {
+		return Interval{}, err
+	}
+	lo, err := parseBound(loTok)
+	if err != nil {
+		return Interval{}, err
+	}
+	if p.tok.kind == tokRBracket {
+		if err := p.advance(); err != nil {
+			return Interval{}, err
+		}
+		return Point(lo), nil
+	}
+	if _, err := p.expect(tokComma, "',' or ']'"); err != nil {
+		return Interval{}, err
+	}
+	if p.tok.kind == tokStar {
+		if err := p.advance(); err != nil {
+			return Interval{}, err
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return Interval{}, err
+		}
+		return AtLeast(lo), nil
+	}
+	hiTok, err := p.expect(tokInt, "interval upper bound or '*'")
+	if err != nil {
+		return Interval{}, err
+	}
+	hi, err := parseBound(hiTok)
+	if err != nil {
+		return Interval{}, err
+	}
+	if _, err := p.expect(tokRBracket, "']'"); err != nil {
+		return Interval{}, err
+	}
+	iv, err := Bounded(lo, hi)
+	if err != nil {
+		return Interval{}, fmt.Errorf("mtl: parse error at offset %d: %w", loTok.pos, err)
+	}
+	return iv, nil
+}
+
+func parseBound(t token) (uint64, error) {
+	n, err := strconv.ParseUint(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("mtl: parse error at offset %d: interval bound %q: %w", t.pos, t.text, err)
+	}
+	return n, nil
+}
+
+func (p *parser) primary() (Formula, error) {
+	switch {
+	case p.isKeyword("true"):
+		return Truth{Bool: true}, p.advance()
+	case p.isKeyword("false"):
+		return Truth{Bool: false}, p.advance()
+	case p.tok.kind == tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case p.tok.kind == tokIdent && !keywords[p.tok.text]:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokLParen {
+			return p.atom(name)
+		}
+		return p.cmp(Var{Name: name})
+	case p.tok.kind == tokInt || p.tok.kind == tokString:
+		t, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return p.cmp(t)
+	default:
+		return nil, p.errf("expected formula, found %s", p.tok)
+	}
+}
+
+func (p *parser) atom(rel string) (Formula, error) {
+	if err := p.advance(); err != nil { // consume '('
+		return nil, err
+	}
+	var args []Term
+	if p.tok.kind != tokRParen {
+		for {
+			t, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, t)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return &Atom{Rel: rel, Args: args}, nil
+}
+
+func (p *parser) term() (Term, error) {
+	if p.tok.kind == tokIdent && !keywords[p.tok.text] {
+		v := Var{Name: p.tok.text}
+		return v, p.advance()
+	}
+	return p.literal()
+}
+
+func (p *parser) literal() (Term, error) {
+	switch p.tok.kind {
+	case tokInt:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("integer literal %q: %v", p.tok.text, err)
+		}
+		return Const{Val: value.Int(n)}, p.advance()
+	case tokString:
+		v, err := value.Parse(p.tok.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return Const{Val: v}, p.advance()
+	default:
+		return nil, p.errf("expected term, found %s", p.tok)
+	}
+}
+
+func (p *parser) cmp(l Term) (Formula, error) {
+	var op CmpOp
+	switch p.tok.kind {
+	case tokEq:
+		op = OpEq
+	case tokNe:
+		op = OpNe
+	case tokLt:
+		op = OpLt
+	case tokLe:
+		op = OpLe
+	case tokGt:
+		op = OpGt
+	case tokGe:
+		op = OpGe
+	default:
+		return nil, p.errf("expected comparison operator after term, found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	r, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	return &Cmp{Op: op, L: l, R: r}, nil
+}

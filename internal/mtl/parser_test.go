@@ -1,0 +1,218 @@
+package mtl
+
+import (
+	"strings"
+	"testing"
+
+	"rtic/internal/value"
+)
+
+func mustParse(t *testing.T, src string) Formula {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return f
+}
+
+func TestParseAtom(t *testing.T) {
+	f := mustParse(t, "emp(x, 'sales', 42)")
+	a, ok := f.(*Atom)
+	if !ok || a.Rel != "emp" || len(a.Args) != 3 {
+		t.Fatalf("parsed %#v", f)
+	}
+	if v, ok := a.Args[0].(Var); !ok || v.Name != "x" {
+		t.Fatalf("arg0 = %#v", a.Args[0])
+	}
+	if c, ok := a.Args[1].(Const); !ok || !c.Val.Equal(value.Str("sales")) {
+		t.Fatalf("arg1 = %#v", a.Args[1])
+	}
+	if c, ok := a.Args[2].(Const); !ok || !c.Val.Equal(value.Int(42)) {
+		t.Fatalf("arg2 = %#v", a.Args[2])
+	}
+}
+
+func TestParseNullaryAtom(t *testing.T) {
+	f := mustParse(t, "alarm()")
+	a, ok := f.(*Atom)
+	if !ok || a.Rel != "alarm" || len(a.Args) != 0 {
+		t.Fatalf("parsed %#v", f)
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	cases := map[string]CmpOp{
+		"x = 1": OpEq, "x != 1": OpNe, "x < 1": OpLt,
+		"x <= 1": OpLe, "x > 1": OpGt, "x >= 1": OpGe,
+	}
+	for src, op := range cases {
+		f := mustParse(t, src)
+		c, ok := f.(*Cmp)
+		if !ok || c.Op != op {
+			t.Errorf("Parse(%q) = %#v", src, f)
+		}
+	}
+	// Literal on the left.
+	f := mustParse(t, "3 < x")
+	if c, ok := f.(*Cmp); !ok || c.Op != OpLt {
+		t.Fatalf("parsed %#v", f)
+	}
+	// Negative integer literal.
+	f = mustParse(t, "x = -5")
+	c := f.(*Cmp)
+	if !c.R.(Const).Val.Equal(value.Int(-5)) {
+		t.Fatalf("negative literal parsed as %#v", c.R)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := mustParse(t, "a() and b() or c()")
+	if _, ok := f.(*Or); !ok {
+		t.Fatalf("'and' should bind tighter than 'or': %#v", f)
+	}
+	f = mustParse(t, "a() or b() -> c()")
+	if _, ok := f.(*Implies); !ok {
+		t.Fatalf("'or' should bind tighter than '->': %#v", f)
+	}
+	f = mustParse(t, "a() -> b() <-> c()")
+	if _, ok := f.(*Iff); !ok {
+		t.Fatalf("'->' should bind tighter than '<->': %#v", f)
+	}
+	f = mustParse(t, "a() -> b() -> c()")
+	imp := f.(*Implies)
+	if _, ok := imp.R.(*Implies); !ok {
+		t.Fatalf("'->' should be right-associative: %#v", f)
+	}
+	f = mustParse(t, "not a() and b()")
+	and := f.(*And)
+	if _, ok := and.L.(*Not); !ok {
+		t.Fatalf("'not' should bind tighter than 'and': %#v", f)
+	}
+}
+
+func TestParseTemporal(t *testing.T) {
+	f := mustParse(t, "once[0,3] paid(x)")
+	o, ok := f.(*Once)
+	if !ok || !o.I.Equal(Interval{Lo: 0, Hi: 3}) {
+		t.Fatalf("parsed %#v", f)
+	}
+	f = mustParse(t, "prev p()")
+	if p, ok := f.(*Prev); !ok || !p.I.IsFull() {
+		t.Fatalf("parsed %#v", f)
+	}
+	f = mustParse(t, "always[1,*] p()")
+	if a, ok := f.(*Always); !ok || !a.I.Equal(AtLeast(1)) {
+		t.Fatalf("parsed %#v", f)
+	}
+	f = mustParse(t, "once[7] p()")
+	if o, ok := f.(*Once); !ok || !o.I.Equal(Point(7)) {
+		t.Fatalf("point interval parsed %#v", f)
+	}
+	f = mustParse(t, "p(x) since[2,9] q(x)")
+	s, ok := f.(*Since)
+	if !ok || !s.I.Equal(Interval{Lo: 2, Hi: 9}) {
+		t.Fatalf("parsed %#v", f)
+	}
+	// since chains are left-associative.
+	f = mustParse(t, "a() since b() since c()")
+	if outer, ok := f.(*Since); !ok {
+		t.Fatalf("parsed %#v", f)
+	} else if _, ok := outer.L.(*Since); !ok {
+		t.Fatalf("since should left-associate: %#v", f)
+	}
+}
+
+func TestParseQuantifiers(t *testing.T) {
+	f := mustParse(t, "exists x, y: r(x, y)")
+	e, ok := f.(*Exists)
+	if !ok || len(e.Vars) != 2 || e.Vars[1] != "y" {
+		t.Fatalf("parsed %#v", f)
+	}
+	f = mustParse(t, "forall x: p(x) -> q(x)")
+	fa, ok := f.(*Forall)
+	if !ok {
+		t.Fatalf("parsed %#v", f)
+	}
+	if _, ok := fa.F.(*Implies); !ok {
+		t.Fatal("quantifier body should extend to the right")
+	}
+	// Parenthesized quantifier inside a conjunction.
+	f = mustParse(t, "(exists x: p(x)) and q()")
+	if _, ok := f.(*And); !ok {
+		t.Fatalf("parsed %#v", f)
+	}
+}
+
+func TestParseTrueFalseParens(t *testing.T) {
+	if f := mustParse(t, "true"); !f.(Truth).Bool {
+		t.Fatal("true parsed wrong")
+	}
+	if f := mustParse(t, "false"); f.(Truth).Bool {
+		t.Fatal("false parsed wrong")
+	}
+	f := mustParse(t, "((p()))")
+	if _, ok := f.(*Atom); !ok {
+		t.Fatalf("parens not transparent: %#v", f)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	f := mustParse(t, "p(x) -- trailing comment\n and q(x) -- another")
+	if _, ok := f.(*And); !ok {
+		t.Fatalf("parsed %#v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"", "expected formula"},
+		{"p(", "expected term"},
+		{"p(x", "expected"},
+		{"p(x,)", "expected term"},
+		{"x", "comparison operator"},
+		{"p() and", "expected formula"},
+		{"once[3,1] p()", "empty interval"},
+		{"once[3,1", "']'"},
+		{"once[a,2] p()", "lower bound"},
+		{"exists : p()", "variable name"},
+		{"exists x p()", "':'"},
+		{"p() q()", "after formula"},
+		{"p() & q()", "unexpected character"},
+		{"'unterminated", "unterminated string"},
+		{"x = 'a' = 'b'", "after formula"},
+		{"exists once: p()", "variable name"},
+		{"- 3 > x", "stray '-'"},
+		{"x ! 3", "stray '!'"},
+		{"not", "expected formula"},
+		{"p(x) since", "expected formula"},
+		{"once[99999999999999999999,*] p()", "interval bound"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error %q, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	f := mustParse(t, "name(x, 'o''brien')")
+	a := f.(*Atom)
+	if !a.Args[1].(Const).Val.Equal(value.Str("o'brien")) {
+		t.Fatalf("escaped string parsed as %#v", a.Args[1])
+	}
+}

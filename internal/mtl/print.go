@@ -1,0 +1,123 @@
+package mtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Operator precedence levels, loosest first. A child is parenthesized
+// whenever its own level is strictly below the level its context requires.
+const (
+	precQuant   = iota // exists x: f   (binds its whole right context)
+	precIff            // <->
+	precImplies        // ->
+	precOr             // or
+	precAnd            // and
+	precSince          // since
+	precUnary          // not, prev, once, always
+	precPrimary        // atoms, comparisons, true/false
+)
+
+func (v Var) String() string   { return v.Name }
+func (c Const) String() string { return c.Val.String() }
+
+func (f Truth) String() string    { return render(f, precQuant) }
+func (f *Atom) String() string    { return render(f, precQuant) }
+func (f *Cmp) String() string     { return render(f, precQuant) }
+func (f *Not) String() string     { return render(f, precQuant) }
+func (f *And) String() string     { return render(f, precQuant) }
+func (f *Or) String() string      { return render(f, precQuant) }
+func (f *Implies) String() string { return render(f, precQuant) }
+func (f *Iff) String() string     { return render(f, precQuant) }
+func (f *Exists) String() string  { return render(f, precQuant) }
+func (f *Forall) String() string  { return render(f, precQuant) }
+func (f *Prev) String() string    { return render(f, precQuant) }
+func (f *Once) String() string    { return render(f, precQuant) }
+func (f *Always) String() string  { return render(f, precQuant) }
+func (f *Since) String() string   { return render(f, precQuant) }
+func (f *LeadsTo) String() string { return render(f, precQuant) }
+
+func prec(f Formula) int {
+	switch f.(type) {
+	case Truth, *Atom, *Cmp:
+		return precPrimary
+	case *Not, *Prev, *Once, *Always:
+		return precUnary
+	case *Since, *LeadsTo:
+		return precSince
+	case *And:
+		return precAnd
+	case *Or:
+		return precOr
+	case *Implies:
+		return precImplies
+	case *Iff:
+		return precIff
+	case *Exists, *Forall:
+		return precQuant
+	default:
+		panic(fmt.Sprintf("mtl: prec: unknown node %T", f))
+	}
+}
+
+// render prints f, parenthesizing it when its precedence is below the
+// minimum the context requires.
+func render(f Formula, min int) string {
+	s := bare(f)
+	if prec(f) < min {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func bare(f Formula) string {
+	switch n := f.(type) {
+	case Truth:
+		if n.Bool {
+			return "true"
+		}
+		return "false"
+	case *Atom:
+		var b strings.Builder
+		b.WriteString(n.Rel)
+		b.WriteByte('(')
+		for i, t := range n.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(t.String())
+		}
+		b.WriteByte(')')
+		return b.String()
+	case *Cmp:
+		return n.L.String() + " " + n.Op.String() + " " + n.R.String()
+	case *Not:
+		return "not " + render(n.F, precUnary)
+	case *And:
+		// Left-assoc chain: left child may sit at the same level.
+		return render(n.L, precAnd) + " and " + render(n.R, precAnd+1)
+	case *Or:
+		return render(n.L, precOr) + " or " + render(n.R, precOr+1)
+	case *Implies:
+		// Right-assoc: right child may sit at the same level.
+		return render(n.L, precImplies+1) + " -> " + render(n.R, precImplies)
+	case *Iff:
+		return render(n.L, precIff) + " <-> " + render(n.R, precIff+1)
+	case *Exists:
+		return "exists " + strings.Join(n.Vars, ", ") + ": " + render(n.F, precQuant)
+	case *Forall:
+		return "forall " + strings.Join(n.Vars, ", ") + ": " + render(n.F, precQuant)
+	case *Prev:
+		return "prev" + n.I.String() + " " + render(n.F, precUnary)
+	case *Once:
+		return "once" + n.I.String() + " " + render(n.F, precUnary)
+	case *Always:
+		return "always" + n.I.String() + " " + render(n.F, precUnary)
+	case *Since:
+		return render(n.L, precSince) + " since" + n.I.String() + " " + render(n.R, precSince+1)
+	case *LeadsTo:
+		return render(n.L, precSince) + " leadsto" + n.I.String() + " " + render(n.R, precSince+1)
+	default:
+		panic(fmt.Sprintf("mtl: bare: unknown node %T", f))
+	}
+}

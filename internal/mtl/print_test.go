@@ -1,0 +1,142 @@
+package mtl
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtic/internal/value"
+)
+
+func TestPrintExamples(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"p(x)", "p(x)"},
+		{"p ( x , 1 , 'a' )", "p(x, 1, 'a')"},
+		{"not p(x)", "not p(x)"},
+		{"p() and q() and r()", "p() and q() and r()"},
+		{"p() and (q() or r())", "p() and (q() or r())"},
+		{"(p() and q()) or r()", "p() and q() or r()"},
+		{"p() -> q() -> r()", "p() -> q() -> r()"},
+		{"(p() -> q()) -> r()", "(p() -> q()) -> r()"},
+		{"once [0,3] paid(x)", "once[0,3] paid(x)"},
+		{"prev[1,*] p()", "prev[1,*] p()"},
+		{"always p(x)", "always p(x)"},
+		{"p(x) since [2,4] q(x)", "p(x) since[2,4] q(x)"},
+		{"exists x: p(x) and q(x)", "exists x: p(x) and q(x)"},
+		{"(exists x: p(x)) and q()", "(exists x: p(x)) and q()"},
+		{"x >= 3 and x != y", "x >= 3 and x != y"},
+		{"true or false", "true or false"},
+		{"not (p() and q())", "not (p() and q())"},
+		{"once once p()", "once once p()"},
+	}
+	for _, c := range cases {
+		f := mustParse(t, c.src)
+		if got := f.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrintParseRoundTripExamples(t *testing.T) {
+	srcs := []string{
+		"hire(e) and once[0,365] fire(e)",
+		"forall x: (p(x) -> q(x)) <-> r(x)",
+		"(a() since[1,9] b(x)) since c(x)",
+		"exists u, v: r(u, v) and not s(v, u)",
+		"prev (p() or prev q())",
+		"always[0,14] (out(b, p) -> not ret(b))",
+	}
+	for _, src := range srcs {
+		f := mustParse(t, src)
+		g := mustParse(t, f.String())
+		if !Equal(f, g) {
+			t.Errorf("round trip changed %q:\n first  %s\n second %s", src, f, g)
+		}
+	}
+}
+
+// randFormula builds a random AST; used to fuzz the printer/parser pair.
+func randFormula(r *rand.Rand, depth int) Formula {
+	terms := func(n int) []Term {
+		ts := make([]Term, n)
+		for i := range ts {
+			switch r.Intn(3) {
+			case 0:
+				ts[i] = Var{Name: string(rune('x' + r.Intn(3)))}
+			case 1:
+				ts[i] = Const{Val: value.Int(int64(r.Intn(21) - 10))}
+			default:
+				ts[i] = Const{Val: value.Str(string(rune('a' + r.Intn(3))))}
+			}
+		}
+		return ts
+	}
+	iv := func() Interval {
+		switch r.Intn(4) {
+		case 0:
+			return Full()
+		case 1:
+			return AtLeast(uint64(r.Intn(5)))
+		default:
+			lo := uint64(r.Intn(5))
+			hi := lo + uint64(r.Intn(5))
+			b, _ := Bounded(lo, hi)
+			return b
+		}
+	}
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Truth{Bool: r.Intn(2) == 0}
+		case 1:
+			return &Atom{Rel: string(rune('p' + r.Intn(3))), Args: terms(r.Intn(3))}
+		default:
+			ts := terms(2)
+			return &Cmp{Op: CmpOp(r.Intn(6)), L: ts[0], R: ts[1]}
+		}
+	}
+	sub := func() Formula { return randFormula(r, depth-1) }
+	switch r.Intn(12) {
+	case 0:
+		return &Not{F: sub()}
+	case 1:
+		return &And{L: sub(), R: sub()}
+	case 2:
+		return &Or{L: sub(), R: sub()}
+	case 3:
+		return &Implies{L: sub(), R: sub()}
+	case 4:
+		return &Iff{L: sub(), R: sub()}
+	case 5:
+		return &Exists{Vars: []string{"x"}, F: sub()}
+	case 6:
+		return &Forall{Vars: []string{"x", "y"}, F: sub()}
+	case 7:
+		return &Prev{I: iv(), F: sub()}
+	case 8:
+		return &Once{I: iv(), F: sub()}
+	case 9:
+		return &Always{I: iv(), F: sub()}
+	case 10:
+		return &Since{I: iv(), L: sub(), R: sub()}
+	case 11:
+		b, _ := Bounded(0, uint64(r.Intn(6)))
+		return &LeadsTo{I: b, L: sub(), R: sub()}
+	default:
+		return &Atom{Rel: "q", Args: terms(1)}
+	}
+}
+
+func TestPrintParseRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		f := randFormula(r, 4)
+		src := f.String()
+		g, err := Parse(src)
+		if err != nil {
+			t.Fatalf("iteration %d: Parse(%q): %v\nAST: %#v", i, src, err, f)
+		}
+		if !Equal(f, g) {
+			t.Fatalf("iteration %d: round trip changed\nprinted: %s\nreparsed: %s", i, src, g)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package mtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckSafeAccepts(t *testing.T) {
+	safe := []string{
+		"p(x)",
+		"p(x, 1, 'a')",
+		"true",
+		"false",
+		"x = 3",
+		"3 = 3",
+		"p(x) and x < 5",
+		"p(x) and not q(x)",
+		"p(x) and x != y and q(y)",
+		"p(x) or q(x)",
+		"exists x: p(x, y)",
+		"once[0,3] p(x)",
+		"prev p(x)",
+		"p(x) since q(x, y)",
+		"true since q(x)",
+		"hire(e) and once[0,365] fire(e)",
+		"p(x) and not once q(x)",
+		"p(x) and not (q(x) since r(x))",
+		"p(x) and not prev q(x)",
+		"once (p(x) and not q(x))",
+		"p(x) and not (exists y: r(x, y))",
+		"once p(x) and q(x)",
+	}
+	for _, src := range safe {
+		f := Normalize(mustParse(t, src))
+		if err := CheckSafe(f); err != nil {
+			t.Errorf("CheckSafe(%q) = %v, want nil", src, err)
+		}
+	}
+}
+
+func TestCheckSafeRejects(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"not p(x)", "negation"},
+		{"x < 5", "filters"},
+		{"x = y", "variable-to-variable"},
+		{"x != 3", "filters"},
+		{"p(x) or q(y)", "different variables"},
+		{"p(x) and y < 5", "not bound"},
+		{"once not p(x)", "negation"},
+		{"prev not p(x)", "negation"},
+		{"not q(x) since p(x)", "negation"}, // left side must be testable; here it is, but right ok -- see below
+		{"p(x, y) since q(x)", "do not occur"},
+		{"p(x) and not once not q(x)", "negation"},
+		{"q(y) and (p(x) or not p(x))", "not bound"},
+	}
+	for _, c := range cases {
+		f := mustParse(t, c.src)
+		// Use the formula as written (already kernel for these cases).
+		err := CheckSafe(f)
+		if c.src == "not q(x) since p(x)" {
+			// fv(left) ⊆ fv(right) and left testable: actually safe.
+			if err != nil {
+				t.Errorf("CheckSafe(%q) = %v, want nil (testable left)", c.src, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("CheckSafe(%q) = nil, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("CheckSafe(%q) error %q, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestCheckSafeRequiresKernel(t *testing.T) {
+	err := CheckSafe(mustParse(t, "p(x) -> q(x)"))
+	if err == nil || !strings.Contains(err.Error(), "kernel") {
+		t.Fatalf("CheckSafe on sugar = %v", err)
+	}
+}
+
+func TestCheckSafeDenialWorkflow(t *testing.T) {
+	// The user-facing path: constraint C, check nnf(¬C).
+	constraints := []struct {
+		src  string
+		safe bool
+	}{
+		// Rehire separation: violated when hired now and fired recently.
+		{"hire(e) -> not once[0,365] fire(e)", true},
+		// Payment deadline: paid now implies reserved within 3 days.
+		{"paid(tk) -> once[0,3] reserved(tk)", false}, // ¬ gives paid ∧ ¬once reserved: testable ¬once needs enumerable arg — reserved(tk) is enumerable, so actually safe
+	}
+	for _, c := range constraints {
+		denial := Normalize(&Not{F: mustParse(t, c.src)})
+		err := CheckSafe(denial)
+		if err != nil && c.safe {
+			t.Errorf("denial of %q unsafe: %v", c.src, err)
+		}
+		if c.src == "paid(tk) -> once[0,3] reserved(tk)" && err != nil {
+			t.Errorf("denial of payment constraint should be safe, got %v", err)
+		}
+	}
+}
+
+func TestSafetyErrorMessage(t *testing.T) {
+	err := CheckSafe(mustParse(t, "not p(x)"))
+	se, ok := err.(*SafetyError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Node == nil || se.Reason == "" {
+		t.Fatal("SafetyError missing fields")
+	}
+	if !strings.Contains(se.Error(), "unsafe formula") {
+		t.Fatalf("Error() = %q", se.Error())
+	}
+}

@@ -1,0 +1,140 @@
+package mtl
+
+import "fmt"
+
+// Simplify performs conservative, semantics-preserving constant folding
+// on a kernel formula: boolean identities, comparison folding,
+// structural deduplication of identical operands, and the temporal
+// absorptions that hold in every history. It deliberately avoids any
+// rewrite whose validity depends on the active domain (e.g. it never
+// touches quantifiers: under active-domain semantics "exists x: true"
+// is false in an empty database).
+//
+// The constraint compiler runs Simplify on denials after Normalize;
+// the cross-evaluator property tests pin the equivalence.
+func Simplify(f Formula) Formula {
+	switch n := f.(type) {
+	case Truth, *Atom, *Cmp:
+		if c, ok := f.(*Cmp); ok {
+			if l, lok := c.L.(Const); lok {
+				if r, rok := c.R.(Const); rok {
+					return Truth{Bool: c.Op.Apply(l.Val, r.Val)}
+				}
+			}
+		}
+		return f
+	case *Not:
+		inner := Simplify(n.F)
+		if t, ok := inner.(Truth); ok {
+			return Truth{Bool: !t.Bool}
+		}
+		return &Not{F: inner}
+	case *And:
+		l, r := Simplify(n.L), Simplify(n.R)
+		if t, ok := l.(Truth); ok {
+			if !t.Bool {
+				return Truth{Bool: false}
+			}
+			return r
+		}
+		if t, ok := r.(Truth); ok {
+			if !t.Bool {
+				return Truth{Bool: false}
+			}
+			return l
+		}
+		if Equal(l, r) {
+			return l
+		}
+		if complementary(l, r) {
+			return Truth{Bool: false}
+		}
+		return &And{L: l, R: r}
+	case *Or:
+		l, r := Simplify(n.L), Simplify(n.R)
+		if t, ok := l.(Truth); ok {
+			if t.Bool {
+				return Truth{Bool: true}
+			}
+			return r
+		}
+		if t, ok := r.(Truth); ok {
+			if t.Bool {
+				return Truth{Bool: true}
+			}
+			return l
+		}
+		if Equal(l, r) {
+			return l
+		}
+		if complementary(l, r) {
+			return Truth{Bool: true}
+		}
+		return &Or{L: l, R: r}
+	case *Exists:
+		return &Exists{Vars: n.Vars, F: Simplify(n.F)}
+	case *Prev:
+		inner := Simplify(n.F)
+		// prev false never holds (there is no state where false held).
+		if t, ok := inner.(Truth); ok && !t.Bool {
+			return Truth{Bool: false}
+		}
+		return &Prev{I: n.I, F: inner}
+	case *Once:
+		inner := Simplify(n.F)
+		if t, ok := inner.(Truth); ok {
+			if !t.Bool {
+				return Truth{Bool: false}
+			}
+			// once[0,…] true is true at every state (reflexive, j = i).
+			if n.I.Lo == 0 {
+				return Truth{Bool: true}
+			}
+		}
+		return &Once{I: n.I, F: inner}
+	case *Since:
+		l, r := Simplify(n.L), Simplify(n.R)
+		// No anchor can ever exist.
+		if t, ok := r.(Truth); ok && !t.Bool {
+			return Truth{Bool: false}
+		}
+		// φ since ψ with φ = true is once ψ.
+		if t, ok := l.(Truth); ok && t.Bool {
+			return Simplify(&Once{I: n.I, F: r})
+		}
+		return &Since{I: n.I, L: l, R: r}
+	// Sugar nodes pass through untouched (Simplify targets kernel
+	// formulas, but stays total so callers need not care).
+	case *Implies:
+		return &Implies{L: Simplify(n.L), R: Simplify(n.R)}
+	case *Iff:
+		return &Iff{L: Simplify(n.L), R: Simplify(n.R)}
+	case *Forall:
+		return &Forall{Vars: n.Vars, F: Simplify(n.F)}
+	case *Always:
+		return &Always{I: n.I, F: Simplify(n.F)}
+	case *LeadsTo:
+		return &LeadsTo{I: n.I, L: Simplify(n.L), R: Simplify(n.R)}
+	default:
+		panic(fmt.Sprintf("mtl: Simplify: unknown node %T", f))
+	}
+}
+
+// complementary reports whether a and b are syntactic complements
+// (f vs not f, or a comparison vs its negated operator); evaluation is
+// two-valued, so f ∧ ¬f is false and f ∨ ¬f is true.
+func complementary(a, b Formula) bool {
+	if n, ok := a.(*Not); ok && Equal(n.F, b) {
+		return true
+	}
+	if n, ok := b.(*Not); ok && Equal(n.F, a) {
+		return true
+	}
+	ca, aok := a.(*Cmp)
+	cb, bok := b.(*Cmp)
+	if aok && bok && ca.Op == cb.Op.Negate() &&
+		ca.L.EqualTerm(cb.L) && ca.R.EqualTerm(cb.R) {
+		return true
+	}
+	return false
+}

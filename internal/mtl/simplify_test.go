@@ -1,0 +1,91 @@
+package mtl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyExamples(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"p(x) and true", "p(x)"},
+		{"true and p(x)", "p(x)"},
+		{"p(x) and false", "false"},
+		{"p(x) or true", "true"},
+		{"false or p(x)", "p(x)"},
+		{"not true", "false"},
+		{"not false", "true"},
+		{"p(x) and p(x)", "p(x)"},
+		{"p(x) or p(x)", "p(x)"},
+		{"3 < 5", "true"},
+		{"3 = 4", "false"},
+		{"once false", "false"},
+		{"once true", "true"},
+		{"once[2,5] false", "false"},
+		{"prev false", "false"},
+		{"p(x) since false", "false"},
+		{"true since p(x)", "once p(x)"},
+		{"true since[1,4] p(x)", "once[1,4] p(x)"},
+		{"exists x: p(x) and true", "exists x: p(x)"},
+		{"not (p(x) and false)", "true"},
+		{"once (p(x) and true)", "once p(x)"},
+	}
+	for _, c := range cases {
+		got := Simplify(mustParse(t, c.src))
+		want := mustParse(t, c.want)
+		if !Equal(got, want) {
+			t.Errorf("Simplify(%q) = %q, want %q", c.src, got.String(), c.want)
+		}
+	}
+}
+
+func TestSimplifyLeavesOnceWithPositiveLo(t *testing.T) {
+	// once[2,5] true depends on whether a state exists at that distance:
+	// it must NOT fold to true.
+	f := mustParse(t, "once[2,5] true")
+	if _, ok := Simplify(f).(Truth); ok {
+		t.Fatal("once[2,5] true folded to a constant")
+	}
+}
+
+func TestSimplifyLeavesQuantifiersAlone(t *testing.T) {
+	// Under active-domain semantics, "exists x: true" is false in an
+	// empty database — folding it would be unsound.
+	f := mustParse(t, "exists x: true")
+	got := Simplify(f)
+	if _, ok := got.(Truth); ok {
+		t.Fatal("exists x: true folded to a constant")
+	}
+}
+
+func TestSimplifyPreservesKernel(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 1000; i++ {
+		f := Normalize(randFormula(r, 4))
+		g := Simplify(f)
+		if !IsKernel(g) {
+			t.Fatalf("Simplify broke kernel form:\nbefore: %s\nafter:  %s", f, g)
+		}
+		// Idempotent.
+		if !Equal(g, Simplify(g)) {
+			t.Fatalf("Simplify not idempotent on %s", f)
+		}
+	}
+}
+
+func TestSimplifyNeverGrowsFreeVars(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 500; i++ {
+		f := Normalize(randFormula(r, 4))
+		before := FreeVars(f)
+		after := FreeVars(Simplify(f))
+		set := make(map[string]bool, len(before))
+		for _, v := range before {
+			set[v] = true
+		}
+		for _, v := range after {
+			if !set[v] {
+				t.Fatalf("Simplify invented variable %q:\nbefore %s\nafter  %s", v, f, Simplify(f))
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package mtl
+
+import (
+	"fmt"
+
+	"rtic/internal/value"
+)
+
+// Substitute replaces free occurrences of the given variables by
+// constants. Bound occurrences (under a quantifier that rebinds the
+// name) are left untouched.
+func Substitute(f Formula, sub map[string]value.Value) Formula {
+	if len(sub) == 0 {
+		return f
+	}
+	return subst(f, sub)
+}
+
+func substTerm(t Term, sub map[string]value.Value) Term {
+	if v, ok := t.(Var); ok {
+		if val, ok := sub[v.Name]; ok {
+			return Const{Val: val}
+		}
+	}
+	return t
+}
+
+func substTerms(ts []Term, sub map[string]value.Value) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = substTerm(t, sub)
+	}
+	return out
+}
+
+func shadow(sub map[string]value.Value, vars []string) map[string]value.Value {
+	hit := false
+	for _, v := range vars {
+		if _, ok := sub[v]; ok {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return sub
+	}
+	out := make(map[string]value.Value, len(sub))
+	for k, v := range sub {
+		out[k] = v
+	}
+	for _, v := range vars {
+		delete(out, v)
+	}
+	return out
+}
+
+func subst(f Formula, sub map[string]value.Value) Formula {
+	switch n := f.(type) {
+	case Truth:
+		return n
+	case *Atom:
+		return &Atom{Rel: n.Rel, Args: substTerms(n.Args, sub)}
+	case *Cmp:
+		return &Cmp{Op: n.Op, L: substTerm(n.L, sub), R: substTerm(n.R, sub)}
+	case *Not:
+		return &Not{F: subst(n.F, sub)}
+	case *And:
+		return &And{L: subst(n.L, sub), R: subst(n.R, sub)}
+	case *Or:
+		return &Or{L: subst(n.L, sub), R: subst(n.R, sub)}
+	case *Implies:
+		return &Implies{L: subst(n.L, sub), R: subst(n.R, sub)}
+	case *Iff:
+		return &Iff{L: subst(n.L, sub), R: subst(n.R, sub)}
+	case *Exists:
+		inner := shadow(sub, n.Vars)
+		if len(inner) == 0 {
+			return n
+		}
+		return &Exists{Vars: n.Vars, F: subst(n.F, inner)}
+	case *Forall:
+		inner := shadow(sub, n.Vars)
+		if len(inner) == 0 {
+			return n
+		}
+		return &Forall{Vars: n.Vars, F: subst(n.F, inner)}
+	case *Prev:
+		return &Prev{I: n.I, F: subst(n.F, sub)}
+	case *Once:
+		return &Once{I: n.I, F: subst(n.F, sub)}
+	case *Always:
+		return &Always{I: n.I, F: subst(n.F, sub)}
+	case *Since:
+		return &Since{I: n.I, L: subst(n.L, sub), R: subst(n.R, sub)}
+	case *LeadsTo:
+		return &LeadsTo{I: n.I, L: subst(n.L, sub), R: subst(n.R, sub)}
+	default:
+		panic(fmt.Sprintf("mtl: Substitute: unknown node %T", f))
+	}
+}

@@ -1,0 +1,64 @@
+package mtl
+
+import (
+	"testing"
+
+	"rtic/internal/value"
+)
+
+func TestSubstituteBasic(t *testing.T) {
+	f := mustParse(t, "p(x, y) and x < n")
+	g := Substitute(f, map[string]value.Value{"n": value.Int(5)})
+	want := mustParse(t, "p(x, y) and x < 5")
+	if !Equal(g, want) {
+		t.Fatalf("Substitute = %s, want %s", g, want)
+	}
+}
+
+func TestSubstituteRespectsBinding(t *testing.T) {
+	f := mustParse(t, "p(x) and exists x: q(x, y)")
+	g := Substitute(f, map[string]value.Value{"x": value.Int(1), "y": value.Int(2)})
+	want := mustParse(t, "p(1) and exists x: q(x, 2)")
+	if !Equal(g, want) {
+		t.Fatalf("Substitute = %s, want %s", g, want)
+	}
+}
+
+func TestSubstituteForallShadow(t *testing.T) {
+	f := mustParse(t, "forall x: p(x, y)")
+	g := Substitute(f, map[string]value.Value{"x": value.Int(9), "y": value.Int(2)})
+	want := mustParse(t, "forall x: p(x, 2)")
+	if !Equal(g, want) {
+		t.Fatalf("Substitute = %s, want %s", g, want)
+	}
+	// Substitution entirely shadowed: formula returned unchanged.
+	h := Substitute(f, map[string]value.Value{"x": value.Int(9)})
+	if !Equal(h, f) {
+		t.Fatalf("fully shadowed substitution changed formula: %s", h)
+	}
+}
+
+func TestSubstituteTemporal(t *testing.T) {
+	f := mustParse(t, "once[0,3] p(x) since q(y)")
+	g := Substitute(f, map[string]value.Value{"x": value.Str("a"), "y": value.Str("b")})
+	want := mustParse(t, "once[0,3] p('a') since q('b')")
+	if !Equal(g, want) {
+		t.Fatalf("Substitute = %s, want %s", g, want)
+	}
+}
+
+func TestSubstituteEmpty(t *testing.T) {
+	f := mustParse(t, "p(x)")
+	if Substitute(f, nil) != f {
+		t.Fatal("empty substitution should return the formula unchanged")
+	}
+}
+
+func TestSubstituteSugar(t *testing.T) {
+	f := mustParse(t, "(p(x) -> q(x)) <-> always r(x)")
+	g := Substitute(f, map[string]value.Value{"x": value.Int(3)})
+	want := mustParse(t, "(p(3) -> q(3)) <-> always r(3)")
+	if !Equal(g, want) {
+		t.Fatalf("Substitute = %s, want %s", g, want)
+	}
+}

@@ -1,0 +1,269 @@
+package mtl
+
+import (
+	"fmt"
+	"sort"
+
+	"rtic/internal/value"
+)
+
+// FreeVars returns the free variables of f, sorted.
+func FreeVars(f Formula) []string {
+	set := make(map[string]bool)
+	collectFree(f, make(map[string]bool), set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectFree(f Formula, bound, out map[string]bool) {
+	switch n := f.(type) {
+	case Truth:
+	case *Atom:
+		for _, t := range n.Args {
+			if v, ok := t.(Var); ok && !bound[v.Name] {
+				out[v.Name] = true
+			}
+		}
+	case *Cmp:
+		for _, t := range []Term{n.L, n.R} {
+			if v, ok := t.(Var); ok && !bound[v.Name] {
+				out[v.Name] = true
+			}
+		}
+	case *Not:
+		collectFree(n.F, bound, out)
+	case *And:
+		collectFree(n.L, bound, out)
+		collectFree(n.R, bound, out)
+	case *Or:
+		collectFree(n.L, bound, out)
+		collectFree(n.R, bound, out)
+	case *Implies:
+		collectFree(n.L, bound, out)
+		collectFree(n.R, bound, out)
+	case *Iff:
+		collectFree(n.L, bound, out)
+		collectFree(n.R, bound, out)
+	case *Exists:
+		inner := cloneSet(bound)
+		for _, v := range n.Vars {
+			inner[v] = true
+		}
+		collectFree(n.F, inner, out)
+	case *Forall:
+		inner := cloneSet(bound)
+		for _, v := range n.Vars {
+			inner[v] = true
+		}
+		collectFree(n.F, inner, out)
+	case *Prev:
+		collectFree(n.F, bound, out)
+	case *Once:
+		collectFree(n.F, bound, out)
+	case *Always:
+		collectFree(n.F, bound, out)
+	case *Since:
+		collectFree(n.L, bound, out)
+		collectFree(n.R, bound, out)
+	case *LeadsTo:
+		collectFree(n.L, bound, out)
+		collectFree(n.R, bound, out)
+	default:
+		panic(fmt.Sprintf("mtl: FreeVars: unknown node %T", f))
+	}
+}
+
+func cloneSet(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// Constants returns every literal value appearing in f, deduplicated and
+// sorted; the test evaluator extends the active domain with them.
+func Constants(f Formula) []value.Value {
+	set := make(map[string]value.Value)
+	Walk(f, func(g Formula) {
+		switch n := g.(type) {
+		case *Atom:
+			for _, t := range n.Args {
+				if c, ok := t.(Const); ok {
+					set[c.Val.Key()] = c.Val
+				}
+			}
+		case *Cmp:
+			for _, t := range []Term{n.L, n.R} {
+				if c, ok := t.(Const); ok {
+					set[c.Val.Key()] = c.Val
+				}
+			}
+		}
+	})
+	out := make([]value.Value, 0, len(set))
+	for _, v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Walk calls visit on f and every subformula, parents first.
+func Walk(f Formula, visit func(Formula)) {
+	visit(f)
+	switch n := f.(type) {
+	case Truth, *Atom, *Cmp:
+	case *Not:
+		Walk(n.F, visit)
+	case *And:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	case *Or:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	case *Implies:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	case *Iff:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	case *Exists:
+		Walk(n.F, visit)
+	case *Forall:
+		Walk(n.F, visit)
+	case *Prev:
+		Walk(n.F, visit)
+	case *Once:
+		Walk(n.F, visit)
+	case *Always:
+		Walk(n.F, visit)
+	case *Since:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	case *LeadsTo:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	default:
+		panic(fmt.Sprintf("mtl: Walk: unknown node %T", f))
+	}
+}
+
+// Equal reports structural equality of two formulas.
+func Equal(a, b Formula) bool {
+	switch x := a.(type) {
+	case Truth:
+		y, ok := b.(Truth)
+		return ok && x.Bool == y.Bool
+	case *Atom:
+		y, ok := b.(*Atom)
+		if !ok || x.Rel != y.Rel || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !x.Args[i].EqualTerm(y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *Cmp:
+		y, ok := b.(*Cmp)
+		return ok && x.Op == y.Op && x.L.EqualTerm(y.L) && x.R.EqualTerm(y.R)
+	case *Not:
+		y, ok := b.(*Not)
+		return ok && Equal(x.F, y.F)
+	case *And:
+		y, ok := b.(*And)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Or:
+		y, ok := b.(*Or)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Implies:
+		y, ok := b.(*Implies)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Iff:
+		y, ok := b.(*Iff)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Exists:
+		y, ok := b.(*Exists)
+		return ok && sameVars(x.Vars, y.Vars) && Equal(x.F, y.F)
+	case *Forall:
+		y, ok := b.(*Forall)
+		return ok && sameVars(x.Vars, y.Vars) && Equal(x.F, y.F)
+	case *Prev:
+		y, ok := b.(*Prev)
+		return ok && x.I.Equal(y.I) && Equal(x.F, y.F)
+	case *Once:
+		y, ok := b.(*Once)
+		return ok && x.I.Equal(y.I) && Equal(x.F, y.F)
+	case *Always:
+		y, ok := b.(*Always)
+		return ok && x.I.Equal(y.I) && Equal(x.F, y.F)
+	case *Since:
+		y, ok := b.(*Since)
+		return ok && x.I.Equal(y.I) && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *LeadsTo:
+		y, ok := b.(*LeadsTo)
+		return ok && x.I.Equal(y.I) && Equal(x.L, y.L) && Equal(x.R, y.R)
+	default:
+		panic(fmt.Sprintf("mtl: Equal: unknown node %T", a))
+	}
+}
+
+func sameVars(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TemporalDepth returns the maximum nesting depth of temporal operators,
+// a complexity measure used by the experiments.
+func TemporalDepth(f Formula) int {
+	switch n := f.(type) {
+	case Truth, *Atom, *Cmp:
+		return 0
+	case *Not:
+		return TemporalDepth(n.F)
+	case *And:
+		return max(TemporalDepth(n.L), TemporalDepth(n.R))
+	case *Or:
+		return max(TemporalDepth(n.L), TemporalDepth(n.R))
+	case *Implies:
+		return max(TemporalDepth(n.L), TemporalDepth(n.R))
+	case *Iff:
+		return max(TemporalDepth(n.L), TemporalDepth(n.R))
+	case *Exists:
+		return TemporalDepth(n.F)
+	case *Forall:
+		return TemporalDepth(n.F)
+	case *Prev:
+		return 1 + TemporalDepth(n.F)
+	case *Once:
+		return 1 + TemporalDepth(n.F)
+	case *Always:
+		return 1 + TemporalDepth(n.F)
+	case *Since:
+		return 1 + max(TemporalDepth(n.L), TemporalDepth(n.R))
+	case *LeadsTo:
+		return 1 + max(TemporalDepth(n.L), TemporalDepth(n.R))
+	default:
+		panic(fmt.Sprintf("mtl: TemporalDepth: unknown node %T", f))
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

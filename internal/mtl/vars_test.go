@@ -1,0 +1,100 @@
+package mtl
+
+import (
+	"reflect"
+	"testing"
+
+	"rtic/internal/value"
+)
+
+func TestFreeVars(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{"p(x, y)", []string{"x", "y"}},
+		{"p(x, x)", []string{"x"}},
+		{"p(1, 'a')", []string{}},
+		{"exists x: p(x, y)", []string{"y"}},
+		{"forall x: p(x) and q(z)", []string{"z"}},
+		{"exists x: p(x) and q(x)", []string{}},
+		{"p(x) since q(y)", []string{"x", "y"}},
+		{"once[0,3] paid(t) and x < 5", []string{"t", "x"}},
+		{"exists x: (p(x) and exists y: q(x, y)) and r(x)", []string{}},
+		{"(exists x: p(x)) and q(x)", []string{"x"}},
+		{"true", []string{}},
+	}
+	for _, c := range cases {
+		got := FreeVars(mustParse(t, c.src))
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("FreeVars(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestConstants(t *testing.T) {
+	f := mustParse(t, "p(1, 'a') and x = 2 and q('a')")
+	got := Constants(f)
+	want := []value.Value{value.Int(1), value.Int(2), value.Str("a")}
+	if len(got) != len(want) {
+		t.Fatalf("Constants = %v", got)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("Constants[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	f := mustParse(t, "(p(x) -> q(x)) and once (r(x) since s(x))")
+	n := 0
+	Walk(f, func(Formula) { n++ })
+	// and, implies, p, q, once, since, r, s.
+	if n != 8 {
+		t.Fatalf("Walk visited %d nodes, want 8", n)
+	}
+}
+
+func TestEqualDistinguishes(t *testing.T) {
+	pairs := [][2]string{
+		{"p(x)", "p(y)"},
+		{"p(x)", "q(x)"},
+		{"once[0,3] p()", "once[0,4] p()"},
+		{"once p()", "always p()"},
+		{"p() and q()", "q() and p()"},
+		{"exists x: p(x)", "exists y: p(y)"},
+		{"x = 1", "x != 1"},
+		{"p(x)", "p(x, x)"},
+		{"prev p()", "prev[0,1] p()"},
+	}
+	for _, p := range pairs {
+		a, b := mustParse(t, p[0]), mustParse(t, p[1])
+		if Equal(a, b) {
+			t.Errorf("Equal(%q, %q) = true", p[0], p[1])
+		}
+		if !Equal(a, a) || !Equal(b, b) {
+			t.Errorf("self-equality failed for %q or %q", p[0], p[1])
+		}
+	}
+}
+
+func TestTemporalDepth(t *testing.T) {
+	cases := map[string]int{
+		"p(x)":                          0,
+		"once p(x)":                     1,
+		"once prev p(x)":                2,
+		"once p(x) and prev prev q(x)":  2,
+		"p(x) since (q(x) since r(x))":  2,
+		"always (p() -> once[0,3] q())": 2,
+		"not once p()":                  1,
+	}
+	for src, want := range cases {
+		if got := TemporalDepth(mustParse(t, src)); got != want {
+			t.Errorf("TemporalDepth(%q) = %d, want %d", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package naive
+
+import (
+	"testing"
+
+	"rtic/internal/check"
+	"rtic/internal/fol"
+	"rtic/internal/mtl"
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+	"rtic/internal/value"
+)
+
+func hrSchema() *schema.Schema {
+	return schema.NewBuilder().
+		Relation("hire", 1).
+		Relation("fire", 1).
+		Relation("p", 1).
+		Relation("q", 1).
+		MustBuild()
+}
+
+func ins(rel string, v int64) *storage.Transaction {
+	return storage.NewTransaction().Insert(rel, tuple.Ints(v))
+}
+
+func del(rel string, v int64) *storage.Transaction {
+	return storage.NewTransaction().Delete(rel, tuple.Ints(v))
+}
+
+func mustStep(t *testing.T, c *Checker, tm uint64, tx *storage.Transaction) []check.Violation {
+	t.Helper()
+	vs, err := c.Step(tm, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+func TestRehireViolationWindow(t *testing.T) {
+	s := hrSchema()
+	c := New(s)
+	con, err := check.Parse("no_quick_rehire", "hire(e) -> not once[0,365] fire(e)", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddConstraint(con); err != nil {
+		t.Fatal(err)
+	}
+
+	// t=0: employee 7 fired.
+	if vs := mustStep(t, c, 0, ins("fire", 7)); len(vs) != 0 {
+		t.Fatalf("unexpected violations %v", vs)
+	}
+	// t=100: rehired within a year — violation, with witness e=7.
+	// (fire tuple deleted in the same transaction: once still sees state 0.)
+	tx := storage.NewTransaction().Delete("fire", tuple.Ints(7)).Insert("hire", tuple.Ints(7))
+	vs := mustStep(t, c, 100, tx)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want 1", vs)
+	}
+	if vs[0].Constraint != "no_quick_rehire" || !vs[0].Binding[0].Equal(value.Int(7)) {
+		t.Fatalf("violation = %+v", vs[0])
+	}
+	// hire(7) persists into later states, and the t=0 firing is still
+	// inside the 365 window, so the violation persists too.
+	tx = storage.NewTransaction().Insert("hire", tuple.Ints(8))
+	vs = mustStep(t, c, 200, tx)
+	if len(vs) != 1 || !vs[0].Binding[0].Equal(value.Int(7)) {
+		t.Fatalf("violations = %v, want persisting e=7", vs)
+	}
+	// Once the firing ages out of the window the same state is legal
+	// again — the metric bound, not the event, drives the violation.
+	if vs := mustStep(t, c, 366, storage.NewTransaction()); len(vs) != 0 {
+		t.Fatalf("violation should age out: %v", vs)
+	}
+}
+
+func TestPrevSemantics(t *testing.T) {
+	s := hrSchema()
+	c := New(s)
+	mustStep(t, c, 0, ins("p", 1)) // state 0: p(1)
+	mustStep(t, c, 5, del("p", 1)) // state 1: empty
+	mustStep(t, c, 6, ins("p", 2)) // state 2: p(2)
+
+	cases := []struct {
+		src  string
+		j    int
+		env  fol.Env
+		want bool
+	}{
+		{"prev p(x)", 1, fol.Env{"x": value.Int(1)}, true},
+		{"prev p(x)", 2, fol.Env{"x": value.Int(1)}, false},
+		{"prev p(x)", 0, fol.Env{"x": value.Int(1)}, false}, // no predecessor
+		{"prev[5,5] p(x)", 1, fol.Env{"x": value.Int(1)}, true},
+		{"prev[1,4] p(x)", 1, fol.Env{"x": value.Int(1)}, false}, // gap is 5
+		{"prev[1,1] p(x)", 2, fol.Env{"x": value.Int(2)}, false}, // p(2) not in state 1
+		{"prev prev p(x)", 2, fol.Env{"x": value.Int(1)}, true},
+	}
+	for _, cse := range cases {
+		got, err := c.TestAt(mtl.MustParse(cse.src), cse.j, cse.env)
+		if err != nil {
+			t.Fatalf("TestAt(%q, %d): %v", cse.src, cse.j, err)
+		}
+		if got != cse.want {
+			t.Errorf("TestAt(%q, %d, %v) = %v, want %v", cse.src, cse.j, cse.env, got, cse.want)
+		}
+	}
+}
+
+func TestOnceAndAlwaysSemantics(t *testing.T) {
+	s := hrSchema()
+	c := New(s)
+	mustStep(t, c, 0, ins("p", 1))  // state 0, t=0: p(1)
+	mustStep(t, c, 10, del("p", 1)) // state 1, t=10: {}
+	mustStep(t, c, 20, ins("q", 1)) // state 2, t=20: q(1)
+	env := fol.Env{"x": value.Int(1)}
+
+	cases := []struct {
+		src  string
+		j    int
+		want bool
+	}{
+		{"once p(x)", 2, true},
+		{"once[0,10] p(x)", 2, false}, // p(1) held at distance 20
+		{"once[20,20] p(x)", 2, true},
+		{"once[0,10] p(x)", 1, true}, // distance 10
+		{"once q(x)", 1, false},
+		{"always not q(x)", 1, true},
+		{"always not q(x)", 2, false},
+		{"always[0,5] q(x)", 2, true},   // only state 2 in window
+		{"always[0,15] q(x)", 2, false}, // state 1 in window lacks q(1)
+		{"once[1,*] p(x)", 0, false},    // reflexive only at distance 0
+		{"once p(x)", 0, true},
+	}
+	for _, cse := range cases {
+		got, err := c.TestAt(mtl.MustParse(cse.src), cse.j, env)
+		if err != nil {
+			t.Fatalf("TestAt(%q, %d): %v", cse.src, cse.j, err)
+		}
+		if got != cse.want {
+			t.Errorf("TestAt(%q, %d) = %v, want %v", cse.src, cse.j, got, cse.want)
+		}
+	}
+}
+
+func TestSinceSemantics(t *testing.T) {
+	s := hrSchema()
+	c := New(s)
+	// state 0 t=0: q(1)           -- the anchor
+	// state 1 t=1: q deleted, p(1) inserted
+	// state 2 t=2: p(1) persists
+	// state 3 t=3: p deleted
+	mustStep(t, c, 0, ins("q", 1))
+	mustStep(t, c, 1, storage.NewTransaction().Delete("q", tuple.Ints(1)).Insert("p", tuple.Ints(1)))
+	mustStep(t, c, 2, storage.NewTransaction())
+	mustStep(t, c, 3, del("p", 1))
+	env := fol.Env{"x": value.Int(1)}
+
+	cases := []struct {
+		src  string
+		j    int
+		want bool
+	}{
+		{"p(x) since q(x)", 0, true},  // j = i = 0, reflexive
+		{"p(x) since q(x)", 1, true},  // anchor at 0, p at 1
+		{"p(x) since q(x)", 2, true},  // p at 1 and 2
+		{"p(x) since q(x)", 3, false}, // p fails at 3
+		{"p(x) since[2,2] q(x)", 2, true},
+		{"p(x) since[3,3] q(x)", 2, false}, // no state at that distance
+		{"p(x) since[0,1] q(x)", 2, false}, // anchor too old
+		{"q(x) since q(x)", 1, false},      // q fails at state 1 after anchor 0
+	}
+	for _, cse := range cases {
+		got, err := c.TestAt(mtl.MustParse(cse.src), cse.j, env)
+		if err != nil {
+			t.Fatalf("TestAt(%q, %d): %v", cse.src, cse.j, err)
+		}
+		if got != cse.want {
+			t.Errorf("TestAt(%q, %d) = %v, want %v", cse.src, cse.j, got, cse.want)
+		}
+	}
+}
+
+func TestEnumerateMatchesTest(t *testing.T) {
+	s := hrSchema()
+	c := New(s)
+	mustStep(t, c, 0, ins("q", 1))
+	mustStep(t, c, 4, storage.NewTransaction().Insert("q", tuple.Ints(2)).Insert("p", tuple.Ints(1)))
+	mustStep(t, c, 9, ins("p", 2))
+
+	for _, src := range []string{"once q(x)", "once[0,5] q(x)", "p(x) since q(x)", "prev q(x)"} {
+		f := mtl.Normalize(mtl.MustParse(src))
+		for j := 0; j < c.Len(); j++ {
+			b, err := c.EvalAt(f, j)
+			if err != nil {
+				t.Fatalf("EvalAt(%q, %d): %v", src, j, err)
+			}
+			for _, v := range []int64{1, 2, 3} {
+				env := fol.Env{"x": value.Int(v)}
+				want, err := c.TestAt(f, j, env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := b.Contains(env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("%q at %d for x=%d: enumerate=%v test=%v", src, j, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNNFPreservesSemantics(t *testing.T) {
+	s := hrSchema()
+	c := New(s)
+	mustStep(t, c, 0, ins("p", 1))
+	mustStep(t, c, 3, ins("q", 1))
+	mustStep(t, c, 7, del("p", 1))
+
+	srcs := []string{
+		"always (p(x) -> q(x))",
+		"not (p(x) since q(x))",
+		"forall y: q(y) -> once p(y)",
+		"(once[0,5] p(x)) <-> q(x)",
+		"not always[0,4] p(x)",
+		"prev (p(x) or q(x))",
+	}
+	for _, src := range srcs {
+		f := mtl.MustParse(src)
+		g := mtl.Normalize(f)
+		for j := 0; j < c.Len(); j++ {
+			for _, v := range []int64{1, 2} {
+				env := fol.Env{"x": value.Int(v)}
+				a, err := c.TestAt(f, j, env)
+				if err != nil {
+					t.Fatalf("TestAt(%q): %v", src, err)
+				}
+				b, err := c.TestAt(g, j, env)
+				if err != nil {
+					t.Fatalf("TestAt(nnf %q): %v", src, err)
+				}
+				if a != b {
+					t.Errorf("nnf changed semantics of %q at state %d x=%d: %v vs %v", src, j, v, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckerErrors(t *testing.T) {
+	s := hrSchema()
+	c := New(s)
+	con, _ := check.Parse("c1", "hire(e) -> not once fire(e)", s)
+	if err := c.AddConstraint(con); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddConstraint(con); err == nil {
+		t.Fatal("duplicate constraint accepted")
+	}
+	if _, err := c.Step(5, ins("p", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(5, ins("p", 2)); err == nil {
+		t.Fatal("non-increasing timestamp accepted")
+	}
+	if _, err := c.TestAt(mtl.MustParse("p(x)"), 9, fol.Env{}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := c.EvalAt(mtl.MustParse("p(x)"), -1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestHistoryBytesGrow(t *testing.T) {
+	s := hrSchema()
+	c := New(s)
+	mustStep(t, c, 0, ins("p", 1))
+	b1 := c.HistoryBytes()
+	mustStep(t, c, 1, ins("p", 2))
+	if c.HistoryBytes() <= b1 {
+		t.Fatal("history bytes must grow with states")
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	s := hrSchema()
+	c := New(s)
+	mustStep(t, c, 0, ins("p", 1))
+	mustStep(t, c, 3, ins("q", 1))
+	mustStep(t, c, 7, del("p", 1))
+
+	srcs := []string{
+		"p(x) and (true or q(x))",
+		"not (q(x) and false)",
+		"true since p(x)",
+		"once (p(x) and true)",
+		"(p(x) since false) or q(x)",
+		"prev (false or p(x))",
+		"once[2,5] true",
+	}
+	for _, src := range srcs {
+		f := mtl.Normalize(mtl.MustParse(src))
+		g := mtl.Simplify(f)
+		for j := 0; j < c.Len(); j++ {
+			for _, v := range []int64{1, 2} {
+				env := fol.Env{"x": value.Int(v)}
+				a, err := c.TestAt(f, j, env)
+				if err != nil {
+					t.Fatalf("TestAt(%q): %v", src, err)
+				}
+				b, err := c.TestAt(g, j, env)
+				if err != nil {
+					t.Fatalf("TestAt(simplified %q): %v", src, err)
+				}
+				if a != b {
+					t.Errorf("Simplify changed semantics of %q at state %d x=%d: %v vs %v", src, j, v, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointedCheckerEquivalent(t *testing.T) {
+	s := hrSchema()
+	full := New(s)
+	cp := NewCheckpointed(s, 5)
+	src := "hire(e) -> not once[0,50] fire(e)"
+	for _, c := range []*Checker{full, cp} {
+		con, err := check.Parse("c", src, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddConstraint(con); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tm := uint64(0)
+	for i := int64(0); i < 60; i++ {
+		tm += 2
+		var tx *storage.Transaction
+		if i%2 == 0 {
+			tx = ins("fire", i%7)
+		} else {
+			tx = storage.NewTransaction().
+				Delete("fire", tuple.Ints((i-1)%7)).
+				Insert("hire", tuple.Ints(i%7))
+		}
+		a, err := full.Step(tm, tx.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cp.Step(tm, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("step %d: snapshot %d violations vs checkpointed %d", i, len(a), len(b))
+		}
+	}
+	if cp.HistoryBytes() >= full.HistoryBytes() {
+		t.Fatalf("checkpointed store (%dB) not smaller than snapshots (%dB)",
+			cp.HistoryBytes(), full.HistoryBytes())
+	}
+}

@@ -1,0 +1,72 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+
+	"rtic/internal/tuple"
+)
+
+func benchRelation(n int) *Relation {
+	r := New(2)
+	for i := int64(0); i < int64(n); i++ {
+		r.MustInsert(tuple.Ints(i%64, i))
+	}
+	return r
+}
+
+func BenchmarkInsert(b *testing.B) {
+	b.ReportAllocs()
+	r := New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.MustInsert(tuple.Ints(int64(i%64), int64(i)))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	r := benchRelation(4096)
+	probe := tuple.Ints(7, 777)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Contains(probe)
+	}
+}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	for _, n := range []int{256, 4096} {
+		r := benchRelation(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildIndex(r, []int{0}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	r := benchRelation(4096)
+	ix, err := BuildIndex(r, []int{0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := tuple.Ints(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup(key)
+	}
+}
+
+func BenchmarkTuplesSorted(b *testing.B) {
+	r := benchRelation(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Tuples()
+	}
+}

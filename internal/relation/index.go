@@ -1,0 +1,40 @@
+package relation
+
+import (
+	"fmt"
+
+	"rtic/internal/tuple"
+)
+
+// Index is a hash index over a subset of a relation's columns, built on
+// demand by the join machinery. It is a snapshot: mutations to the
+// underlying relation after construction are not reflected.
+type Index struct {
+	columns []int
+	buckets map[string][]tuple.Tuple
+}
+
+// BuildIndex indexes r on the given column positions.
+func BuildIndex(r *Relation, columns []int) (*Index, error) {
+	for _, c := range columns {
+		if c < 0 || c >= r.arity {
+			return nil, fmt.Errorf("relation: index column %d out of range for arity %d", c, r.arity)
+		}
+	}
+	ix := &Index{columns: append([]int(nil), columns...), buckets: make(map[string][]tuple.Tuple)}
+	r.Each(func(t tuple.Tuple) bool {
+		k := t.Project(ix.columns).Key()
+		ix.buckets[k] = append(ix.buckets[k], t)
+		return true
+	})
+	return ix, nil
+}
+
+// Lookup returns the tuples whose indexed columns equal key (a tuple of
+// len(columns) values). The returned slice must not be mutated.
+func (ix *Index) Lookup(key tuple.Tuple) []tuple.Tuple {
+	return ix.buckets[key.Key()]
+}
+
+// Buckets reports the number of distinct keys.
+func (ix *Index) Buckets() int { return len(ix.buckets) }

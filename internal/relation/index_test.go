@@ -1,0 +1,65 @@
+package relation
+
+import (
+	"testing"
+
+	"rtic/internal/tuple"
+)
+
+func TestBuildIndexAndLookup(t *testing.T) {
+	r := New(2)
+	r.MustInsert(tuple.Ints(1, 10))
+	r.MustInsert(tuple.Ints(1, 20))
+	r.MustInsert(tuple.Ints(2, 30))
+
+	ix, err := BuildIndex(r, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Buckets() != 2 {
+		t.Fatalf("buckets = %d, want 2", ix.Buckets())
+	}
+	got := ix.Lookup(tuple.Ints(1))
+	if len(got) != 2 {
+		t.Fatalf("lookup(1) returned %d tuples, want 2", len(got))
+	}
+	if len(ix.Lookup(tuple.Ints(9))) != 0 {
+		t.Fatal("lookup of absent key returned tuples")
+	}
+}
+
+func TestBuildIndexMultiColumn(t *testing.T) {
+	r := New(3)
+	r.MustInsert(tuple.Ints(1, 2, 3))
+	r.MustInsert(tuple.Ints(1, 2, 4))
+	r.MustInsert(tuple.Ints(1, 9, 5))
+	ix, err := BuildIndex(r, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Lookup(tuple.Ints(1, 2)); len(got) != 2 {
+		t.Fatalf("lookup(1,2) = %d tuples, want 2", len(got))
+	}
+}
+
+func TestBuildIndexBadColumn(t *testing.T) {
+	if _, err := BuildIndex(New(2), []int{2}); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := BuildIndex(New(2), []int{-1}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestIndexIsSnapshot(t *testing.T) {
+	r := New(1)
+	r.MustInsert(tuple.Ints(1))
+	ix, err := BuildIndex(r, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.MustInsert(tuple.Ints(2))
+	if len(ix.Lookup(tuple.Ints(2))) != 0 {
+		t.Fatal("index reflected post-build mutation")
+	}
+}

@@ -1,0 +1,168 @@
+// Package relation implements in-memory relations: sets of fixed-arity
+// tuples with deterministic iteration, set operations and hash indexes.
+// Relations are the storage unit for database states and for the
+// checker's auxiliary encodings.
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"rtic/internal/tuple"
+)
+
+// Relation is a mutable set of tuples of a fixed arity.
+type Relation struct {
+	arity int
+	rows  map[string]tuple.Tuple
+}
+
+// New creates an empty relation of the given arity. Arity zero is legal:
+// such a relation is either empty (false) or holds the empty tuple (true).
+func New(arity int) *Relation {
+	if arity < 0 {
+		panic(fmt.Sprintf("relation: negative arity %d", arity))
+	}
+	return &Relation{arity: arity, rows: make(map[string]tuple.Tuple)}
+}
+
+// Arity reports the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len reports the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Insert adds t to the relation, copying it. It reports whether the
+// tuple was newly added and returns an error on arity mismatch.
+func (r *Relation) Insert(t tuple.Tuple) (bool, error) {
+	if len(t) != r.arity {
+		return false, fmt.Errorf("relation: insert arity %d into relation of arity %d", len(t), r.arity)
+	}
+	k := t.Key()
+	if _, ok := r.rows[k]; ok {
+		return false, nil
+	}
+	r.rows[k] = t.Clone()
+	return true, nil
+}
+
+// MustInsert inserts and panics on arity mismatch; for tests and
+// generators whose arities are correct by construction.
+func (r *Relation) MustInsert(t tuple.Tuple) bool {
+	ok, err := r.Insert(t)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// Delete removes t; it reports whether the tuple was present.
+func (r *Relation) Delete(t tuple.Tuple) bool {
+	k := t.Key()
+	if _, ok := r.rows[k]; !ok {
+		return false
+	}
+	delete(r.rows, k)
+	return true
+}
+
+// Contains reports membership of t.
+func (r *Relation) Contains(t tuple.Tuple) bool {
+	_, ok := r.rows[t.Key()]
+	return ok
+}
+
+// Each calls f for every tuple in unspecified order; f must not mutate
+// the relation. If f returns false, iteration stops early.
+func (r *Relation) Each(f func(tuple.Tuple) bool) {
+	for _, t := range r.rows {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns all tuples sorted lexicographically — the deterministic
+// view used by reporting and tests.
+func (r *Relation) Tuples() []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, len(r.rows))
+	for _, t := range r.rows {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns an independent deep copy.
+func (r *Relation) Clone() *Relation {
+	c := New(r.arity)
+	for k, t := range r.rows {
+		c.rows[k] = t.Clone()
+	}
+	return c
+}
+
+// Clear removes all tuples.
+func (r *Relation) Clear() {
+	r.rows = make(map[string]tuple.Tuple)
+}
+
+// Equal reports whether two relations hold exactly the same tuples.
+func (r *Relation) Equal(s *Relation) bool {
+	if r.arity != s.arity || len(r.rows) != len(s.rows) {
+		return false
+	}
+	for k := range r.rows {
+		if _, ok := s.rows[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionInPlace adds every tuple of s to r; arities must match.
+func (r *Relation) UnionInPlace(s *Relation) error {
+	if r.arity != s.arity {
+		return fmt.Errorf("relation: union of arity %d with %d", r.arity, s.arity)
+	}
+	for k, t := range s.rows {
+		if _, ok := r.rows[k]; !ok {
+			r.rows[k] = t.Clone()
+		}
+	}
+	return nil
+}
+
+// DiffInPlace removes every tuple of s from r; arities must match.
+func (r *Relation) DiffInPlace(s *Relation) error {
+	if r.arity != s.arity {
+		return fmt.Errorf("relation: diff of arity %d with %d", r.arity, s.arity)
+	}
+	for k := range s.rows {
+		delete(r.rows, k)
+	}
+	return nil
+}
+
+// Size estimates the in-memory footprint in bytes (keys plus tuples),
+// used by the space-accounting experiments.
+func (r *Relation) Size() int {
+	n := 48 // struct + map header
+	for k, t := range r.rows {
+		n += len(k) + 16 + t.Size()
+	}
+	return n
+}
+
+// String renders the relation as a sorted set literal, for diagnostics.
+func (r *Relation) String() string {
+	ts := r.Tuples()
+	s := "{"
+	for i, t := range ts {
+		if i > 0 {
+			s += ", "
+		}
+		s += t.String()
+	}
+	return s + "}"
+}

@@ -1,0 +1,93 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildSimple(t *testing.T) {
+	s, err := NewBuilder().Relation("r", 2).Relation("p", 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Arity("r"); got != 2 {
+		t.Fatalf("arity(r) = %d", got)
+	}
+	if got, _ := s.Arity("p"); got != 0 {
+		t.Fatalf("arity(p) = %d", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestBuildAttrs(t *testing.T) {
+	s, err := NewBuilder().RelationAttrs("emp", "id", "dept").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := s.Lookup("emp")
+	if !ok || d.Arity != 2 || d.Attrs[1] != "dept" {
+		t.Fatalf("Lookup(emp) = %+v ok=%v", d, ok)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Schema, error)
+		frag  string
+	}{
+		{"bad name", func() (*Schema, error) { return NewBuilder().Relation("9x", 1).Build() }, "invalid relation name"},
+		{"negative arity", func() (*Schema, error) { return NewBuilder().Relation("r", -1).Build() }, "negative arity"},
+		{"duplicate", func() (*Schema, error) { return NewBuilder().Relation("r", 1).Relation("r", 2).Build() }, "duplicate"},
+		{"bad attr", func() (*Schema, error) { return NewBuilder().RelationAttrs("r", "ok", "not ok").Build() }, "invalid attribute"},
+		{"dup attr", func() (*Schema, error) { return NewBuilder().RelationAttrs("r", "a", "a").Build() }, "repeats attribute"},
+	}
+	for _, c := range cases {
+		if _, err := c.build(); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestErrorSticky(t *testing.T) {
+	b := NewBuilder().Relation("9x", 1).Relation("fine", 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("first error should stick")
+	}
+}
+
+func TestUnknownRelation(t *testing.T) {
+	s := NewBuilder().Relation("r", 1).MustBuild()
+	if _, err := s.Arity("nope"); err == nil {
+		t.Fatal("expected unknown-relation error")
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatal("Lookup of unknown relation succeeded")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	s := NewBuilder().Relation("zz", 1).Relation("aa", 1).MustBuild()
+	n := s.Names()
+	if len(n) != 2 || n[0] != "aa" || n[1] != "zz" {
+		t.Fatalf("Names = %v", n)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := NewBuilder().Relation("b", 2).Relation("a", 1).MustBuild()
+	if got := s.String(); got != "a/1, b/2" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder().Relation("", 1).MustBuild()
+}

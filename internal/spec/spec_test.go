@@ -1,0 +1,116 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"rtic/internal/tuple"
+)
+
+func TestParseSpec(t *testing.T) {
+	src := `
+-- HR rules
+relation hire/1
+relation fire/1
+
+constraint no_quick_rehire: hire(e) -> not once[0,365] fire(e)
+constraint other: fire(e) -> not hire(e)
+`
+	sp, err := ParseSpec(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Schema.Len() != 2 {
+		t.Fatalf("schema = %s", sp.Schema)
+	}
+	if len(sp.Constraints) != 2 || sp.Constraints[0].Name != "no_quick_rehire" {
+		t.Fatalf("constraints = %v", sp.Constraints)
+	}
+	if !strings.Contains(sp.Constraints[0].Source, "once[0,365]") {
+		t.Fatalf("constraint source = %q", sp.Constraints[0].Source)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"relation hire", "relation name/arity"},
+		{"relation hire/x", "bad arity"},
+		{"constraint no colon here", "constraint name"},
+		{"bogus line", "unknown directive"},
+		{"relation hire/1", "no constraints"},
+		{"relation hire/1\nrelation hire/1\nconstraint c: hire(e) -> not hire(e)", "duplicate"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(strings.NewReader(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParseSpec(%q) err = %v, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestParseLogLine(t *testing.T) {
+	tm, tx, ok, err := ParseLogLine("@100 -fire(7) +hire(7) +badge('ann', 'red')")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if tm != 100 || tx.Len() != 3 {
+		t.Fatalf("tm=%d ops=%d", tm, tx.Len())
+	}
+	ops := tx.Ops()
+	if ops[0].Insert || ops[0].Rel != "fire" || !ops[0].Tuple.Equal(tuple.Ints(7)) {
+		t.Fatalf("op0 = %+v", ops[0])
+	}
+	if !ops[2].Tuple.Equal(tuple.Strs("ann", "red")) {
+		t.Fatalf("op2 = %+v", ops[2])
+	}
+}
+
+func TestParseLogLineEmptyAndComments(t *testing.T) {
+	for _, line := range []string{"", "   ", "-- a comment", "@5 +p(1) -- trailing"} {
+		tm, _, ok, err := ParseLogLine(line)
+		if err != nil {
+			t.Fatalf("ParseLogLine(%q): %v", line, err)
+		}
+		if line == "@5 +p(1) -- trailing" {
+			if !ok || tm != 5 {
+				t.Fatalf("trailing comment broke parse: ok=%v tm=%d", ok, tm)
+			}
+		} else if ok {
+			t.Fatalf("ParseLogLine(%q) = ok", line)
+		}
+	}
+}
+
+func TestParseLogLineNullaryAndSpaces(t *testing.T) {
+	_, tx, ok, err := ParseLogLine("@1 +alarm()")
+	if err != nil || !ok || tx.Len() != 1 {
+		t.Fatalf("nullary: ok=%v err=%v", ok, err)
+	}
+	if len(tx.Ops()[0].Tuple) != 0 {
+		t.Fatal("nullary tuple has values")
+	}
+	// A quoted string containing a space must survive splitting.
+	_, tx, _, err = ParseLogLine("@2 +name('a b')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tx.Ops()[0].Tuple.Equal(tuple.Strs("a b")) {
+		t.Fatalf("tuple = %v", tx.Ops()[0].Tuple)
+	}
+}
+
+func TestParseLogLineErrors(t *testing.T) {
+	cases := []struct{ line, frag string }{
+		{"100 +p(1)", "must start"},
+		{"@x +p(1)", "bad timestamp"},
+		{"@1 p(1)", "bad operation"},
+		{"@1 +p", "bad tuple"},
+		{"@1 +p(1,zz)", "bad literal"},
+	}
+	for _, c := range cases {
+		_, _, _, err := ParseLogLine(c.line)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParseLogLine(%q) err = %v, want containing %q", c.line, err, c.frag)
+		}
+	}
+}

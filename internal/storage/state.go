@@ -1,0 +1,136 @@
+// Package storage holds database states — one relation instance per
+// schema relation — and the transactions (insert/delete deltas) that move
+// a history from one state to the next.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"rtic/internal/relation"
+	"rtic/internal/schema"
+	"rtic/internal/tuple"
+	"rtic/internal/value"
+)
+
+// State is a database instance over a schema: a named relation store.
+type State struct {
+	schema *schema.Schema
+	rels   map[string]*relation.Relation
+}
+
+// NewState returns the empty instance of s.
+func NewState(s *schema.Schema) *State {
+	rels := make(map[string]*relation.Relation, s.Len())
+	for _, name := range s.Names() {
+		def, _ := s.Lookup(name)
+		rels[name] = relation.New(def.Arity)
+	}
+	return &State{schema: s, rels: rels}
+}
+
+// Schema returns the schema this state instantiates.
+func (st *State) Schema() *schema.Schema { return st.schema }
+
+// Relation returns the instance of name, or an error for unknown names.
+func (st *State) Relation(name string) (*relation.Relation, error) {
+	r, ok := st.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// Contains reports whether relation name currently holds t.
+func (st *State) Contains(name string, t tuple.Tuple) (bool, error) {
+	r, err := st.Relation(name)
+	if err != nil {
+		return false, err
+	}
+	return r.Contains(t), nil
+}
+
+// Clone returns an independent deep copy of the state.
+func (st *State) Clone() *State {
+	c := &State{schema: st.schema, rels: make(map[string]*relation.Relation, len(st.rels))}
+	for n, r := range st.rels {
+		c.rels[n] = r.Clone()
+	}
+	return c
+}
+
+// Cardinality returns the total number of tuples across all relations.
+func (st *State) Cardinality() int {
+	n := 0
+	for _, r := range st.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Size estimates the in-memory footprint in bytes.
+func (st *State) Size() int {
+	n := 48
+	for name, r := range st.rels {
+		n += len(name) + r.Size()
+	}
+	return n
+}
+
+// Equal reports whether two states over the same schema hold identical
+// relation instances.
+func (st *State) Equal(other *State) bool {
+	if len(st.rels) != len(other.rels) {
+		return false
+	}
+	for n, r := range st.rels {
+		o, ok := other.rels[n]
+		if !ok || !r.Equal(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// ActiveDomain returns every value occurring in any tuple of the state,
+// deduplicated and sorted. Quantifiers in the test evaluator range over
+// this set (extended with formula constants and the binding under test).
+func (st *State) ActiveDomain() []value.Value {
+	seen := make(map[string]value.Value)
+	for _, r := range st.rels {
+		r.Each(func(t tuple.Tuple) bool {
+			for _, v := range t {
+				seen[v.Key()] = v
+			}
+			return true
+		})
+	}
+	out := make([]value.Value, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Apply mutates the state by the transaction: deletions first, then
+// insertions (so a transaction may replace a tuple's row). It returns an
+// error on schema violations, leaving prior modifications in place only
+// if the error occurs midway; validate with tx.Validate first when
+// atomicity matters.
+func (st *State) Apply(tx *Transaction) error {
+	for _, m := range tx.ops {
+		r, err := st.Relation(m.Rel)
+		if err != nil {
+			return err
+		}
+		if m.Insert {
+			if _, err := r.Insert(m.Tuple); err != nil {
+				return err
+			}
+		} else {
+			r.Delete(m.Tuple)
+		}
+	}
+	return nil
+}

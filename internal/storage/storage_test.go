@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"rtic/internal/schema"
+	"rtic/internal/tuple"
+	"rtic/internal/value"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.NewBuilder().Relation("r", 2).Relation("p", 1).MustBuild()
+}
+
+func TestNewStateEmpty(t *testing.T) {
+	st := NewState(testSchema(t))
+	if st.Cardinality() != 0 {
+		t.Fatal("fresh state not empty")
+	}
+	r, err := st.Relation("r")
+	if err != nil || r.Arity() != 2 {
+		t.Fatalf("Relation(r): %v arity=%d", err, r.Arity())
+	}
+	if _, err := st.Relation("missing"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestApplyInsertDelete(t *testing.T) {
+	st := NewState(testSchema(t))
+	tx := NewTransaction().Insert("r", tuple.Ints(1, 2)).Insert("p", tuple.Ints(7))
+	if err := st.Apply(tx); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := st.Contains("r", tuple.Ints(1, 2)); !ok {
+		t.Fatal("insert lost")
+	}
+	tx2 := NewTransaction().Delete("r", tuple.Ints(1, 2))
+	if err := st.Apply(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := st.Contains("r", tuple.Ints(1, 2)); ok {
+		t.Fatal("delete lost")
+	}
+	if st.Cardinality() != 1 {
+		t.Fatalf("cardinality = %d", st.Cardinality())
+	}
+}
+
+func TestApplyDeleteThenInsertSameTuple(t *testing.T) {
+	st := NewState(testSchema(t))
+	tx := NewTransaction().Insert("p", tuple.Ints(1))
+	if err := st.Apply(tx); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := NewTransaction().Delete("p", tuple.Ints(1)).Insert("p", tuple.Ints(1))
+	if err := st.Apply(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := st.Contains("p", tuple.Ints(1)); !ok {
+		t.Fatal("delete-then-insert should leave tuple present")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	st := NewState(testSchema(t))
+	if err := st.Apply(NewTransaction().Insert("zz", tuple.Ints(1))); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if err := st.Apply(NewTransaction().Insert("p", tuple.Ints(1, 2))); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := testSchema(t)
+	good := NewTransaction().Insert("r", tuple.Ints(1, 2)).Delete("p", tuple.Ints(3))
+	if err := good.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewTransaction().Insert("r", tuple.Ints(1))
+	if err := bad.Validate(s); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("Validate = %v", err)
+	}
+	unknown := NewTransaction().Insert("nope", tuple.Ints(1))
+	if err := unknown.Validate(s); err == nil {
+		t.Fatal("unknown relation validated")
+	}
+}
+
+func TestTransactionInsertCopies(t *testing.T) {
+	row := tuple.Ints(1)
+	tx := NewTransaction().Insert("p", row)
+	row[0] = value.Int(9)
+	if tx.Ops()[0].Tuple[0].AsInt() != 1 {
+		t.Fatal("transaction aliases caller tuple")
+	}
+}
+
+func TestTransactionClone(t *testing.T) {
+	tx := NewTransaction().Insert("p", tuple.Ints(1))
+	c := tx.Clone()
+	c.Insert("p", tuple.Ints(2))
+	if tx.Len() != 1 || c.Len() != 2 {
+		t.Fatal("Clone shares op list")
+	}
+}
+
+func TestTransactionString(t *testing.T) {
+	tx := NewTransaction().Insert("p", tuple.Ints(1)).Delete("r", tuple.Ints(2, 3))
+	if got := tx.String(); got != "+p(1) -r(2, 3)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestStateCloneIndependence(t *testing.T) {
+	st := NewState(testSchema(t))
+	if err := st.Apply(NewTransaction().Insert("p", tuple.Ints(1))); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Clone()
+	if err := c.Apply(NewTransaction().Insert("p", tuple.Ints(2))); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cardinality() != 1 || c.Cardinality() != 2 {
+		t.Fatal("Clone shares relations")
+	}
+}
+
+func TestStateEqual(t *testing.T) {
+	a, b := NewState(testSchema(t)), NewState(testSchema(t))
+	if !a.Equal(b) {
+		t.Fatal("empty states unequal")
+	}
+	if err := a.Apply(NewTransaction().Insert("p", tuple.Ints(1))); err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Fatal("different states equal")
+	}
+	if err := b.Apply(NewTransaction().Insert("p", tuple.Ints(1))); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same states unequal")
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	st := NewState(testSchema(t))
+	tx := NewTransaction().
+		Insert("r", tuple.Of(value.Int(1), value.Str("a"))).
+		Insert("p", tuple.Ints(1))
+	if err := st.Apply(tx); err != nil {
+		t.Fatal(err)
+	}
+	dom := st.ActiveDomain()
+	if len(dom) != 2 {
+		t.Fatalf("active domain = %v, want 2 distinct values", dom)
+	}
+	if !dom[0].Equal(value.Int(1)) || !dom[1].Equal(value.Str("a")) {
+		t.Fatalf("active domain = %v", dom)
+	}
+}
+
+func TestSizeGrows(t *testing.T) {
+	st := NewState(testSchema(t))
+	s0 := st.Size()
+	if err := st.Apply(NewTransaction().Insert("p", tuple.Ints(1))); err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() <= s0 {
+		t.Fatal("Size did not grow after insert")
+	}
+}

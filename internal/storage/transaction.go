@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"rtic/internal/schema"
+	"rtic/internal/tuple"
+)
+
+// Op is a single tuple-level modification within a transaction.
+type Op struct {
+	Rel    string
+	Tuple  tuple.Tuple
+	Insert bool // false = delete
+}
+
+// Transaction is an ordered list of tuple insertions and deletions that
+// together produce the next state of a history. Order matters only when
+// a transaction deletes and reinserts the same tuple.
+type Transaction struct {
+	ops []Op
+}
+
+// NewTransaction returns an empty transaction.
+func NewTransaction() *Transaction { return &Transaction{} }
+
+// Insert schedules an insertion.
+func (tx *Transaction) Insert(rel string, t tuple.Tuple) *Transaction {
+	tx.ops = append(tx.ops, Op{Rel: rel, Tuple: t.Clone(), Insert: true})
+	return tx
+}
+
+// Delete schedules a deletion.
+func (tx *Transaction) Delete(rel string, t tuple.Tuple) *Transaction {
+	tx.ops = append(tx.ops, Op{Rel: rel, Tuple: t.Clone(), Insert: false})
+	return tx
+}
+
+// Ops returns the modifications in order. The slice must not be mutated.
+func (tx *Transaction) Ops() []Op { return tx.ops }
+
+// Len reports the number of modifications.
+func (tx *Transaction) Len() int { return len(tx.ops) }
+
+// Validate checks every op against the schema without applying anything,
+// so Apply can be made effectively atomic by validating first.
+func (tx *Transaction) Validate(s *schema.Schema) error {
+	for i, m := range tx.ops {
+		arity, err := s.Arity(m.Rel)
+		if err != nil {
+			return fmt.Errorf("storage: op %d: %w", i, err)
+		}
+		if len(m.Tuple) != arity {
+			return fmt.Errorf("storage: op %d: relation %s expects arity %d, got %d",
+				i, m.Rel, arity, len(m.Tuple))
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the transaction.
+func (tx *Transaction) Clone() *Transaction {
+	c := &Transaction{ops: make([]Op, len(tx.ops))}
+	for i, m := range tx.ops {
+		c.ops[i] = Op{Rel: m.Rel, Tuple: m.Tuple.Clone(), Insert: m.Insert}
+	}
+	return c
+}
+
+// String renders the transaction as "+rel(…) -rel(…) …" for diagnostics.
+func (tx *Transaction) String() string {
+	var b strings.Builder
+	for i, m := range tx.ops {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if m.Insert {
+			b.WriteByte('+')
+		} else {
+			b.WriteByte('-')
+		}
+		b.WriteString(m.Rel)
+		b.WriteString(m.Tuple.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package tuple
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rtic/internal/value"
+)
+
+func TestCloneIndependence(t *testing.T) {
+	orig := Ints(1, 2, 3)
+	c := orig.Clone()
+	c[0] = value.Int(99)
+	if orig[0].AsInt() != 1 {
+		t.Fatal("Clone aliases original storage")
+	}
+	if Tuple(nil).Clone() != nil {
+		t.Fatal("Clone(nil) should be nil")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Ints(1, 2).Equal(Ints(1, 2)) {
+		t.Fatal("equal tuples reported unequal")
+	}
+	if Ints(1, 2).Equal(Ints(1, 3)) {
+		t.Fatal("unequal tuples reported equal")
+	}
+	if Ints(1).Equal(Ints(1, 2)) {
+		t.Fatal("different arities reported equal")
+	}
+	if !Of().Equal(Of()) {
+		t.Fatal("empty tuples must be equal")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{Ints(1, 2), Ints(1, 2), 0},
+		{Ints(1, 2), Ints(1, 3), -1},
+		{Ints(2), Ints(1, 9), 1},
+		{Ints(1), Ints(1, 0), -1},
+		{Strs("a"), Strs("b"), -1},
+		{Ints(5), Strs("5"), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestKeyNoCollisions(t *testing.T) {
+	pairs := [][2]Tuple{
+		{Strs("ab", "c"), Strs("a", "bc")},
+		{Ints(12), Ints(1, 2)},
+		{Of(value.Int(5)), Of(value.Str("5"))},
+		{Strs(""), Of()},
+	}
+	for _, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("Key collision between %v and %v: %q", p[0], p[1], p[0].Key())
+		}
+	}
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	a := Strs("x", "y")
+	if a.Key() != Strs("x", "y").Key() {
+		t.Fatal("Key not deterministic")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := Of(value.Int(1), value.Str("a")).String()
+	if got != "(1, 'a')" {
+		t.Fatalf("String = %q", got)
+	}
+	if Of().String() != "()" {
+		t.Fatalf("empty tuple String = %q", Of().String())
+	}
+}
+
+func TestProject(t *testing.T) {
+	tt := Ints(10, 20, 30)
+	got := tt.Project([]int{2, 0})
+	if !got.Equal(Ints(30, 10)) {
+		t.Fatalf("Project = %v", got)
+	}
+	if len(tt.Project(nil)) != 0 {
+		t.Fatal("empty projection should be empty")
+	}
+}
+
+func TestSizeGrows(t *testing.T) {
+	if Ints(1, 2).Size() <= Ints(1).Size() {
+		t.Fatal("Size must grow with arity")
+	}
+}
+
+func TestQuickKeyInjectiveOnInts(t *testing.T) {
+	f := func(a, b []int64) bool {
+		ta, tb := Ints(a...), Ints(b...)
+		return (ta.Key() == tb.Key()) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b []int64) bool {
+		ta, tb := Ints(a...), Ints(b...)
+		return ta.Compare(tb) == -tb.Compare(ta)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	it := Ints(3, 4)
+	if it[0].Kind() != value.KindInt || it[1].AsInt() != 4 {
+		t.Fatal("Ints built wrong tuple")
+	}
+	st := Strs("p", "q")
+	if st[1].AsString() != "q" {
+		t.Fatal("Strs built wrong tuple")
+	}
+}

@@ -1,0 +1,200 @@
+// Package value defines the scalar constants that populate database tuples
+// and appear in constraint formulas: 64-bit integers and strings.
+//
+// Values are small immutable records with a total order (integers sort
+// before strings) and a collision-free string encoding used as a map key
+// throughout the engine.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the dynamic type of a Value.
+type Kind uint8
+
+const (
+	// KindInt is a signed 64-bit integer.
+	KindInt Kind = iota
+	// KindString is an uninterpreted string.
+	KindString
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable scalar: either an integer or a string.
+// The zero Value is the integer 0.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// AsInt returns the integer payload; it must only be called when
+// v.Kind() == KindInt.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("value: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsString returns the string payload; it must only be called when
+// v.Kind() == KindString.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("value: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(w Value) bool {
+	return v.kind == w.kind && v.i == w.i && v.s == w.s
+}
+
+// Compare orders values totally: all integers precede all strings;
+// integers order numerically, strings lexicographically.
+// It returns -1, 0 or +1.
+func (v Value) Compare(w Value) int {
+	if v.kind != w.kind {
+		if v.kind < w.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindInt:
+		switch {
+		case v.i < w.i:
+			return -1
+		case v.i > w.i:
+			return 1
+		}
+		return 0
+	default:
+		return strings.Compare(v.s, w.s)
+	}
+}
+
+// Less reports whether v orders strictly before w.
+func (v Value) Less(w Value) bool { return v.Compare(w) < 0 }
+
+// Key returns a collision-free encoding of v usable as a map key.
+// Integer keys are "i<decimal>", string keys are "s<payload>"; the
+// distinct prefixes keep Int(5) and Str("5") apart.
+func (v Value) Key() string {
+	if v.kind == KindInt {
+		return "i" + strconv.FormatInt(v.i, 10)
+	}
+	return "s" + v.s
+}
+
+// String renders the value as it appears in the constraint language:
+// integers bare, strings single-quoted with quote doubling.
+func (v Value) String() string {
+	if v.kind == KindInt {
+		return strconv.FormatInt(v.i, 10)
+	}
+	return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+}
+
+// Parse reads a constraint-language literal: a decimal integer
+// (optionally signed) or a single-quoted string with quote doubling.
+func Parse(src string) (Value, error) {
+	if src == "" {
+		return Value{}, fmt.Errorf("value: empty literal")
+	}
+	if src[0] == '\'' {
+		if len(src) < 2 || src[len(src)-1] != '\'' {
+			return Value{}, fmt.Errorf("value: unterminated string literal %q", src)
+		}
+		body := src[1 : len(src)-1]
+		var b strings.Builder
+		for i := 0; i < len(body); i++ {
+			if body[i] == '\'' {
+				if i+1 >= len(body) || body[i+1] != '\'' {
+					return Value{}, fmt.Errorf("value: stray quote in string literal %q", src)
+				}
+				i++
+			}
+			b.WriteByte(body[i])
+		}
+		return Str(b.String()), nil
+	}
+	i, err := strconv.ParseInt(src, 10, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("value: bad literal %q: %w", src, err)
+	}
+	return Int(i), nil
+}
+
+// Size returns an estimate of the in-memory footprint of v in bytes,
+// used by the space-accounting experiments.
+func (v Value) Size() int {
+	// kind byte + int64 + string header approximation + payload.
+	return 1 + 8 + len(v.s)
+}
+
+// MarshalBinary encodes the value for gob/binary transport: a kind byte
+// followed by the payload (big-endian int64 or raw string bytes).
+func (v Value) MarshalBinary() ([]byte, error) {
+	if v.kind == KindInt {
+		buf := make([]byte, 9)
+		buf[0] = byte(KindInt)
+		u := uint64(v.i)
+		for k := 0; k < 8; k++ {
+			buf[1+k] = byte(u >> (56 - 8*k))
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 1+len(v.s))
+	buf[0] = byte(KindString)
+	copy(buf[1:], v.s)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a value produced by MarshalBinary.
+func (v *Value) UnmarshalBinary(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("value: empty binary encoding")
+	}
+	switch Kind(data[0]) {
+	case KindInt:
+		if len(data) != 9 {
+			return fmt.Errorf("value: bad int encoding length %d", len(data))
+		}
+		var u uint64
+		for k := 0; k < 8; k++ {
+			u = u<<8 | uint64(data[1+k])
+		}
+		*v = Int(int64(u))
+		return nil
+	case KindString:
+		*v = Str(string(data[1:]))
+		return nil
+	default:
+		return fmt.Errorf("value: unknown kind byte %d", data[0])
+	}
+}

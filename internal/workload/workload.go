@@ -1,0 +1,540 @@
+// Package workload generates the synthetic histories the reconstructed
+// experiments run on: a generic uniform-random update stream plus four
+// domain scenarios (ticket payment deadlines, HR rehire separation,
+// library loan periods, alarm-acknowledgement chains) with controllable
+// violation rates. All generators are deterministic in their seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+)
+
+// Step is one committed transaction of a generated history.
+type Step struct {
+	Time uint64
+	Tx   *storage.Transaction
+}
+
+// ConstraintSpec names a constraint in surface syntax.
+type ConstraintSpec struct {
+	Name   string
+	Source string
+}
+
+// History bundles a generated update stream with the schema and
+// constraints it is meant to be checked against.
+type History struct {
+	Schema      *schema.Schema
+	Constraints []ConstraintSpec
+	Steps       []Step
+}
+
+// UniformConfig parameterizes the generic random workload.
+type UniformConfig struct {
+	Steps     int   // number of transactions
+	OpsPerTx  int   // tuple modifications per transaction
+	Domain    int64 // values drawn from [0, Domain)
+	GapMax    int   // timestamp gaps drawn from [1, GapMax]
+	Seed      int64
+	DeletePct int // percentage of ops that are deletions (default 33)
+}
+
+func (c UniformConfig) withDefaults() UniformConfig {
+	if c.Steps <= 0 {
+		c.Steps = 100
+	}
+	if c.OpsPerTx <= 0 {
+		c.OpsPerTx = 2
+	}
+	if c.Domain <= 0 {
+		c.Domain = 8
+	}
+	if c.GapMax <= 0 {
+		c.GapMax = 3
+	}
+	if c.DeletePct <= 0 {
+		c.DeletePct = 33
+	}
+	return c
+}
+
+// UniformSchema is the schema the uniform workload ranges over.
+func UniformSchema() *schema.Schema {
+	return schema.NewBuilder().
+		Relation("p", 1).
+		Relation("q", 1).
+		Relation("r", 2).
+		MustBuild()
+}
+
+// Uniform generates a random update stream over UniformSchema. The
+// returned history carries a representative constraint set; callers may
+// substitute their own.
+func Uniform(cfg UniformConfig) History {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	steps := make([]Step, 0, cfg.Steps)
+	var tm uint64
+	for i := 0; i < cfg.Steps; i++ {
+		tm += uint64(1 + r.Intn(cfg.GapMax))
+		tx := storage.NewTransaction()
+		for k := 0; k < cfg.OpsPerTx; k++ {
+			rel := []string{"p", "q", "r"}[r.Intn(3)]
+			var row tuple.Tuple
+			if rel == "r" {
+				row = tuple.Ints(r.Int63n(cfg.Domain), r.Int63n(cfg.Domain))
+			} else {
+				row = tuple.Ints(r.Int63n(cfg.Domain))
+			}
+			if r.Intn(100) < cfg.DeletePct {
+				tx.Delete(rel, row)
+			} else {
+				tx.Insert(rel, row)
+			}
+		}
+		steps = append(steps, Step{Time: tm, Tx: tx})
+	}
+	return History{
+		Schema: UniformSchema(),
+		Constraints: []ConstraintSpec{
+			{Name: "no_recent_q", Source: "p(x) -> not once[0,16] q(x)"},
+			{Name: "chain", Source: "p(x) -> not (q(x) since[0,16] p(x))"},
+		},
+		Steps: steps,
+	}
+}
+
+// TicketsConfig parameterizes the payment-deadline scenario.
+type TicketsConfig struct {
+	Steps         int
+	Seed          int64
+	Deadline      uint64  // payment must follow a reservation within this window
+	NewPerStep    int     // reservations opened per transaction
+	ViolationRate float64 // fraction of tickets paid late or never reserved
+	GapMax        int
+}
+
+func (c TicketsConfig) withDefaults() TicketsConfig {
+	if c.Steps <= 0 {
+		c.Steps = 100
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 3
+	}
+	if c.NewPerStep <= 0 {
+		c.NewPerStep = 1
+	}
+	if c.GapMax <= 0 {
+		c.GapMax = 1
+	}
+	return c
+}
+
+// TicketsSchema is the payment-deadline schema.
+func TicketsSchema() *schema.Schema {
+	return schema.NewBuilder().
+		Relation("reserved", 1).
+		Relation("paid", 1).
+		MustBuild()
+}
+
+// TicketsConstraint is the scenario's constraint: a payment must follow
+// a reservation made within the deadline.
+func TicketsConstraint(deadline uint64) ConstraintSpec {
+	return ConstraintSpec{
+		Name:   "pay_in_time",
+		Source: fmt.Sprintf("paid(tk) -> once[0,%d] reserved(tk)", deadline),
+	}
+}
+
+// Tickets generates the payment-deadline workload: each step opens new
+// reservations and pays tickets whose (per-ticket) delay elapsed; a
+// ViolationRate fraction of payments is scheduled past the deadline.
+// Settled tickets are cleaned up one step after payment so the database
+// stays bounded.
+func Tickets(cfg TicketsConfig) History {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	steps := make([]Step, 0, cfg.Steps)
+
+	// Reservation and payment markers are events: each is visible in
+	// exactly one state and removed by the next transaction, so the
+	// metric window — not tuple persistence — decides satisfaction.
+	type pending struct {
+		id    int64
+		payAt int // step index
+	}
+	var (
+		toPay   []pending
+		toClear []storage.Op
+		nextID  int64
+		tm      uint64
+	)
+	for i := 0; i < cfg.Steps; i++ {
+		tm += uint64(1 + r.Intn(cfg.GapMax))
+		tx := storage.NewTransaction()
+
+		// Remove the previous step's event markers.
+		for _, op := range toClear {
+			tx.Delete(op.Rel, op.Tuple)
+		}
+		toClear = nil
+
+		// Open reservations and schedule their payments.
+		for k := 0; k < cfg.NewPerStep; k++ {
+			id := nextID
+			nextID++
+			tx.Insert("reserved", tuple.Ints(id))
+			toClear = append(toClear, storage.Op{Rel: "reserved", Tuple: tuple.Ints(id)})
+			delay := 1 + r.Intn(int(cfg.Deadline))
+			if r.Float64() < cfg.ViolationRate {
+				// Late payment: outside the window.
+				delay = int(cfg.Deadline) + 2 + r.Intn(3)
+			}
+			toPay = append(toPay, pending{id: id, payAt: i + delay})
+		}
+
+		// Pay due tickets.
+		var still []pending
+		for _, p := range toPay {
+			if p.payAt <= i {
+				tx.Insert("paid", tuple.Ints(p.id))
+				toClear = append(toClear, storage.Op{Rel: "paid", Tuple: tuple.Ints(p.id)})
+			} else {
+				still = append(still, p)
+			}
+		}
+		toPay = still
+
+		steps = append(steps, Step{Time: tm, Tx: tx})
+	}
+	return History{
+		Schema:      TicketsSchema(),
+		Constraints: []ConstraintSpec{TicketsConstraint(cfg.Deadline)},
+		Steps:       steps,
+	}
+}
+
+// HRConfig parameterizes the rehire-separation scenario.
+type HRConfig struct {
+	Steps         int
+	Seed          int64
+	Separation    uint64 // no rehire within this window after a firing
+	Employees     int64
+	ViolationRate float64
+	GapMax        int
+}
+
+func (c HRConfig) withDefaults() HRConfig {
+	if c.Steps <= 0 {
+		c.Steps = 100
+	}
+	if c.Separation == 0 {
+		c.Separation = 30
+	}
+	if c.Employees <= 0 {
+		c.Employees = 20
+	}
+	if c.GapMax <= 0 {
+		c.GapMax = 2
+	}
+	return c
+}
+
+// HRSchema is the hire/fire schema.
+func HRSchema() *schema.Schema {
+	return schema.NewBuilder().
+		Relation("hire", 1).
+		Relation("fire", 1).
+		MustBuild()
+}
+
+// HRConstraint forbids rehiring within the separation window.
+func HRConstraint(separation uint64) ConstraintSpec {
+	return ConstraintSpec{
+		Name:   "no_quick_rehire",
+		Source: fmt.Sprintf("hire(e) -> not once[0,%d] fire(e)", separation),
+	}
+}
+
+// HR generates hire/fire event streams: employees churn, and a
+// ViolationRate fraction of hires happens inside the separation window
+// after a firing. Hire/fire markers are removed on the following step,
+// making them event-like.
+func HR(cfg HRConfig) History {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	steps := make([]Step, 0, cfg.Steps)
+
+	var (
+		employed     []int64
+		firedAtTime  = make(map[int64]uint64)
+		pendingClear []storage.Op
+		nextID       int64
+		tm           uint64
+	)
+	for i := 0; i < cfg.Steps; i++ {
+		tm += uint64(1 + r.Intn(cfg.GapMax))
+		tx := storage.NewTransaction()
+
+		// Clear the previous step's event markers.
+		for _, op := range pendingClear {
+			tx.Delete(op.Rel, op.Tuple)
+		}
+		pendingClear = nil
+
+		if len(employed) > 0 && (r.Intn(2) == 0 || int64(len(employed)) >= cfg.Employees) {
+			// Fire a random current employee.
+			k := r.Intn(len(employed))
+			e := employed[k]
+			employed = append(employed[:k], employed[k+1:]...)
+			tx.Insert("fire", tuple.Ints(e))
+			pendingClear = append(pendingClear, storage.Op{Rel: "fire", Tuple: tuple.Ints(e)})
+			firedAtTime[e] = tm
+		} else {
+			// Hire: a ViolationRate fraction rehires inside the window.
+			var e int64 = -1
+			if r.Float64() < cfg.ViolationRate {
+				for cand, at := range firedAtTime {
+					if tm-at <= cfg.Separation {
+						e = cand
+						break
+					}
+				}
+			}
+			if e < 0 {
+				e = nextID
+				nextID++
+			} else {
+				delete(firedAtTime, e)
+			}
+			employed = append(employed, e)
+			tx.Insert("hire", tuple.Ints(e))
+			pendingClear = append(pendingClear, storage.Op{Rel: "hire", Tuple: tuple.Ints(e)})
+		}
+		steps = append(steps, Step{Time: tm, Tx: tx})
+	}
+	return History{
+		Schema:      HRSchema(),
+		Constraints: []ConstraintSpec{HRConstraint(cfg.Separation)},
+		Steps:       steps,
+	}
+}
+
+// LibraryConfig parameterizes the loan-period scenario.
+type LibraryConfig struct {
+	Steps         int
+	Seed          int64
+	LoanPeriod    uint64
+	Books         int64
+	Patrons       int64
+	ViolationRate float64
+}
+
+func (c LibraryConfig) withDefaults() LibraryConfig {
+	if c.Steps <= 0 {
+		c.Steps = 100
+	}
+	if c.LoanPeriod == 0 {
+		c.LoanPeriod = 14
+	}
+	if c.Books <= 0 {
+		c.Books = 30
+	}
+	if c.Patrons <= 0 {
+		c.Patrons = 10
+	}
+	return c
+}
+
+// LibrarySchema is the loan schema.
+func LibrarySchema() *schema.Schema {
+	return schema.NewBuilder().
+		Relation("checkout", 2). // checkout(book, patron)
+		Relation("ret", 2).      // ret(book, patron)
+		MustBuild()
+}
+
+// LibraryConstraint: a returned book must have been checked out by the
+// same patron within the loan period.
+func LibraryConstraint(period uint64) ConstraintSpec {
+	return ConstraintSpec{
+		Name:   "return_in_period",
+		Source: fmt.Sprintf("ret(b, p) -> once[0,%d] checkout(b, p)", period),
+	}
+}
+
+// Library generates checkout/return streams with a ViolationRate
+// fraction of late returns.
+func Library(cfg LibraryConfig) History {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	steps := make([]Step, 0, cfg.Steps)
+
+	type loan struct {
+		book, patron int64
+		returnAt     int
+	}
+	var (
+		loans   []loan
+		onLoan  = make(map[int64]bool)
+		tm      uint64
+		toClear []storage.Op
+	)
+	for i := 0; i < cfg.Steps; i++ {
+		tm++
+		tx := storage.NewTransaction()
+		for _, op := range toClear {
+			tx.Delete(op.Rel, op.Tuple)
+		}
+		toClear = nil
+
+		// New checkout.
+		b := r.Int63n(cfg.Books)
+		if !onLoan[b] {
+			p := r.Int63n(cfg.Patrons)
+			tx.Insert("checkout", tuple.Ints(b, p))
+			toClear = append(toClear, storage.Op{Rel: "checkout", Tuple: tuple.Ints(b, p)})
+			due := 1 + r.Intn(int(cfg.LoanPeriod))
+			if r.Float64() < cfg.ViolationRate {
+				due = int(cfg.LoanPeriod) + 2 + r.Intn(5)
+			}
+			loans = append(loans, loan{book: b, patron: p, returnAt: i + due})
+			onLoan[b] = true
+		}
+
+		// Due returns.
+		var still []loan
+		for _, l := range loans {
+			if l.returnAt <= i {
+				tx.Insert("ret", tuple.Ints(l.book, l.patron))
+				toClear = append(toClear, storage.Op{Rel: "ret", Tuple: tuple.Ints(l.book, l.patron)})
+				onLoan[l.book] = false
+			} else {
+				still = append(still, l)
+			}
+		}
+		loans = still
+		steps = append(steps, Step{Time: tm, Tx: tx})
+	}
+	return History{
+		Schema:      LibrarySchema(),
+		Constraints: []ConstraintSpec{LibraryConstraint(cfg.LoanPeriod)},
+		Steps:       steps,
+	}
+}
+
+// AlarmsConfig parameterizes the alarm-acknowledgement scenario, the
+// since-chain workload: an alarm may only be cleared while an
+// acknowledgement has held continuously since it was raised.
+type AlarmsConfig struct {
+	Steps         int
+	Seed          int64
+	ClearAfter    int     // steps between raise and clear
+	ViolationRate float64 // fraction of clears with a broken/missing ack chain
+}
+
+func (c AlarmsConfig) withDefaults() AlarmsConfig {
+	if c.Steps <= 0 {
+		c.Steps = 100
+	}
+	if c.ClearAfter <= 0 {
+		c.ClearAfter = 4
+	}
+	return c
+}
+
+// AlarmsSchema is the alarm scenario schema.
+func AlarmsSchema() *schema.Schema {
+	return schema.NewBuilder().
+		Relation("raisd", 1). // raise event (one state)
+		Relation("ack", 1).   // acknowledgement state (persists)
+		Relation("clear", 1). // clear event (one state)
+		MustBuild()
+}
+
+// AlarmsConstraint requires the acknowledgement chain at clear time.
+func AlarmsConstraint() ConstraintSpec {
+	return ConstraintSpec{
+		Name:   "ack_before_clear",
+		Source: "clear(a) -> (ack(a) since raisd(a))",
+	}
+}
+
+// Alarms generates raise/ack/clear flows. A compliant flow acknowledges
+// in the state right after the raise and keeps the acknowledgement until
+// the clear; a violating flow either never acknowledges or drops the
+// acknowledgement one step before clearing (a broken chain).
+func Alarms(cfg AlarmsConfig) History {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	steps := make([]Step, 0, cfg.Steps)
+
+	type flow struct {
+		id      int64
+		raised  int
+		violate int // 0 = compliant, 1 = never ack, 2 = drop ack early
+	}
+	var (
+		flows   []flow
+		nextID  int64
+		toClear []storage.Op
+		tm      uint64
+	)
+	for i := 0; i < cfg.Steps; i++ {
+		tm++
+		tx := storage.NewTransaction()
+		for _, op := range toClear {
+			tx.Delete(op.Rel, op.Tuple)
+		}
+		toClear = nil
+
+		// Raise a new alarm every other step.
+		if i%2 == 0 {
+			f := flow{id: nextID, raised: i}
+			nextID++
+			if r.Float64() < cfg.ViolationRate {
+				f.violate = 1 + r.Intn(2)
+			}
+			flows = append(flows, f)
+			tx.Insert("raisd", tuple.Ints(f.id))
+			toClear = append(toClear, storage.Op{Rel: "raisd", Tuple: tuple.Ints(f.id)})
+		}
+
+		var live []flow
+		for _, f := range flows {
+			age := i - f.raised
+			switch {
+			case age == 1 && f.violate != 1:
+				// Acknowledge right after the raise.
+				tx.Insert("ack", tuple.Ints(f.id))
+				live = append(live, f)
+			case f.violate == 2 && age == cfg.ClearAfter-1:
+				// Broken chain: drop the ack one step early.
+				tx.Delete("ack", tuple.Ints(f.id))
+				live = append(live, f)
+			case age == cfg.ClearAfter:
+				// Clear; remove the ack state with the clear marker.
+				tx.Insert("clear", tuple.Ints(f.id))
+				toClear = append(toClear, storage.Op{Rel: "clear", Tuple: tuple.Ints(f.id)})
+				if f.violate == 0 {
+					toClear = append(toClear, storage.Op{Rel: "ack", Tuple: tuple.Ints(f.id)})
+				}
+			default:
+				live = append(live, f)
+			}
+		}
+		flows = live
+		steps = append(steps, Step{Time: tm, Tx: tx})
+	}
+	return History{
+		Schema:      AlarmsSchema(),
+		Constraints: []ConstraintSpec{AlarmsConstraint()},
+		Steps:       steps,
+	}
+}

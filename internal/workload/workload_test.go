@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"testing"
+
+	"rtic/internal/check"
+	"rtic/internal/core"
+	"rtic/internal/naive"
+)
+
+// replay runs a history through the incremental checker and returns the
+// number of violating states and total violations.
+func replay(t *testing.T, h History) (states, violations int) {
+	t.Helper()
+	c := core.New(h.Schema)
+	for _, cs := range h.Constraints {
+		con, err := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err != nil {
+			t.Fatalf("constraint %s: %v", cs.Name, err)
+		}
+		if err := c.AddConstraint(con); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range h.Steps {
+		vs, err := c.Step(s.Time, s.Tx)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if len(vs) > 0 {
+			states++
+			violations += len(vs)
+		}
+	}
+	return states, violations
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(UniformConfig{Steps: 50, Seed: 1})
+	b := Uniform(UniformConfig{Steps: 50, Seed: 1})
+	if len(a.Steps) != len(b.Steps) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Steps {
+		if a.Steps[i].Time != b.Steps[i].Time || a.Steps[i].Tx.String() != b.Steps[i].Tx.String() {
+			t.Fatalf("step %d differs", i)
+		}
+	}
+	c := Uniform(UniformConfig{Steps: 50, Seed: 2})
+	same := true
+	for i := range a.Steps {
+		if a.Steps[i].Tx.String() != c.Steps[i].Tx.String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical histories")
+	}
+}
+
+func TestUniformTimesIncrease(t *testing.T) {
+	h := Uniform(UniformConfig{Steps: 200, Seed: 3, GapMax: 4})
+	for i := 1; i < len(h.Steps); i++ {
+		if h.Steps[i].Time <= h.Steps[i-1].Time {
+			t.Fatalf("non-increasing time at %d", i)
+		}
+	}
+}
+
+func TestUniformReplays(t *testing.T) {
+	h := Uniform(UniformConfig{Steps: 80, Seed: 4})
+	replay(t, h) // must not error
+}
+
+func TestTicketsViolationRateZero(t *testing.T) {
+	h := Tickets(TicketsConfig{Steps: 120, Seed: 5, ViolationRate: 0})
+	states, _ := replay(t, h)
+	if states != 0 {
+		t.Fatalf("zero violation rate produced %d violating states", states)
+	}
+}
+
+func TestTicketsViolationRatePositive(t *testing.T) {
+	h := Tickets(TicketsConfig{Steps: 150, Seed: 6, ViolationRate: 0.5})
+	states, viols := replay(t, h)
+	if states == 0 || viols == 0 {
+		t.Fatal("violation rate 0.5 produced no violations")
+	}
+}
+
+func TestTicketsAgreesWithNaive(t *testing.T) {
+	h := Tickets(TicketsConfig{Steps: 60, Seed: 7, ViolationRate: 0.3})
+	inc := core.New(h.Schema)
+	ref := naive.New(h.Schema)
+	for _, cs := range h.Constraints {
+		a, err := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err := inc.AddConstraint(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.AddConstraint(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range h.Steps {
+		got, err := inc.Step(s.Time, s.Tx.Clone())
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		want, err := ref.Step(s.Time, s.Tx)
+		if err != nil {
+			t.Fatalf("step %d: naive: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("step %d: incremental %d violations, naive %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestHRViolationRates(t *testing.T) {
+	clean := HR(HRConfig{Steps: 150, Seed: 8, ViolationRate: 0})
+	if states, _ := replay(t, clean); states != 0 {
+		t.Fatalf("clean HR history produced %d violating states", states)
+	}
+	dirty := HR(HRConfig{Steps: 200, Seed: 9, ViolationRate: 0.8})
+	if states, _ := replay(t, dirty); states == 0 {
+		t.Fatal("dirty HR history produced no violations")
+	}
+}
+
+func TestLibraryViolationRates(t *testing.T) {
+	clean := Library(LibraryConfig{Steps: 150, Seed: 10, ViolationRate: 0})
+	if states, _ := replay(t, clean); states != 0 {
+		t.Fatalf("clean library history produced %d violating states", states)
+	}
+	dirty := Library(LibraryConfig{Steps: 200, Seed: 11, ViolationRate: 0.7})
+	if states, _ := replay(t, dirty); states == 0 {
+		t.Fatal("dirty library history produced no violations")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	h := Uniform(UniformConfig{})
+	if len(h.Steps) != 100 {
+		t.Fatalf("default Steps = %d", len(h.Steps))
+	}
+	ht := Tickets(TicketsConfig{})
+	if len(ht.Steps) != 100 {
+		t.Fatalf("default ticket Steps = %d", len(ht.Steps))
+	}
+	if HR(HRConfig{}).Schema == nil || Library(LibraryConfig{}).Schema == nil {
+		t.Fatal("schemas missing")
+	}
+}
+
+func TestAlarmsViolationRates(t *testing.T) {
+	clean := Alarms(AlarmsConfig{Steps: 150, Seed: 20, ViolationRate: 0})
+	if states, _ := replay(t, clean); states != 0 {
+		t.Fatalf("clean alarms history produced %d violating states", states)
+	}
+	dirty := Alarms(AlarmsConfig{Steps: 200, Seed: 21, ViolationRate: 0.6})
+	states, _ := replay(t, dirty)
+	if states == 0 {
+		t.Fatal("dirty alarms history produced no violations")
+	}
+}
+
+func TestAlarmsAgreesWithNaive(t *testing.T) {
+	h := Alarms(AlarmsConfig{Steps: 80, Seed: 22, ViolationRate: 0.4})
+	inc := core.New(h.Schema)
+	ref := naive.New(h.Schema)
+	for _, cs := range h.Constraints {
+		a, err := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err := inc.AddConstraint(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.AddConstraint(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range h.Steps {
+		got, err := inc.Step(s.Time, s.Tx.Clone())
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		want, err := ref.Step(s.Time, s.Tx)
+		if err != nil {
+			t.Fatalf("step %d: naive: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("step %d: incremental %d vs naive %d", i, len(got), len(want))
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package rtic implements real-time integrity constraints for evolving
+// databases, reproducing Jan Chomicki's PODS 1992 paper "Real-Time
+// Integrity Constraints".
+//
+// Constraints are formulas of Past Metric Temporal Logic over a
+// timestamped history of database states:
+//
+//	hire(e) -> not once[0,365] fire(e)      -- no rehire within a year
+//	paid(tk) -> once[0,3] reserved(tk)      -- pay within 3 days of reserving
+//	clear(a) -> (ack(a) since raisd(a))     -- acknowledged since raised
+//
+// A Checker ingests one transaction per commit and reports the witnesses
+// violating any installed constraint in the resulting state. The default
+// engine is the paper's contribution — incremental checking with bounded
+// history encoding: it stores no history, only small auxiliary relations
+// whose size is bounded by the constraints' metric windows, and its
+// per-transaction cost is independent of history length. Two other
+// engines exist for comparison and integration: the naive full-history
+// evaluator and an active-DBMS route that compiles constraints into
+// trigger rules.
+//
+// Quick start:
+//
+//	s, _ := rtic.NewSchema().Relation("hire", 1).Relation("fire", 1).Build()
+//	c, _ := rtic.NewChecker(s)
+//	_ = c.AddConstraint("no_quick_rehire", "hire(e) -> not once[0,365] fire(e)")
+//	violations, _ := c.Begin().Insert("fire", rtic.Int(7)).Commit(0)
+//	violations, _ = c.Begin().
+//	    Delete("fire", rtic.Int(7)).
+//	    Insert("hire", rtic.Int(7)).
+//	    Commit(100) // reports e=7
+package rtic
+
+import (
+	"fmt"
+	"io"
+
+	"rtic/internal/active"
+	"rtic/internal/check"
+	"rtic/internal/core"
+	"rtic/internal/fol"
+	"rtic/internal/mtl"
+	"rtic/internal/naive"
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+	"rtic/internal/value"
+)
+
+// Value is a database constant: an integer or a string.
+type Value = value.Value
+
+// Int returns an integer value.
+func Int(i int64) Value { return value.Int(i) }
+
+// Str returns a string value.
+func Str(s string) Value { return value.Str(s) }
+
+// Tuple is a row of values.
+type Tuple = tuple.Tuple
+
+// Violation reports one witness of a constraint failure: the constraint
+// name, the state (index and timestamp) and the binding of the
+// constraint's free variables.
+type Violation = check.Violation
+
+// Schema describes the database relations a checker ranges over.
+type Schema = schema.Schema
+
+// SchemaBuilder accumulates relation definitions.
+type SchemaBuilder struct{ b *schema.Builder }
+
+// NewSchema starts a schema definition.
+func NewSchema() *SchemaBuilder {
+	return &SchemaBuilder{b: schema.NewBuilder()}
+}
+
+// Relation adds a relation of the given arity.
+func (sb *SchemaBuilder) Relation(name string, arity int) *SchemaBuilder {
+	sb.b.Relation(name, arity)
+	return sb
+}
+
+// Build returns the schema or the first definition error.
+func (sb *SchemaBuilder) Build() (*Schema, error) { return sb.b.Build() }
+
+// MustBuild builds or panics.
+func (sb *SchemaBuilder) MustBuild() *Schema { return sb.b.MustBuild() }
+
+// Mode selects the checking engine.
+type Mode int
+
+const (
+	// Incremental is the paper's method: bounded history encoding,
+	// no stored history. The default.
+	Incremental Mode = iota
+	// Naive stores the full history and evaluates the temporal
+	// semantics directly; the baseline the paper improves on.
+	Naive
+	// ActiveRules compiles constraints to production rules maintaining
+	// the encoding in ordinary relations (the active-DBMS route).
+	ActiveRules
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Incremental:
+		return "incremental"
+	case Naive:
+		return "naive"
+	case ActiveRules:
+		return "active-rules"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Option configures a Checker.
+type Option func(*config)
+
+type config struct {
+	mode Mode
+}
+
+// WithMode selects the checking engine (default Incremental).
+func WithMode(m Mode) Option {
+	return func(c *config) { c.mode = m }
+}
+
+// engine is the interface all three checking routes implement.
+type engine interface {
+	AddConstraint(*check.Constraint) error
+	Step(uint64, *storage.Transaction) ([]check.Violation, error)
+}
+
+// Checker validates a stream of transactions against installed
+// constraints. Checkers are not safe for concurrent use.
+type Checker struct {
+	schema  *Schema
+	mode    Mode
+	eng     engine
+	inc     *core.Checker // non-nil in Incremental mode, for Stats
+	started bool
+	names   []string
+}
+
+// NewChecker creates a checker over s.
+func NewChecker(s *Schema, opts ...Option) (*Checker, error) {
+	if s == nil {
+		return nil, fmt.Errorf("rtic: nil schema")
+	}
+	cfg := config{mode: Incremental}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Checker{schema: s, mode: cfg.mode}
+	switch cfg.mode {
+	case Incremental:
+		inc := core.New(s)
+		c.eng, c.inc = inc, inc
+	case Naive:
+		c.eng = naive.New(s)
+	case ActiveRules:
+		c.eng = active.New(s)
+	default:
+		return nil, fmt.Errorf("rtic: unknown mode %v", cfg.mode)
+	}
+	return c, nil
+}
+
+// Mode reports the engine in use.
+func (c *Checker) Mode() Mode { return c.mode }
+
+// Constraints returns the names of installed constraints, in
+// installation order.
+func (c *Checker) Constraints() []string {
+	return append([]string(nil), c.names...)
+}
+
+// AddConstraint parses, validates and installs a constraint. Constraints
+// must be installed before the first commit (the auxiliary encoding
+// summarizes the history from its start). The constraint formula is
+// implicitly universally quantified; its denial must be range-restricted
+// so violation witnesses are enumerable — AddConstraint reports a
+// detailed error otherwise.
+func (c *Checker) AddConstraint(name, src string) error {
+	if c.started {
+		return fmt.Errorf("rtic: constraint %q added after the first commit", name)
+	}
+	con, err := check.Parse(name, src, c.schema)
+	if err != nil {
+		return err
+	}
+	if err := c.eng.AddConstraint(con); err != nil {
+		return err
+	}
+	c.names = append(c.names, name)
+	return nil
+}
+
+// MustAddConstraint installs or panics; for literal constraint sets.
+func (c *Checker) MustAddConstraint(name, src string) {
+	if err := c.AddConstraint(name, src); err != nil {
+		panic(err)
+	}
+}
+
+// ValidateFormula parses and validates a constraint against the schema
+// without installing it, returning its free variables.
+func (c *Checker) ValidateFormula(src string) ([]string, error) {
+	con, err := check.Parse("probe", src, c.schema)
+	if err != nil {
+		return nil, err
+	}
+	return con.Vars, nil
+}
+
+// Begin starts a transaction against the checker.
+func (c *Checker) Begin() *Tx {
+	return &Tx{c: c, tx: storage.NewTransaction()}
+}
+
+// Stats describes the auxiliary storage of the incremental engine.
+type Stats struct {
+	// Nodes is the number of temporal subformulas tracked.
+	Nodes int
+	// Entries is the number of bindings currently tracked, Timestamps
+	// the timestamps stored across them, Bytes an estimated footprint.
+	Entries    int
+	Timestamps int
+	Bytes      int
+}
+
+// Stats reports the incremental engine's auxiliary storage; it returns
+// zeros for other modes.
+func (c *Checker) Stats() Stats {
+	if c.inc == nil {
+		return Stats{}
+	}
+	s := c.inc.Stats()
+	return Stats{Nodes: s.Nodes, Entries: s.Entries, Timestamps: s.Timestamps, Bytes: s.Bytes}
+}
+
+// Explanation is the evidence trail of a violation: for every temporal
+// subformula the violating binding reaches, whether it held and which
+// in-window anchor timestamps witnessed it.
+type Explanation = core.Explanation
+
+// Explain answers "why was this violation flagged?" from the auxiliary
+// encoding. Only the Incremental engine supports it, and only for
+// violations of the most recent commit (the encoding answers for the
+// current state only).
+func (c *Checker) Explain(v Violation) (*Explanation, error) {
+	if c.inc == nil {
+		return nil, fmt.Errorf("rtic: Explain is only available in Incremental mode (current: %v)", c.mode)
+	}
+	return c.inc.Explain(v)
+}
+
+// Tx is a transaction under construction: an ordered list of tuple
+// insertions and deletions committed atomically at one timestamp.
+type Tx struct {
+	c   *Checker
+	tx  *storage.Transaction
+	err error
+}
+
+// Insert schedules the insertion of a tuple into rel.
+func (t *Tx) Insert(rel string, vals ...Value) *Tx {
+	t.tx.Insert(rel, tuple.Of(vals...))
+	return t
+}
+
+// Delete schedules the deletion of a tuple from rel.
+func (t *Tx) Delete(rel string, vals ...Value) *Tx {
+	t.tx.Delete(rel, tuple.Of(vals...))
+	return t
+}
+
+// Commit applies the transaction at the given timestamp (timestamps must
+// be strictly increasing across commits) and returns the violation
+// witnesses of the resulting state. A violation does not roll the
+// transaction back; reacting to violations is the caller's policy, as in
+// the paper's detection-oriented model.
+func (t *Tx) Commit(time uint64) ([]Violation, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	vs, err := t.c.eng.Step(time, t.tx)
+	if err != nil {
+		return nil, err
+	}
+	t.c.started = true
+	return vs, nil
+}
+
+// SaveSnapshot checkpoints the checker's complete state — the current
+// database, clock and (small) auxiliary encoding — so a monitor can
+// restart without replaying its history. Only the Incremental engine
+// supports snapshots.
+func (c *Checker) SaveSnapshot(w io.Writer) error {
+	if c.inc == nil {
+		return fmt.Errorf("rtic: snapshots are only available in Incremental mode (current: %v)", c.mode)
+	}
+	return c.inc.SaveSnapshot(w)
+}
+
+// RestoreChecker rebuilds an Incremental checker from a snapshot written
+// by SaveSnapshot; the snapshot carries its constraints.
+func RestoreChecker(s *Schema, r io.Reader) (*Checker, error) {
+	inc, err := core.LoadSnapshot(s, r)
+	if err != nil {
+		return nil, err
+	}
+	c := &Checker{schema: s, mode: Incremental, eng: inc, inc: inc, started: inc.Len() > 0}
+	for _, name := range incConstraintNames(inc) {
+		c.names = append(c.names, name)
+	}
+	return c, nil
+}
+
+func incConstraintNames(inc *core.Checker) []string { return inc.ConstraintNames() }
+
+// QueryResult holds the satisfying bindings of an ad-hoc query: Rows[i]
+// assigns values to Vars positionally.
+type QueryResult struct {
+	Vars []string
+	Rows []Tuple
+}
+
+// Query evaluates a first-order (non-temporal) formula against the
+// current database state and returns its satisfying bindings, sorted.
+// The formula must be range-restricted, like a constraint denial:
+//
+//	res, err := c.Query("hire(e) and not fire(e)")
+func (c *Checker) Query(src string) (*QueryResult, error) {
+	f, err := mtl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := fol.CheckSchema(f, c.schema); err != nil {
+		return nil, err
+	}
+	kernel := mtl.Simplify(mtl.Normalize(f))
+	temporal := false
+	mtl.Walk(kernel, func(g mtl.Formula) {
+		switch g.(type) {
+		case *mtl.Prev, *mtl.Once, *mtl.Since:
+			temporal = true
+		}
+	})
+	if temporal {
+		return nil, fmt.Errorf("rtic: queries are first-order; temporal operators belong in constraints")
+	}
+	if err := mtl.CheckSafe(kernel); err != nil {
+		return nil, err
+	}
+	st, err := c.currentState()
+	if err != nil {
+		return nil, err
+	}
+	b, err := fol.NewEvaluator(st, queryOracle{}).Eval(kernel)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Vars: b.Vars(), Rows: b.Rows()}, nil
+}
+
+func (c *Checker) currentState() (*storage.State, error) {
+	switch eng := c.eng.(type) {
+	case *core.Checker:
+		return eng.State(), nil
+	case *naive.Checker:
+		return eng.State(), nil
+	case *active.Checker:
+		return eng.State()
+	default:
+		return nil, fmt.Errorf("rtic: unknown engine %T", c.eng)
+	}
+}
+
+// queryOracle rejects temporal nodes; queries are pure first-order.
+type queryOracle struct{}
+
+func (queryOracle) Enumerate(f mtl.Formula) (*fol.Bindings, error) {
+	return nil, fmt.Errorf("rtic: temporal node %q in query", f.String())
+}
+
+func (queryOracle) Test(f mtl.Formula, _ fol.Env) (bool, error) {
+	return false, fmt.Errorf("rtic: temporal node %q in query", f.String())
+}
+
+// ParseFormula parses a Past MTL formula and returns its canonical
+// rendering; a convenience for tooling.
+func ParseFormula(src string) (string, error) {
+	f, err := mtl.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return f.String(), nil
+}

@@ -1,0 +1,290 @@
+package rtic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func hrSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema().Relation("hire", 1).Relation("fire", 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	for _, mode := range []Mode{Incremental, Naive, ActiveRules} {
+		t.Run(mode.String(), func(t *testing.T) {
+			c, err := NewChecker(hrSchema(t), WithMode(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.AddConstraint("no_quick_rehire", "hire(e) -> not once[0,365] fire(e)"); err != nil {
+				t.Fatal(err)
+			}
+			vs, err := c.Begin().Insert("fire", Int(7)).Commit(0)
+			if err != nil || len(vs) != 0 {
+				t.Fatalf("commit 0: vs=%v err=%v", vs, err)
+			}
+			vs, err = c.Begin().Delete("fire", Int(7)).Insert("hire", Int(7)).Commit(100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vs) != 1 || !vs[0].Binding[0].Equal(Int(7)) {
+				t.Fatalf("violations = %v, want e=7", vs)
+			}
+			vs, err = c.Begin().Commit(366)
+			if err != nil || len(vs) != 0 {
+				t.Fatalf("after window: vs=%v err=%v", vs, err)
+			}
+		})
+	}
+}
+
+func TestDefaultModeIsIncremental(t *testing.T) {
+	c, err := NewChecker(hrSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mode() != Incremental {
+		t.Fatalf("default mode = %v", c.Mode())
+	}
+}
+
+func TestNilSchema(t *testing.T) {
+	if _, err := NewChecker(nil); err == nil {
+		t.Fatal("nil schema accepted")
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	if _, err := NewChecker(hrSchema(t), WithMode(Mode(99))); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if got := Mode(99).String(); got != "mode(99)" {
+		t.Fatalf("Mode(99).String() = %q", got)
+	}
+}
+
+func TestAddConstraintErrors(t *testing.T) {
+	c, _ := NewChecker(hrSchema(t))
+	if err := c.AddConstraint("bad syntax", "hire(e)"); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	if err := c.AddConstraint("c1", "hire("); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+	if err := c.AddConstraint("c1", "nosuch(e)"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	// Denial of "hire(e)" is "not hire(e)": not range-restricted.
+	err := c.AddConstraint("c1", "hire(e)")
+	if err == nil || !strings.Contains(err.Error(), "range-restricted") {
+		t.Fatalf("unsafe constraint: err = %v", err)
+	}
+	if err := c.AddConstraint("c1", "hire(e) -> not once fire(e)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin().Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddConstraint("c2", "hire(e) -> not once fire(e)"); err == nil {
+		t.Fatal("constraint after first commit accepted")
+	}
+	if got := c.Constraints(); len(got) != 1 || got[0] != "c1" {
+		t.Fatalf("Constraints = %v", got)
+	}
+}
+
+func TestMustAddConstraintPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c, _ := NewChecker(hrSchema(t))
+	c.MustAddConstraint("c", "((")
+}
+
+func TestCommitErrors(t *testing.T) {
+	c, _ := NewChecker(hrSchema(t))
+	if _, err := c.Begin().Insert("nosuch", Int(1)).Commit(1); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if _, err := c.Begin().Insert("hire", Int(1), Int(2)).Commit(1); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := c.Begin().Commit(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin().Commit(5); err == nil {
+		t.Fatal("non-increasing timestamp accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c, _ := NewChecker(hrSchema(t))
+	c.MustAddConstraint("c", "hire(e) -> not once[0,10] fire(e)")
+	if _, err := c.Begin().Insert("fire", Int(1)).Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Nodes != 1 || st.Entries == 0 || st.Bytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Other modes report zeros.
+	n, _ := NewChecker(hrSchema(t), WithMode(Naive))
+	if got := n.Stats(); got != (Stats{}) {
+		t.Fatalf("naive stats = %+v", got)
+	}
+}
+
+func TestValidateFormula(t *testing.T) {
+	c, _ := NewChecker(hrSchema(t))
+	vars, err := c.ValidateFormula("hire(e) -> not once fire(e)")
+	if err != nil || len(vars) != 1 || vars[0] != "e" {
+		t.Fatalf("vars=%v err=%v", vars, err)
+	}
+	if _, err := c.ValidateFormula("nosuch(x)"); err == nil {
+		t.Fatal("invalid formula validated")
+	}
+}
+
+func TestParseFormula(t *testing.T) {
+	got, err := ParseFormula("hire ( e )  ->  not once [ 0 , 365 ] fire(e)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hire(e) -> not once[0,365] fire(e)" {
+		t.Fatalf("canonical form = %q", got)
+	}
+	if _, err := ParseFormula("(("); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+}
+
+func TestStringValues(t *testing.T) {
+	s, _ := NewSchema().Relation("badge", 2).Build()
+	c, _ := NewChecker(s)
+	c.MustAddConstraint("one_badge", "badge(p, b1) and badge(p, b2) -> b1 = b2")
+	if _, err := c.Begin().Insert("badge", Str("ann"), Str("red")).Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := c.Begin().Insert("badge", Str("ann"), Str("blue")).Commit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 { // (red,blue) and (blue,red)
+		t.Fatalf("violations = %v, want the two witness orientations", vs)
+	}
+}
+
+func TestExplainThroughPublicAPI(t *testing.T) {
+	c, _ := NewChecker(hrSchema(t))
+	c.MustAddConstraint("no_quick_rehire", "hire(e) -> not once[0,365] fire(e)")
+	if _, err := c.Begin().Insert("fire", Int(7)).Commit(10); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := c.Begin().Insert("hire", Int(7)).Commit(100)
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("vs=%v err=%v", vs, err)
+	}
+	ex, err := c.Explain(vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Evidence) != 1 || ex.Evidence[0].Times[0] != 10 {
+		t.Fatalf("explanation = %+v", ex)
+	}
+	// Other engines refuse.
+	n, _ := NewChecker(hrSchema(t), WithMode(Naive))
+	if _, err := n.Explain(vs[0]); err == nil {
+		t.Fatal("naive mode explained a violation")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	for _, mode := range []Mode{Incremental, Naive, ActiveRules} {
+		t.Run(mode.String(), func(t *testing.T) {
+			c, _ := NewChecker(hrSchema(t), WithMode(mode))
+			c.MustAddConstraint("c", "hire(e) -> not once fire(e)")
+			if _, err := c.Begin().
+				Insert("hire", Int(1)).
+				Insert("hire", Int(2)).
+				Insert("fire", Int(2)).
+				Commit(1); err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Query("hire(e) and not fire(e)")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Vars) != 1 || res.Vars[0] != "e" {
+				t.Fatalf("vars = %v", res.Vars)
+			}
+			if len(res.Rows) != 1 || !res.Rows[0][0].Equal(Int(1)) {
+				t.Fatalf("rows = %v", res.Rows)
+			}
+		})
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	c, _ := NewChecker(hrSchema(t))
+	if _, err := c.Query("(("); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+	if _, err := c.Query("nosuch(x)"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if _, err := c.Query("hire(e) and once fire(e)"); err == nil {
+		t.Fatal("temporal query accepted")
+	}
+	if _, err := c.Query("not hire(e)"); err == nil {
+		t.Fatal("unsafe query accepted")
+	}
+}
+
+func TestQueryBeforeFirstCommit(t *testing.T) {
+	c, _ := NewChecker(hrSchema(t), WithMode(ActiveRules))
+	c.MustAddConstraint("c", "hire(e) -> not once fire(e)")
+	res, err := c.Query("hire(e)")
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestSnapshotThroughPublicAPI(t *testing.T) {
+	c, _ := NewChecker(hrSchema(t))
+	c.MustAddConstraint("no_quick_rehire", "hire(e) -> not once[0,365] fire(e)")
+	if _, err := c.Begin().Insert("fire", Int(7)).Commit(10); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreChecker(hrSchema(t), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Constraints(); len(got) != 1 || got[0] != "no_quick_rehire" {
+		t.Fatalf("constraints = %v", got)
+	}
+	vs, err := restored.Begin().Insert("hire", Int(7)).Commit(100)
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("restored checker: vs=%v err=%v", vs, err)
+	}
+	// Restored checkers refuse late constraint additions like live ones.
+	if err := restored.AddConstraint("late", "hire(e) -> not once fire(e)"); err == nil {
+		t.Fatal("late constraint accepted on restored checker")
+	}
+	// Other modes refuse snapshots.
+	n, _ := NewChecker(hrSchema(t), WithMode(Naive))
+	if err := n.SaveSnapshot(&buf); err == nil {
+		t.Fatal("naive mode snapshotted")
+	}
+}
