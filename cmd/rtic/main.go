@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	rtic -spec constraints.rtic [-mode incremental|naive|active] [log...]
+//	rtic -spec constraints.rtic [-mode incremental|naive|active]
+//	     [-trace] [log...]
 //
 // The spec file declares relations and constraints (see package
 // internal/spec). Transaction logs are read from the given files, or
 // from stdin when none are given; each line is "@time ±rel(args) …".
 // Violations are printed to stdout as they are detected; the exit code
-// is 2 when any violation occurred, 1 on errors, 0 otherwise.
+// is 2 when any violation occurred, 1 on errors, 0 otherwise. With
+// -trace every engine operation (step, per-node update, constraint
+// check) is logged as a structured line on stderr.
 package main
 
 import (
@@ -17,12 +20,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"rtic/internal/active"
 	"rtic/internal/check"
 	"rtic/internal/core"
 	"rtic/internal/naive"
+	"rtic/internal/obs"
 	"rtic/internal/spec"
 	"rtic/internal/storage"
 )
@@ -30,6 +35,7 @@ import (
 type engine interface {
 	AddConstraint(*check.Constraint) error
 	Step(uint64, *storage.Transaction) ([]check.Violation, error)
+	SetObserver(*obs.Observer)
 }
 
 func main() {
@@ -37,9 +43,10 @@ func main() {
 	mode := flag.String("mode", "incremental", "checking engine: incremental, naive or active")
 	quiet := flag.Bool("quiet", false, "suppress per-violation output; print only the summary")
 	explain := flag.Bool("explain", false, "print evidence trails for violations (incremental mode only)")
+	trace := flag.Bool("trace", false, "log engine trace events (structured, stderr)")
 	flag.Parse()
 
-	if err := run2(*specPath, *mode, *quiet, *explain, flag.Args(), os.Stdout); err != nil {
+	if err := run3(*specPath, *mode, *quiet, *explain, *trace, flag.Args(), os.Stdout); err != nil {
 		if err == errViolations {
 			os.Exit(2)
 		}
@@ -50,12 +57,17 @@ func main() {
 
 var errViolations = fmt.Errorf("violations detected")
 
-// run keeps the original signature for tests; run2 adds -explain.
+// run keeps the original signature for tests; run2 adds -explain,
+// run3 adds -trace.
 func run(specPath, mode string, quiet bool, logs []string, out io.Writer) error {
-	return run2(specPath, mode, quiet, false, logs, out)
+	return run3(specPath, mode, quiet, false, false, logs, out)
 }
 
 func run2(specPath, mode string, quiet, explain bool, logs []string, out io.Writer) error {
+	return run3(specPath, mode, quiet, explain, false, logs, out)
+}
+
+func run3(specPath, mode string, quiet, explain, trace bool, logs []string, out io.Writer) error {
 	if specPath == "" {
 		return fmt.Errorf("-spec is required")
 	}
@@ -84,6 +96,11 @@ func run2(specPath, mode string, quiet, explain bool, logs []string, out io.Writ
 	}
 	if explain && inc == nil {
 		return fmt.Errorf("-explain requires -mode incremental")
+	}
+	if trace {
+		eng.SetObserver(&obs.Observer{Tracer: obs.NewSlogTracer(slog.New(
+			slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}),
+		))})
 	}
 	for _, cs := range sp.Constraints {
 		con, err := check.Parse(cs.Name, cs.Source, sp.Schema)

@@ -5,6 +5,7 @@
 //
 //	rticd -spec constraints.rtic [-listen 127.0.0.1:7411]
 //	      [-snapshot state.snap] [-restore]
+//	      [-metrics 127.0.0.1:9411] [-trace]
 //
 // Protocol (one line per transaction, shared global clock):
 //
@@ -13,108 +14,211 @@
 //	<- ok 1
 //	-> stats
 //	<- stats nodes=1 entries=1 timestamps=1 bytes=93
+//	-> metrics
+//	<- ... Prometheus text exposition ...
+//	<- # EOF
 //	-> quit
 //
 // With -snapshot the monitor checkpoints its (small, bounded) state to
 // the given file on shutdown; -restore starts from that checkpoint
-// instead of an empty history.
+// instead of an empty history. Shutdown triggers on SIGINT or SIGTERM,
+// so the checkpoint is also written under container/systemd stops.
+//
+// With -metrics the daemon serves HTTP on the given address:
+//
+//	GET /metrics  -> Prometheus text exposition (commits, violations by
+//	                 constraint, commit-latency histogram, auxiliary
+//	                 encoding gauges, connection counters)
+//	GET /healthz  -> {"status":"ok","states":N,"now":T}
+//
+// Engine metrics are always collected (the line-protocol "metrics"
+// command scrapes them without the HTTP listener); -metrics only
+// controls the HTTP endpoint. With -trace every engine operation
+// (parse, step, per-node update, constraint check, snapshot
+// save/restore) is logged as a structured line on stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"rtic/internal/monitor"
+	"rtic/internal/obs"
 	"rtic/internal/spec"
 )
 
+type options struct {
+	specPath    string
+	listen      string
+	snapPath    string
+	restore     bool
+	metricsAddr string
+	trace       bool
+}
+
 func main() {
-	specPath := flag.String("spec", "", "spec file with relations and constraints (required)")
-	listen := flag.String("listen", "127.0.0.1:7411", "TCP listen address")
-	snapPath := flag.String("snapshot", "", "checkpoint file written on shutdown")
-	restore := flag.Bool("restore", false, "start from the -snapshot checkpoint")
+	var opts options
+	flag.StringVar(&opts.specPath, "spec", "", "spec file with relations and constraints (required)")
+	flag.StringVar(&opts.listen, "listen", "127.0.0.1:7411", "TCP listen address")
+	flag.StringVar(&opts.snapPath, "snapshot", "", "checkpoint file written on shutdown")
+	flag.BoolVar(&opts.restore, "restore", false, "start from the -snapshot checkpoint")
+	flag.StringVar(&opts.metricsAddr, "metrics", "", "HTTP listen address for /metrics and /healthz (empty: disabled)")
+	flag.BoolVar(&opts.trace, "trace", false, "log engine trace events (structured, stderr)")
 	flag.Parse()
 
-	if err := run(*specPath, *listen, *snapPath, *restore); err != nil {
+	d, err := start(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rticd:", err)
+		os.Exit(1)
+	}
+
+	// SIGTERM is what containers and systemd send; without it the
+	// shutdown snapshot would only be written on Ctrl-C.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("rticd: received %s, shutting down\n", s)
+	case err := <-d.done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rticd:", err)
+			os.Exit(1)
+		}
+	}
+	if err := d.shutdown(); err != nil {
 		fmt.Fprintln(os.Stderr, "rticd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath, listen, snapPath string, restore bool) error {
-	if specPath == "" {
-		return fmt.Errorf("-spec is required")
+// daemon holds the running pieces so tests can drive a full lifecycle
+// without signals.
+type daemon struct {
+	opts options
+	m    *monitor.Monitor
+	srv  *monitor.Server
+	l    net.Listener
+	hl   net.Listener // nil without -metrics
+	hsrv *http.Server
+	done chan error
+}
+
+// start loads the spec, builds (or restores) the monitor with its
+// observer, and brings up the TCP server plus the optional HTTP
+// metrics listener.
+func start(opts options) (*daemon, error) {
+	if opts.specPath == "" {
+		return nil, fmt.Errorf("-spec is required")
 	}
-	f, err := os.Open(specPath)
+	f, err := os.Open(opts.specPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sp, err := spec.ParseSpec(f)
 	f.Close()
 	if err != nil {
-		return err
+		return nil, err
+	}
+
+	// Metrics are always collected — the line protocol's "metrics"
+	// command and the snapshot path use them — the HTTP listener is the
+	// only optional part.
+	o := &obs.Observer{Metrics: obs.NewMetrics(obs.NewRegistry())}
+	if opts.trace {
+		o.Tracer = obs.NewSlogTracer(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+			Level: slog.LevelDebug,
+		})))
 	}
 
 	var m *monitor.Monitor
-	if restore {
-		if snapPath == "" {
-			return fmt.Errorf("-restore requires -snapshot")
+	if opts.restore {
+		if opts.snapPath == "" {
+			return nil, fmt.Errorf("-restore requires -snapshot")
 		}
-		sf, err := os.Open(snapPath)
+		sf, err := os.Open(opts.snapPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		m, err = monitor.Restore(sp.Schema, sf)
+		m, err = monitor.RestoreObserved(sp.Schema, sf, o)
 		sf.Close()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("restored checkpoint: %d states, t=%d\n", m.Len(), m.Now())
 	} else {
 		m, err = monitor.New(sp.Schema, sp.Constraints)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		m.SetObserver(o)
 	}
 
-	l, err := net.Listen("tcp", listen)
+	l, err := net.Listen("tcp", opts.listen)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	srv := monitor.NewServer(m)
+	d := &daemon{opts: opts, m: m, l: l, srv: monitor.NewServer(m), done: make(chan error, 1)}
+
+	if opts.metricsAddr != "" {
+		hl, err := net.Listen("tcp", opts.metricsAddr)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		reg := o.Metrics.Registry()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"status": "ok",
+				"states": m.Len(),
+				"now":    m.Now(),
+			})
+		})
+		d.hl = hl
+		d.hsrv = &http.Server{Handler: mux}
+		go d.hsrv.Serve(hl) //nolint:errcheck — returns on Close
+		fmt.Printf("rticd metrics on http://%s/metrics\n", hl.Addr())
+	}
+
+	go func() { d.done <- d.srv.Serve(l) }()
 	fmt.Printf("rticd listening on %s (%d constraints)\n", l.Addr(), len(sp.Constraints))
+	return d, nil
+}
 
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(l) }()
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	select {
-	case <-sig:
-	case err := <-done:
-		if err != nil {
-			return err
-		}
+// shutdown stops both listeners, closes open connections, and writes
+// the checkpoint when -snapshot is set.
+func (d *daemon) shutdown() error {
+	d.l.Close()
+	d.srv.Close()
+	if d.hsrv != nil {
+		d.hsrv.Close()
 	}
-	l.Close()
-	srv.Close()
 
-	if snapPath != "" {
-		sf, err := os.Create(snapPath)
+	if d.opts.snapPath != "" {
+		sf, err := os.Create(d.opts.snapPath)
 		if err != nil {
 			return err
 		}
-		err = m.Snapshot(sf)
+		err = d.m.Snapshot(sf)
 		if cerr := sf.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("checkpoint written to %s (%d states)\n", snapPath, m.Len())
+		fmt.Printf("checkpoint written to %s (%d states)\n", d.opts.snapPath, d.m.Len())
 	}
 	return nil
 }

@@ -3,8 +3,10 @@ package active
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"rtic/internal/check"
+	"rtic/internal/obs"
 	"rtic/internal/schema"
 	"rtic/internal/storage"
 )
@@ -21,6 +23,8 @@ type Checker struct {
 
 	engine *Engine
 	index  int
+
+	obs *obs.Observer
 }
 
 // New returns an empty active-route checker over the base schema.
@@ -88,9 +92,40 @@ func (c *Checker) build() error {
 	return nil
 }
 
+// SetObserver attaches (or detaches, with nil) the instrumentation
+// sinks, keeping the active route comparable with the incremental
+// engine: same commit/constraint metrics; the aux-entries gauge
+// reports the tuples held in engine-managed relations.
+func (c *Checker) SetObserver(o *obs.Observer) { c.obs = o }
+
 // Step commits a transaction at time t, runs the rule programs, and
 // returns the violation witnesses the rules derived.
 func (c *Checker) Step(t uint64, tx *storage.Transaction) ([]check.Violation, error) {
+	m, tr := c.obs.Parts()
+	if m == nil && tr == nil {
+		return c.step(t, tx, nil)
+	}
+	start := time.Now()
+	vs, err := c.step(t, tx, m)
+	d := time.Since(start)
+	if m != nil {
+		if err != nil {
+			m.CommitErrors.Inc()
+		} else {
+			m.Commits.Inc()
+			m.CommitSeconds.Observe(d.Seconds())
+			if aux, auxErr := c.AuxTuples(); auxErr == nil {
+				m.AuxEntries.Set(int64(aux))
+			}
+		}
+	}
+	if tr != nil {
+		tr.Trace(obs.TraceEvent{Op: obs.OpStep, Time: t, Duration: d, Err: err})
+	}
+	return vs, err
+}
+
+func (c *Checker) step(t uint64, tx *storage.Transaction, m *obs.Metrics) ([]check.Violation, error) {
 	if c.engine == nil {
 		if err := c.build(); err != nil {
 			return nil, err
@@ -105,7 +140,11 @@ func (c *Checker) Step(t uint64, tx *storage.Transaction) ([]check.Violation, er
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range rel.Tuples() {
+		rows := rel.Tuples()
+		if m != nil {
+			m.Violations.With(prog.con.Name).Add(uint64(len(rows)))
+		}
+		for _, row := range rows {
 			out = append(out, check.Violation{
 				Constraint: prog.con.Name,
 				Index:      c.index,

@@ -14,10 +14,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"rtic/internal/check"
 	"rtic/internal/fol"
 	"rtic/internal/mtl"
+	"rtic/internal/obs"
 	"rtic/internal/schema"
 	"rtic/internal/storage"
 )
@@ -41,6 +43,17 @@ type Checker struct {
 	started bool
 
 	pruningDisabled bool
+
+	obs *obs.Observer
+	// conMetrics caches the per-constraint metric handles (violation
+	// counter, check-latency histogram), parallel to constraints, so the
+	// commit path never does a labelled lookup.
+	conMetrics []conMetrics
+}
+
+type conMetrics struct {
+	violations *obs.Counter
+	seconds    *obs.Histogram
 }
 
 // New returns an empty checker over s. Install constraints with
@@ -84,7 +97,33 @@ func (c *Checker) AddConstraint(con *check.Constraint) error {
 		return err
 	}
 	c.constraints = append(c.constraints, con)
+	c.syncConMetrics()
 	return nil
+}
+
+// SetObserver attaches (or detaches, with nil) the instrumentation
+// sinks. Safe to call at any time between commits; pre-registers the
+// per-constraint series so a scrape shows every constraint at zero.
+func (c *Checker) SetObserver(o *obs.Observer) {
+	c.obs = o
+	c.conMetrics = nil
+	c.syncConMetrics()
+}
+
+// syncConMetrics extends the cached per-constraint handles to cover
+// every installed constraint.
+func (c *Checker) syncConMetrics() {
+	m, _ := c.obs.Parts()
+	if m == nil {
+		return
+	}
+	for i := len(c.conMetrics); i < len(c.constraints); i++ {
+		name := c.constraints[i].Name
+		c.conMetrics = append(c.conMetrics, conMetrics{
+			violations: m.Violations.With(name),
+			seconds:    m.ConstraintSeconds.With(name),
+		})
+	}
 }
 
 // compile walks the denial bottom-up and allocates one auxiliary node
@@ -162,8 +201,38 @@ func (c *Checker) register(f mtl.Formula, node auxNode) {
 }
 
 // Step commits a transaction at time t, updates every auxiliary node,
-// and checks every constraint in the resulting state.
+// and checks every constraint in the resulting state. With an observer
+// attached it also records commit/constraint timing, violation counts
+// and auxiliary-storage gauges, and emits step/node-update trace
+// events; without one the instrumentation path is two nil checks.
 func (c *Checker) Step(t uint64, tx *storage.Transaction) ([]check.Violation, error) {
+	m, tr := c.obs.Parts()
+	if m == nil && tr == nil {
+		return c.step(t, tx, nil, nil)
+	}
+	start := time.Now()
+	vs, err := c.step(t, tx, m, tr)
+	d := time.Since(start)
+	if m != nil {
+		if err != nil {
+			m.CommitErrors.Inc()
+		} else {
+			m.Commits.Inc()
+			m.CommitSeconds.Observe(d.Seconds())
+			st := c.Stats()
+			m.AuxNodes.Set(int64(st.Nodes))
+			m.AuxEntries.Set(int64(st.Entries))
+			m.AuxTimestamps.Set(int64(st.Timestamps))
+			m.AuxBytes.Set(int64(st.Bytes))
+		}
+	}
+	if tr != nil {
+		tr.Trace(obs.TraceEvent{Op: obs.OpStep, Time: t, Duration: d, Err: err})
+	}
+	return vs, err
+}
+
+func (c *Checker) step(t uint64, tx *storage.Transaction, m *obs.Metrics, tr obs.Tracer) ([]check.Violation, error) {
 	if c.started && t <= c.now {
 		return nil, fmt.Errorf("core: non-increasing timestamp %d after %d", t, c.now)
 	}
@@ -179,19 +248,47 @@ func (c *Checker) Step(t uint64, tx *storage.Transaction) ([]check.Violation, er
 	// Phase A: bring every node's answer up to the new state,
 	// children first.
 	for _, node := range c.nodes {
-		if err := node.phaseA(ev, t); err != nil {
+		if tr == nil {
+			if err := node.phaseA(ev, t); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		n0 := time.Now()
+		err := node.phaseA(ev, t)
+		tr.Trace(obs.TraceEvent{
+			Op: obs.OpNodeUpdate, Detail: node.formula().String(),
+			Time: t, Duration: time.Since(n0), Err: err,
+		})
+		if err != nil {
 			return nil, err
 		}
 	}
 
 	// Check constraints against the new state.
 	var out []check.Violation
-	for _, con := range c.constraints {
-		b, err := ev.Eval(con.Denial)
-		if err != nil {
-			return nil, fmt.Errorf("core: constraint %s at state %d: %w", con.Name, c.index, err)
+	for i, con := range c.constraints {
+		var c0 time.Time
+		if m != nil || tr != nil {
+			c0 = time.Now()
 		}
-		vs, err := check.FromBindings(con, c.index, t, b)
+		b, err := ev.Eval(con.Denial)
+		var vs []check.Violation
+		if err != nil {
+			err = fmt.Errorf("core: constraint %s at state %d: %w", con.Name, c.index, err)
+		} else {
+			vs, err = check.FromBindings(con, c.index, t, b)
+		}
+		if m != nil && i < len(c.conMetrics) {
+			c.conMetrics[i].seconds.Observe(time.Since(c0).Seconds())
+			c.conMetrics[i].violations.Add(uint64(len(vs)))
+		}
+		if tr != nil {
+			tr.Trace(obs.TraceEvent{
+				Op: obs.OpConstraintCheck, Detail: con.Name,
+				Time: t, Duration: time.Since(c0), Err: err,
+			})
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"rtic/internal/check"
 	"rtic/internal/fol"
+	"rtic/internal/obs"
 	"rtic/internal/schema"
 	"rtic/internal/tuple"
 )
@@ -56,8 +58,35 @@ type snapshot struct {
 	Nodes       []snapNode
 }
 
-// SaveSnapshot writes the checker's complete state to w.
+// SaveSnapshot writes the checker's complete state to w, emitting an
+// OpSnapshotSave trace event when a tracer is attached.
 func (c *Checker) SaveSnapshot(w io.Writer) error {
+	_, tr := c.obs.Parts()
+	if tr == nil {
+		return c.saveSnapshot(w)
+	}
+	cw := &countingWriter{w: w}
+	start := time.Now()
+	err := c.saveSnapshot(cw)
+	tr.Trace(obs.TraceEvent{
+		Op: obs.OpSnapshotSave, Detail: fmt.Sprintf("%d bytes", cw.n),
+		Time: c.now, Duration: time.Since(start), Err: err,
+	})
+	return err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *Checker) saveSnapshot(w io.Writer) error {
 	snap := snapshot{
 		Version: snapshotVersion,
 		Index:   c.index,
@@ -121,6 +150,38 @@ func encodeNode(node auxNode) (snapNode, error) {
 // SaveSnapshot. The schema must define every relation the snapshot
 // references.
 func LoadSnapshot(s *schema.Schema, r io.Reader) (*Checker, error) {
+	return LoadSnapshotObserved(s, r, nil)
+}
+
+// LoadSnapshotObserved is LoadSnapshot with the observer attached to
+// the restored checker before it starts answering; the restore itself
+// is traced as OpSnapshotRestore.
+func LoadSnapshotObserved(s *schema.Schema, r io.Reader, o *obs.Observer) (*Checker, error) {
+	_, tr := o.Parts()
+	if tr == nil {
+		c, err := loadSnapshot(s, r)
+		if err != nil {
+			return nil, err
+		}
+		c.SetObserver(o)
+		return c, nil
+	}
+	start := time.Now()
+	c, err := loadSnapshot(s, r)
+	ev := obs.TraceEvent{Op: obs.OpSnapshotRestore, Duration: time.Since(start), Err: err}
+	if c != nil {
+		ev.Time = c.now
+		ev.Detail = fmt.Sprintf("%d states", c.index)
+	}
+	tr.Trace(ev)
+	if err != nil {
+		return nil, err
+	}
+	c.SetObserver(o)
+	return c, nil
+}
+
+func loadSnapshot(s *schema.Schema, r io.Reader) (*Checker, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)

@@ -11,6 +11,7 @@ import (
 
 	"rtic/internal/check"
 	"rtic/internal/core"
+	"rtic/internal/obs"
 	"rtic/internal/schema"
 	"rtic/internal/storage"
 	"rtic/internal/workload"
@@ -22,6 +23,7 @@ type Monitor struct {
 	mu     sync.Mutex
 	c      *core.Checker
 	schema *schema.Schema
+	obs    *obs.Observer
 
 	subMu   sync.Mutex
 	nextSub int
@@ -54,11 +56,36 @@ func New(s *schema.Schema, constraints []workload.ConstraintSpec) (*Monitor, err
 // Restore rebuilds a monitor from a checker snapshot (see
 // core.SaveSnapshot); the snapshot carries its constraints.
 func Restore(s *schema.Schema, r io.Reader) (*Monitor, error) {
-	c, err := core.LoadSnapshot(s, r)
+	return RestoreObserved(s, r, nil)
+}
+
+// RestoreObserved is Restore with the observer attached before the
+// checker starts answering, so the restore itself is traced and the
+// restored monitor is instrumented from its first commit.
+func RestoreObserved(s *schema.Schema, r io.Reader, o *obs.Observer) (*Monitor, error) {
+	c, err := core.LoadSnapshotObserved(s, r, o)
 	if err != nil {
 		return nil, err
 	}
-	return &Monitor{c: c, schema: s, subs: make(map[int]chan check.Violation)}, nil
+	return &Monitor{c: c, schema: s, obs: o, subs: make(map[int]chan check.Violation)}, nil
+}
+
+// SetObserver attaches instrumentation to the monitor and its checker:
+// the checker records commit/constraint metrics and trace events, the
+// monitor counts subscriber drops, and the server (if any) counts
+// connections and protocol errors. Attach before serving traffic.
+func (m *Monitor) SetObserver(o *obs.Observer) {
+	m.mu.Lock()
+	m.obs = o
+	m.c.SetObserver(o)
+	m.mu.Unlock()
+}
+
+// Observer returns the attached observer (nil when uninstrumented).
+func (m *Monitor) Observer() *obs.Observer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.obs
 }
 
 // Apply commits a transaction at time t and returns its violations.
@@ -78,6 +105,7 @@ func (m *Monitor) Apply(t uint64, tx *storage.Transaction) ([]check.Violation, e
 }
 
 func (m *Monitor) publish(vs []check.Violation) {
+	mm, _ := m.Observer().Parts()
 	m.subMu.Lock()
 	defer m.subMu.Unlock()
 	for _, v := range vs {
@@ -95,6 +123,9 @@ func (m *Monitor) publish(vs []check.Violation) {
 			case ch <- v:
 			default:
 				m.dropped++ // slow subscriber: drop rather than stall commits
+				if mm != nil {
+					mm.DroppedViolations.Inc()
+				}
 			}
 		}
 	}

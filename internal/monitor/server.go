@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -10,6 +11,11 @@ import (
 
 	"rtic/internal/spec"
 )
+
+// maxLineBytes caps one protocol line (a transaction can carry many
+// tuples); lines beyond the cap earn an "error" reply instead of a
+// silent disconnect.
+const maxLineBytes = 1 << 20
 
 // Server speaks a line protocol over any net.Listener, sharing one
 // Monitor across all connections:
@@ -22,11 +28,19 @@ import (
 // Additional client commands:
 //
 //	stats   -> "stats nodes=N entries=E timestamps=T bytes=B"
+//	metrics -> the full Prometheus text exposition, terminated by a
+//	           line reading "# EOF" (requires an attached observer
+//	           with metrics; "error metrics not enabled" otherwise)
 //	quit    -> closes the connection
 //
+// Lines up to 1 MiB are accepted; a longer line (or any other read
+// error) earns a final "error" reply before the connection closes.
 // Timestamps are global across clients (the monitor serializes commits),
 // so interleaved producers must coordinate their clocks; a stale
 // timestamp earns an "error" reply and the connection stays open.
+//
+// When the shared monitor carries an observer (Monitor.SetObserver),
+// the server counts accepted/active connections and error replies.
 type Server struct {
 	M *Monitor
 
@@ -64,17 +78,32 @@ func (s *Server) Close() {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	m, _ := s.M.Observer().Parts()
+	if m != nil {
+		m.Connections.Inc()
+		m.ConnectionsActive.Inc()
+	}
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		if m != nil {
+			m.ConnectionsActive.Dec()
+		}
 	}()
 	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), maxLineBytes)
 	w := bufio.NewWriter(conn)
 	reply := func(format string, args ...interface{}) bool {
 		fmt.Fprintf(w, format+"\n", args...)
 		return w.Flush() == nil
+	}
+	replyError := func(format string, args ...interface{}) bool {
+		if m != nil {
+			m.ProtocolErrors.Inc()
+		}
+		return reply("error "+format, args...)
 	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -89,12 +118,25 @@ func (s *Server) handle(conn net.Conn) {
 				st.Nodes, st.Entries, st.Timestamps, st.Bytes) {
 				return
 			}
+		case line == "metrics":
+			if m == nil {
+				if !replyError("metrics not enabled") {
+					return
+				}
+				continue
+			}
+			if err := m.Registry().WritePrometheus(w); err != nil {
+				return
+			}
+			if !reply("# EOF") {
+				return
+			}
 		case line == "recent" || strings.HasPrefix(line, "recent "):
 			n := 10
 			if rest := strings.TrimSpace(strings.TrimPrefix(line, "recent")); rest != "" {
 				parsed, err := strconv.Atoi(rest)
 				if err != nil || parsed < 1 {
-					if !reply("error recent wants a positive count, got %q", rest) {
+					if !replyError("recent wants a positive count, got %q", rest) {
 						return
 					}
 					continue
@@ -113,7 +155,7 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			t, tx, ok, err := spec.ParseLogLine(line)
 			if err != nil {
-				if !reply("error %v", err) {
+				if !replyError("%v", err) {
 					return
 				}
 				continue
@@ -123,7 +165,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			vs, err := s.M.Apply(t, tx)
 			if err != nil {
-				if !reply("error %v", err) {
+				if !replyError("%v", err) {
 					return
 				}
 				continue
@@ -137,5 +179,15 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
+	}
+	// A scan error (oversized line, mid-line disconnect) would otherwise
+	// kill the loop silently; tell the client what happened before the
+	// deferred close. bufio reports ErrTooLong for lines over the cap.
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			replyError("line exceeds %d bytes", maxLineBytes)
+			return
+		}
+		replyError("read: %v", err)
 	}
 }

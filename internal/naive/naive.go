@@ -12,11 +12,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"rtic/internal/check"
 	"rtic/internal/chronicle"
 	"rtic/internal/fol"
 	"rtic/internal/mtl"
+	"rtic/internal/obs"
 	"rtic/internal/schema"
 	"rtic/internal/storage"
 )
@@ -40,6 +42,8 @@ type Checker struct {
 	evalMemo  map[evalKey]*fol.Bindings
 	testMemo  map[testKey]bool
 	leadsMemo map[*mtl.LeadsTo]mtl.Formula
+
+	obs *obs.Observer
 }
 
 // leadsToMonitor caches the normalized violation form of a deadline
@@ -115,20 +119,66 @@ func (c *Checker) State() *storage.State {
 	return c.hist.State(c.hist.Len() - 1)
 }
 
+// SetObserver attaches (or detaches, with nil) the instrumentation
+// sinks, keeping the full-history baseline comparable with the
+// incremental engine: same commit/constraint metrics; the aux-bytes
+// gauge reports the stored history's footprint instead.
+func (c *Checker) SetObserver(o *obs.Observer) { c.obs = o }
+
 // Step commits a transaction at time t and checks every constraint in
 // the resulting state, returning all violations.
 func (c *Checker) Step(t uint64, tx *storage.Transaction) ([]check.Violation, error) {
+	m, tr := c.obs.Parts()
+	if m == nil && tr == nil {
+		return c.step(t, tx, nil, nil)
+	}
+	start := time.Now()
+	vs, err := c.step(t, tx, m, tr)
+	d := time.Since(start)
+	if m != nil {
+		if err != nil {
+			m.CommitErrors.Inc()
+		} else {
+			m.Commits.Inc()
+			m.CommitSeconds.Observe(d.Seconds())
+			m.AuxEntries.Set(int64(c.hist.Len()))
+			m.AuxBytes.Set(int64(c.hist.Size()))
+		}
+	}
+	if tr != nil {
+		tr.Trace(obs.TraceEvent{Op: obs.OpStep, Time: t, Duration: d, Err: err})
+	}
+	return vs, err
+}
+
+func (c *Checker) step(t uint64, tx *storage.Transaction, m *obs.Metrics, tr obs.Tracer) ([]check.Violation, error) {
 	if err := c.hist.Commit(t, tx); err != nil {
 		return nil, err
 	}
 	i := c.hist.Len() - 1
 	var out []check.Violation
 	for _, con := range c.constraints {
-		b, err := c.evalAt(con.Denial, i)
-		if err != nil {
-			return nil, fmt.Errorf("naive: constraint %s at state %d: %w", con.Name, i, err)
+		var c0 time.Time
+		if m != nil || tr != nil {
+			c0 = time.Now()
 		}
-		vs, err := check.FromBindings(con, i, t, b)
+		b, err := c.evalAt(con.Denial, i)
+		var vs []check.Violation
+		if err != nil {
+			err = fmt.Errorf("naive: constraint %s at state %d: %w", con.Name, i, err)
+		} else {
+			vs, err = check.FromBindings(con, i, t, b)
+		}
+		if m != nil {
+			m.ConstraintSeconds.With(con.Name).Observe(time.Since(c0).Seconds())
+			m.Violations.With(con.Name).Add(uint64(len(vs)))
+		}
+		if tr != nil {
+			tr.Trace(obs.TraceEvent{
+				Op: obs.OpConstraintCheck, Detail: con.Name,
+				Time: t, Duration: time.Since(c0), Err: err,
+			})
+		}
 		if err != nil {
 			return nil, err
 		}

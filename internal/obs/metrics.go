@@ -1,0 +1,69 @@
+package obs
+
+// Metrics is the standard metric set of the checker stack, registered
+// on one Registry so daemons expose engine and monitor metrics through
+// a single endpoint. Engines update the engine section; the monitor
+// server updates the monitor section. Fields are never nil after
+// NewMetrics.
+type Metrics struct {
+	reg *Registry
+
+	// Engine section (updated by core/naive/active under the monitor's
+	// commit serialization).
+	Commits           *Counter      // successful commits
+	CommitErrors      *Counter      // rejected or failed commits
+	Violations        *CounterVec   // by constraint
+	CommitSeconds     *Histogram    // end-to-end Step latency
+	ConstraintSeconds *HistogramVec // per-constraint denial evaluation, by constraint
+	AuxNodes          *Gauge        // temporal subformulas tracked
+	AuxEntries        *Gauge        // bindings currently tracked
+	AuxTimestamps     *Gauge        // timestamps stored across bindings
+	AuxBytes          *Gauge        // estimated auxiliary footprint
+
+	// Monitor section (updated by the line-protocol server).
+	Connections       *Counter // accepted connections
+	ConnectionsActive *Gauge   // currently open connections
+	ProtocolErrors    *Counter // "error ..." replies sent
+	DroppedViolations *Counter // subscriber-overflow drops
+}
+
+// NewMetrics registers the standard metric set on r and returns the
+// handles. Calling it twice on the same registry returns handles to
+// the same underlying metrics.
+func NewMetrics(r *Registry) *Metrics {
+	return &Metrics{
+		reg: r,
+
+		Commits: r.Counter("rtic_commits_total",
+			"Committed transactions checked by the engine."),
+		CommitErrors: r.Counter("rtic_commit_errors_total",
+			"Transactions rejected or failed (bad timestamp, unknown relation, ...)."),
+		Violations: r.CounterVec("rtic_violations_total",
+			"Constraint violation witnesses reported, by constraint.", "constraint"),
+		CommitSeconds: r.Histogram("rtic_commit_duration_seconds",
+			"End-to-end latency of one committed transaction (apply, auxiliary update, all constraint checks).", nil),
+		ConstraintSeconds: r.HistogramVec("rtic_constraint_check_duration_seconds",
+			"Latency of one constraint's denial evaluation, by constraint.", nil, "constraint"),
+		AuxNodes: r.Gauge("rtic_aux_nodes",
+			"Temporal subformulas tracked by the auxiliary encoding."),
+		AuxEntries: r.Gauge("rtic_aux_entries",
+			"Bindings currently tracked across auxiliary nodes."),
+		AuxTimestamps: r.Gauge("rtic_aux_timestamps",
+			"Timestamps stored across all auxiliary bindings."),
+		AuxBytes: r.Gauge("rtic_aux_bytes",
+			"Estimated auxiliary storage footprint in bytes."),
+
+		Connections: r.Counter("rtic_monitor_connections_total",
+			"Connections accepted by the line-protocol server."),
+		ConnectionsActive: r.Gauge("rtic_monitor_connections_active",
+			"Line-protocol connections currently open."),
+		ProtocolErrors: r.Counter("rtic_monitor_protocol_errors_total",
+			"Error replies sent over the line protocol."),
+		DroppedViolations: r.Counter("rtic_monitor_dropped_violations_total",
+			"Violations dropped because a subscriber lagged."),
+	}
+}
+
+// Registry returns the registry the metrics are registered on — the
+// handle an exposition endpoint scrapes.
+func (m *Metrics) Registry() *Registry { return m.reg }

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	vec := r.CounterVec("cv_total", "help", "k")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				vec.With("a").Inc()
+				vec.With("b").Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := vec.With("a").Value(); got != workers*per {
+		t.Errorf("vec[a] = %d, want %d", got, workers*per)
+	}
+	if got := vec.With("b").Value(); got != 2*workers*per {
+		t.Errorf("vec[b] = %d, want %d", got, 2*workers*per)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "help")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "help", []float64{0.1, 1, 10})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.05) // bucket le=0.1
+				h.Observe(5)    // bucket le=10
+				h.Observe(100)  // bucket +Inf
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 3*workers*per {
+		t.Errorf("count = %d, want %d", got, 3*workers*per)
+	}
+	want := float64(workers*per) * (0.05 + 5 + 100)
+	if got := h.Sum(); got < want*0.999 || got > want*1.001 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total != h.Count() {
+		t.Errorf("bucket counts sum to %d, count is %d", total, h.Count())
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(1.5)
+	h.Observe(3)
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket le=1 = %d, want 1", got)
+	}
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("bucket le=2 = %d, want 1", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Errorf("bucket +Inf = %d, want 1", got)
+	}
+}
+
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rtic_commits_total", "Committed transactions.")
+	c.Add(42)
+	v := r.CounterVec("rtic_violations_total", "Violations by constraint.", "constraint")
+	v.With("no_rehire").Add(3)
+	v.With("pay_fast").Add(0)
+	g := r.Gauge("rtic_aux_bytes", "Auxiliary bytes.")
+	g.Set(1234)
+	h := r.Histogram("rtic_commit_duration_seconds", "Commit latency.", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP rtic_commits_total Committed transactions.
+# TYPE rtic_commits_total counter
+rtic_commits_total 42
+# HELP rtic_violations_total Violations by constraint.
+# TYPE rtic_violations_total counter
+rtic_violations_total{constraint="no_rehire"} 3
+rtic_violations_total{constraint="pay_fast"} 0
+# HELP rtic_aux_bytes Auxiliary bytes.
+# TYPE rtic_aux_bytes gauge
+rtic_aux_bytes 1234
+# HELP rtic_commit_duration_seconds Commit latency.
+# TYPE rtic_commit_duration_seconds histogram
+rtic_commit_duration_seconds_bucket{le="0.001"} 2
+rtic_commit_duration_seconds_bucket{le="0.01"} 2
+rtic_commit_duration_seconds_bucket{le="+Inf"} 3
+rtic_commit_duration_seconds_sum 0.501
+rtic_commit_duration_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExpositionLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("c_total", "help", "k").With("a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `c_total{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", buf.String())
+	}
+}
+
+func TestRegistryReRegister(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "help")
+	if a != b {
+		t.Error("same-shape re-registration should return the same metric")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration should panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}
+
+func TestVecArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("y_total", "help", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity should panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestNewMetricsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	m1 := NewMetrics(r)
+	m2 := NewMetrics(r)
+	m1.Commits.Inc()
+	if got := m2.Commits.Value(); got != 1 {
+		t.Errorf("second NewMetrics saw %d commits, want 1 (shared registry)", got)
+	}
+	if m1.Registry() != r {
+		t.Error("Registry() should return the backing registry")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"rtic_commits_total", "rtic_violations_total", "rtic_commit_duration_seconds",
+		"rtic_aux_nodes", "rtic_aux_entries", "rtic_aux_timestamps", "rtic_aux_bytes",
+		"rtic_monitor_connections_total",
+	} {
+		if !strings.Contains(buf.String(), "# TYPE "+name+" ") {
+			t.Errorf("exposition missing family %s", name)
+		}
+	}
+}
+
+func TestObserverNilSafety(t *testing.T) {
+	var o *Observer
+	if o.Enabled() {
+		t.Error("nil observer should be disabled")
+	}
+	m, tr := o.Parts()
+	if m != nil || tr != nil {
+		t.Error("nil observer parts should be nil")
+	}
+	o = &Observer{}
+	if o.Enabled() {
+		t.Error("empty observer should be disabled")
+	}
+	o.Metrics = NewMetrics(NewRegistry())
+	if !o.Enabled() {
+		t.Error("observer with metrics should be enabled")
+	}
+}
+
+type recordingTracer struct {
+	mu  sync.Mutex
+	evs []TraceEvent
+}
+
+func (t *recordingTracer) Trace(ev TraceEvent) {
+	t.mu.Lock()
+	t.evs = append(t.evs, ev)
+	t.mu.Unlock()
+}
+
+func TestSlogTracer(t *testing.T) {
+	var buf bytes.Buffer
+	l := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	tr := NewSlogTracer(l)
+	tr.Trace(TraceEvent{Op: OpStep, Time: 100, Duration: 42 * time.Microsecond})
+	tr.Trace(TraceEvent{Op: OpNodeUpdate, Detail: "once[0,365] fire(e)", Duration: time.Microsecond})
+	tr.Trace(TraceEvent{Op: OpParse, Detail: "c1", Err: errFake})
+	out := buf.String()
+	for _, want := range []string{"msg=step", "t=100", "level=DEBUG", "node.update", "level=ERROR", "err=fake"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slog output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }
+
+// BenchmarkObserverDisabled measures the guard an uninstrumented engine
+// pays per commit: the nil-safe Parts() call plus sink checks. This is
+// the "observer hooks add no measurable overhead when unset" criterion.
+func BenchmarkObserverDisabled(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, tr := o.Parts()
+		if m != nil || tr != nil {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(3.7e-5)
+	}
+}
+
+func BenchmarkCounterVecWith(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("c_total", "help", "k")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("constraint_name").Inc()
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// Trace operation names emitted by the engines. Detail carries the
+// operation's subject: the constraint name for OpParse and
+// OpConstraintCheck, the temporal subformula for OpNodeUpdate, the
+// snapshot byte count for the snapshot ops.
+const (
+	OpParse           = "parse"            // constraint source -> compiled constraint
+	OpStep            = "step"             // one committed transaction, end to end
+	OpNodeUpdate      = "node.update"      // one auxiliary node's phase-A update
+	OpConstraintCheck = "constraint.check" // one constraint's denial evaluation
+	OpSnapshotSave    = "snapshot.save"    // checker state serialized
+	OpSnapshotRestore = "snapshot.restore" // checker state rebuilt
+)
+
+// TraceEvent describes one completed engine operation. Engines measure
+// around the operation and emit a single event when it finishes, so a
+// Tracer sees begin-to-end duration plus the outcome.
+type TraceEvent struct {
+	Op       string        // one of the Op* constants
+	Detail   string        // operation subject (constraint, subformula, ...)
+	Time     uint64        // engine timestamp, when the op has one (OpStep etc.)
+	Duration time.Duration // wall-clock time of the operation
+	Err      error         // nil on success
+}
+
+// Tracer receives engine trace events. Implementations must be safe
+// for concurrent use; they are called on the commit path, so slow
+// sinks should buffer or sample.
+type Tracer interface {
+	Trace(TraceEvent)
+}
+
+// slogTracer logs every event through a structured logger.
+type slogTracer struct {
+	l *slog.Logger
+}
+
+// NewSlogTracer returns a Tracer that writes one structured log line
+// per event: level DEBUG for per-node updates and constraint checks
+// (high frequency), INFO for the rest, ERROR when the event carries an
+// error.
+func NewSlogTracer(l *slog.Logger) Tracer {
+	if l == nil {
+		l = slog.Default()
+	}
+	return &slogTracer{l: l}
+}
+
+func (t *slogTracer) Trace(ev TraceEvent) {
+	attrs := make([]any, 0, 8)
+	if ev.Detail != "" {
+		attrs = append(attrs, "detail", ev.Detail)
+	}
+	if ev.Time != 0 || ev.Op == OpStep {
+		attrs = append(attrs, "t", ev.Time)
+	}
+	attrs = append(attrs, "dur", ev.Duration)
+	level := slog.LevelInfo
+	switch {
+	case ev.Err != nil:
+		level = slog.LevelError
+		attrs = append(attrs, "err", ev.Err)
+	case ev.Op == OpNodeUpdate || ev.Op == OpConstraintCheck:
+		level = slog.LevelDebug
+	}
+	t.l.Log(context.Background(), level, ev.Op, attrs...)
+}
+
+// Observer bundles the two instrumentation sinks an engine can carry:
+// a metrics set and a tracer. Either (or both, or the Observer itself)
+// may be nil; engines guard every hook with the nil-safe accessors
+// below, so the disabled path costs only pointer comparisons.
+type Observer struct {
+	Metrics *Metrics
+	Tracer  Tracer
+}
+
+// Parts returns the observer's sinks, (nil, nil) for a nil observer.
+func (o *Observer) Parts() (*Metrics, Tracer) {
+	if o == nil {
+		return nil, nil
+	}
+	return o.Metrics, o.Tracer
+}
+
+// Enabled reports whether any sink is attached.
+func (o *Observer) Enabled() bool {
+	return o != nil && (o.Metrics != nil || o.Tracer != nil)
+}

@@ -1,0 +1,174 @@
+package rtic
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func obsSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema().Relation("hire", 1).Relation("fire", 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// driveRehire commits two transactions, the second violating
+// no_quick_rehire with e=7.
+func driveRehire(t *testing.T, c *Checker) {
+	t.Helper()
+	if _, err := c.Begin().Insert("fire", Int(7)).Commit(0); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := c.Begin().Delete("fire", Int(7)).Insert("hire", Int(7)).Commit(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("want 1 violation, got %d", len(vs))
+	}
+}
+
+func TestWithObserverMetricsAllModes(t *testing.T) {
+	for _, mode := range []Mode{Incremental, Naive, ActiveRules} {
+		t.Run(mode.String(), func(t *testing.T) {
+			reg := NewRegistry()
+			m := NewMetrics(reg)
+			c, err := NewChecker(obsSchema(t), WithMode(mode), WithObserver(&Observer{Metrics: m}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.AddConstraint("no_quick_rehire", "hire(e) -> not once[0,365] fire(e)"); err != nil {
+				t.Fatal(err)
+			}
+			driveRehire(t, c)
+
+			if got := m.Commits.Value(); got != 2 {
+				t.Errorf("commits = %d, want 2", got)
+			}
+			if got := m.Violations.With("no_quick_rehire").Value(); got != 1 {
+				t.Errorf("violations = %d, want 1", got)
+			}
+			if got := m.CommitSeconds.Count(); got != 2 {
+				t.Errorf("latency observations = %d, want 2", got)
+			}
+			if mode == Incremental {
+				st := c.Stats()
+				if got := m.AuxNodes.Value(); got != int64(st.Nodes) {
+					t.Errorf("aux nodes gauge = %d, Stats says %d", got, st.Nodes)
+				}
+				if got := m.AuxEntries.Value(); got != int64(st.Entries) {
+					t.Errorf("aux entries gauge = %d, Stats says %d", got, st.Entries)
+				}
+				if got := m.AuxBytes.Value(); got != int64(st.Bytes) {
+					t.Errorf("aux bytes gauge = %d, Stats says %d", got, st.Bytes)
+				}
+			}
+
+			// Failed commits count as errors, not commits.
+			if _, err := c.Begin().Insert("hire", Int(1)).Commit(50); err == nil && mode == Incremental {
+				t.Error("non-increasing timestamp accepted")
+			}
+			if mode == Incremental {
+				if got := m.CommitErrors.Value(); got != 1 {
+					t.Errorf("commit errors = %d, want 1", got)
+				}
+				if got := m.Commits.Value(); got != 2 {
+					t.Errorf("commits after failed commit = %d, want 2", got)
+				}
+			}
+		})
+	}
+}
+
+type recTracer struct {
+	mu  sync.Mutex
+	ops map[string]int
+}
+
+func (r *recTracer) Trace(ev TraceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ops == nil {
+		r.ops = make(map[string]int)
+	}
+	r.ops[ev.Op]++
+}
+
+func (r *recTracer) count(op string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ops[op]
+}
+
+func TestWithObserverTracer(t *testing.T) {
+	tr := &recTracer{}
+	c, err := NewChecker(obsSchema(t), WithObserver(&Observer{Tracer: tr}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddConstraint("no_quick_rehire", "hire(e) -> not once[0,365] fire(e)"); err != nil {
+		t.Fatal(err)
+	}
+	driveRehire(t, c)
+	var snap bytes.Buffer
+	if err := c.SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.count("parse"); got != 1 {
+		t.Errorf("parse events = %d, want 1", got)
+	}
+	if got := tr.count("step"); got != 2 {
+		t.Errorf("step events = %d, want 2", got)
+	}
+	if got := tr.count("node.update"); got != 2 { // one temporal node, two commits
+		t.Errorf("node.update events = %d, want 2", got)
+	}
+	if got := tr.count("constraint.check"); got != 2 {
+		t.Errorf("constraint.check events = %d, want 2", got)
+	}
+	if got := tr.count("snapshot.save"); got != 1 {
+		t.Errorf("snapshot.save events = %d, want 1", got)
+	}
+
+	// Restoring with the observer traces the restore and keeps
+	// instrumenting the restored checker.
+	c2, err := RestoreChecker(obsSchema(t), &snap, WithObserver(&Observer{Tracer: tr}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.count("snapshot.restore"); got != 1 {
+		t.Errorf("snapshot.restore events = %d, want 1", got)
+	}
+	if _, err := c2.Begin().Insert("fire", Int(9)).Commit(200); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.count("step"); got != 3 {
+		t.Errorf("step events after restore = %d, want 3", got)
+	}
+}
+
+func TestObserverPreRegistersConstraintSeries(t *testing.T) {
+	reg := NewRegistry()
+	m := NewMetrics(reg)
+	c, err := NewChecker(obsSchema(t), WithObserver(&Observer{Metrics: m}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustAddConstraint("a", "hire(e) -> not once[0,10] fire(e)")
+	c.MustAddConstraint("b", "fire(e) -> not hire(e)")
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`rtic_violations_total{constraint="a"} 0`,
+		`rtic_violations_total{constraint="b"} 0`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("exposition missing %q before any commit:\n%s", want, buf.String())
+		}
+	}
+}

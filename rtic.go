@@ -34,6 +34,8 @@ package rtic
 import (
 	"fmt"
 	"io"
+	"log/slog"
+	"time"
 
 	"rtic/internal/active"
 	"rtic/internal/check"
@@ -41,6 +43,7 @@ import (
 	"rtic/internal/fol"
 	"rtic/internal/mtl"
 	"rtic/internal/naive"
+	"rtic/internal/obs"
 	"rtic/internal/schema"
 	"rtic/internal/storage"
 	"rtic/internal/tuple"
@@ -121,6 +124,7 @@ type Option func(*config)
 
 type config struct {
 	mode Mode
+	obs  *obs.Observer
 }
 
 // WithMode selects the checking engine (default Incremental).
@@ -128,10 +132,48 @@ func WithMode(m Mode) Option {
 	return func(c *config) { c.mode = m }
 }
 
+// Observer bundles the instrumentation sinks a checker can carry: a
+// metric set (counters, gauges, latency histograms behind a
+// Prometheus-format registry) and a trace hook. See NewRegistry,
+// NewMetrics and NewSlogTracer.
+type Observer = obs.Observer
+
+// Metrics is the standard engine/monitor metric set; see NewMetrics.
+type Metrics = obs.Metrics
+
+// Registry holds metrics and writes the Prometheus text exposition.
+type Registry = obs.Registry
+
+// Tracer receives engine trace events (parse, step, per-node update,
+// constraint check, snapshot save/restore).
+type Tracer = obs.Tracer
+
+// TraceEvent is one completed engine operation delivered to a Tracer.
+type TraceEvent = obs.TraceEvent
+
+// NewRegistry returns an empty metrics registry; expose it with its
+// WritePrometheus method.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewMetrics registers the standard metric set on r.
+func NewMetrics(r *Registry) *Metrics { return obs.NewMetrics(r) }
+
+// NewSlogTracer returns a Tracer logging one structured line per event
+// through l (nil means slog.Default()).
+func NewSlogTracer(l *slog.Logger) Tracer { return obs.NewSlogTracer(l) }
+
+// WithObserver attaches instrumentation to the checker: metric updates
+// and trace events from the engine's hot paths. A nil observer (or one
+// with nil sinks) costs nothing beyond pointer checks per commit.
+func WithObserver(o *Observer) Option {
+	return func(c *config) { c.obs = o }
+}
+
 // engine is the interface all three checking routes implement.
 type engine interface {
 	AddConstraint(*check.Constraint) error
 	Step(uint64, *storage.Transaction) ([]check.Violation, error)
+	SetObserver(*obs.Observer)
 }
 
 // Checker validates a stream of transactions against installed
@@ -141,6 +183,7 @@ type Checker struct {
 	mode    Mode
 	eng     engine
 	inc     *core.Checker // non-nil in Incremental mode, for Stats
+	obs     *obs.Observer
 	started bool
 	names   []string
 }
@@ -154,7 +197,7 @@ func NewChecker(s *Schema, opts ...Option) (*Checker, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	c := &Checker{schema: s, mode: cfg.mode}
+	c := &Checker{schema: s, mode: cfg.mode, obs: cfg.obs}
 	switch cfg.mode {
 	case Incremental:
 		inc := core.New(s)
@@ -165,6 +208,9 @@ func NewChecker(s *Schema, opts ...Option) (*Checker, error) {
 		c.eng = active.New(s)
 	default:
 		return nil, fmt.Errorf("rtic: unknown mode %v", cfg.mode)
+	}
+	if cfg.obs != nil {
+		c.eng.SetObserver(cfg.obs)
 	}
 	return c, nil
 }
@@ -188,7 +234,15 @@ func (c *Checker) AddConstraint(name, src string) error {
 	if c.started {
 		return fmt.Errorf("rtic: constraint %q added after the first commit", name)
 	}
+	_, tr := c.obs.Parts()
+	var p0 time.Time
+	if tr != nil {
+		p0 = time.Now()
+	}
 	con, err := check.Parse(name, src, c.schema)
+	if tr != nil {
+		tr.Trace(TraceEvent{Op: obs.OpParse, Detail: name, Duration: time.Since(p0), Err: err})
+	}
 	if err != nil {
 		return err
 	}
@@ -307,13 +361,19 @@ func (c *Checker) SaveSnapshot(w io.Writer) error {
 }
 
 // RestoreChecker rebuilds an Incremental checker from a snapshot written
-// by SaveSnapshot; the snapshot carries its constraints.
-func RestoreChecker(s *Schema, r io.Reader) (*Checker, error) {
-	inc, err := core.LoadSnapshot(s, r)
+// by SaveSnapshot; the snapshot carries its constraints. The only
+// meaningful option is WithObserver (restored checkers are always
+// Incremental); the restore itself is traced when a tracer is attached.
+func RestoreChecker(s *Schema, r io.Reader, opts ...Option) (*Checker, error) {
+	cfg := config{mode: Incremental}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	inc, err := core.LoadSnapshotObserved(s, r, cfg.obs)
 	if err != nil {
 		return nil, err
 	}
-	c := &Checker{schema: s, mode: Incremental, eng: inc, inc: inc, started: inc.Len() > 0}
+	c := &Checker{schema: s, mode: Incremental, eng: inc, inc: inc, obs: cfg.obs, started: inc.Len() > 0}
 	for _, name := range incConstraintNames(inc) {
 		c.names = append(c.names, name)
 	}
