@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rtic -spec constraints.rtic [-mode incremental|naive|active]
-//	     [-trace] [log...]
+//	     [-parallelism N] [-trace] [log...]
 //
 // The spec file declares relations and constraints (see package
 // internal/spec). Transaction logs are read from the given files, or
@@ -22,31 +22,30 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"strings"
 
+	"rtic"
 	"rtic/internal/active"
 	"rtic/internal/check"
 	"rtic/internal/core"
+	"rtic/internal/engine"
 	"rtic/internal/naive"
 	"rtic/internal/obs"
 	"rtic/internal/spec"
-	"rtic/internal/storage"
 )
-
-type engine interface {
-	AddConstraint(*check.Constraint) error
-	Step(uint64, *storage.Transaction) ([]check.Violation, error)
-	SetObserver(*obs.Observer)
-}
 
 func main() {
 	specPath := flag.String("spec", "", "spec file with relations and constraints (required)")
-	mode := flag.String("mode", "incremental", "checking engine: incremental, naive or active")
+	mode := flag.String("mode", "incremental",
+		"checking engine ("+strings.Join(rtic.ModeNames(), ", ")+")")
+	parallelism := flag.Int("parallelism", 0,
+		"commit-pipeline worker-pool width (1 = sequential, <=0 = GOMAXPROCS; incremental engine only)")
 	quiet := flag.Bool("quiet", false, "suppress per-violation output; print only the summary")
 	explain := flag.Bool("explain", false, "print evidence trails for violations (incremental mode only)")
 	trace := flag.Bool("trace", false, "log engine trace events (structured, stderr)")
 	flag.Parse()
 
-	if err := run3(*specPath, *mode, *quiet, *explain, *trace, flag.Args(), os.Stdout); err != nil {
+	if err := run4(*specPath, *mode, *parallelism, *quiet, *explain, *trace, flag.Args(), os.Stdout); err != nil {
 		if err == errViolations {
 			os.Exit(2)
 		}
@@ -58,16 +57,20 @@ func main() {
 var errViolations = fmt.Errorf("violations detected")
 
 // run keeps the original signature for tests; run2 adds -explain,
-// run3 adds -trace.
+// run3 adds -trace, run4 adds -parallelism.
 func run(specPath, mode string, quiet bool, logs []string, out io.Writer) error {
-	return run3(specPath, mode, quiet, false, false, logs, out)
+	return run4(specPath, mode, 0, quiet, false, false, logs, out)
 }
 
 func run2(specPath, mode string, quiet, explain bool, logs []string, out io.Writer) error {
-	return run3(specPath, mode, quiet, explain, false, logs, out)
+	return run4(specPath, mode, 0, quiet, explain, false, logs, out)
 }
 
 func run3(specPath, mode string, quiet, explain, trace bool, logs []string, out io.Writer) error {
+	return run4(specPath, mode, 0, quiet, explain, trace, logs, out)
+}
+
+func run4(specPath, mode string, parallelism int, quiet, explain, trace bool, logs []string, out io.Writer) error {
 	if specPath == "" {
 		return fmt.Errorf("-spec is required")
 	}
@@ -81,18 +84,20 @@ func run3(specPath, mode string, quiet, explain, trace bool, logs []string, out 
 		return err
 	}
 
-	var eng engine
+	m, err := rtic.ParseMode(mode)
+	if err != nil {
+		return err
+	}
+	var eng engine.Engine
 	var inc *core.Checker
-	switch mode {
-	case "incremental":
-		inc = core.New(sp.Schema)
+	switch m {
+	case rtic.Incremental:
+		inc = core.New(sp.Schema, core.WithParallelism(parallelism))
 		eng = inc
-	case "naive":
+	case rtic.Naive:
 		eng = naive.New(sp.Schema)
-	case "active":
+	case rtic.ActiveRules:
 		eng = active.New(sp.Schema)
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
 	}
 	if explain && inc == nil {
 		return fmt.Errorf("-explain requires -mode incremental")

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	rticd -spec constraints.rtic [-listen 127.0.0.1:7411]
+//	      [-mode incremental] [-parallelism N]
 //	      [-snapshot state.snap] [-restore]
 //	      [-metrics 127.0.0.1:9411] [-trace]
 //
@@ -49,6 +50,9 @@ import (
 	"os/signal"
 	"syscall"
 
+	"strings"
+
+	"rtic"
 	"rtic/internal/monitor"
 	"rtic/internal/obs"
 	"rtic/internal/spec"
@@ -57,6 +61,8 @@ import (
 type options struct {
 	specPath    string
 	listen      string
+	mode        string
+	parallelism int
 	snapPath    string
 	restore     bool
 	metricsAddr string
@@ -67,6 +73,10 @@ func main() {
 	var opts options
 	flag.StringVar(&opts.specPath, "spec", "", "spec file with relations and constraints (required)")
 	flag.StringVar(&opts.listen, "listen", "127.0.0.1:7411", "TCP listen address")
+	flag.StringVar(&opts.mode, "mode", "incremental",
+		"checking engine ("+strings.Join(rtic.ModeNames(), ", ")+")")
+	flag.IntVar(&opts.parallelism, "parallelism", 0,
+		"commit-pipeline worker-pool width (1 = sequential, <=0 = GOMAXPROCS; incremental engine only)")
 	flag.StringVar(&opts.snapPath, "snapshot", "", "checkpoint file written on shutdown")
 	flag.BoolVar(&opts.restore, "restore", false, "start from the -snapshot checkpoint")
 	flag.StringVar(&opts.metricsAddr, "metrics", "", "HTTP listen address for /metrics and /healthz (empty: disabled)")
@@ -137,27 +147,43 @@ func start(opts options) (*daemon, error) {
 		})))
 	}
 
+	if opts.mode == "" {
+		opts.mode = "incremental"
+	}
+	mode, err := rtic.ParseMode(opts.mode)
+	if err != nil {
+		return nil, err
+	}
+
 	var m *monitor.Monitor
 	if opts.restore {
 		if opts.snapPath == "" {
 			return nil, fmt.Errorf("-restore requires -snapshot")
 		}
+		if mode != rtic.Incremental {
+			return nil, fmt.Errorf("-restore requires -mode incremental (snapshots restore the incremental engine)")
+		}
 		sf, err := os.Open(opts.snapPath)
 		if err != nil {
 			return nil, err
 		}
-		m, err = monitor.RestoreObserved(sp.Schema, sf, o)
+		m, err = monitor.RestoreObserved(sp.Schema, sf, o,
+			monitor.WithParallelism(opts.parallelism))
 		sf.Close()
 		if err != nil {
 			return nil, err
 		}
 		fmt.Printf("restored checkpoint: %d states, t=%d\n", m.Len(), m.Now())
 	} else {
-		m, err = monitor.New(sp.Schema, sp.Constraints)
+		m, err = monitor.New(sp.Schema, sp.Constraints,
+			monitor.WithMode(mode), monitor.WithParallelism(opts.parallelism))
 		if err != nil {
 			return nil, err
 		}
 		m.SetObserver(o)
+	}
+	if mode != rtic.Incremental && opts.snapPath != "" {
+		return nil, fmt.Errorf("-snapshot requires -mode incremental (only the incremental engine checkpoints)")
 	}
 
 	l, err := net.Listen("tcp", opts.listen)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rtic/internal/check"
+	"rtic/internal/engine"
 	"rtic/internal/obs"
 	"rtic/internal/schema"
 	"rtic/internal/storage"
@@ -96,7 +97,20 @@ func (c *Checker) build() error {
 // sinks, keeping the active route comparable with the incremental
 // engine: same commit/constraint metrics; the aux-entries gauge
 // reports the tuples held in engine-managed relations.
-func (c *Checker) SetObserver(o *obs.Observer) { c.obs = o }
+func (c *Checker) SetObserver(o *obs.Observer) {
+	c.obs = o
+	if m, _ := o.Parts(); m != nil {
+		// Rule programs run sequentially; publish the pool width so
+		// dashboards read a truthful 1 rather than a stale value.
+		m.ParallelWorkers.Set(1)
+	}
+}
+
+// StepBatch commits a sequence of transactions one at a time; the rule
+// engine has no amortizable per-commit overhead.
+func (c *Checker) StepBatch(steps []engine.Step) ([][]check.Violation, error) {
+	return engine.SerialBatch(c.Step, steps)
+}
 
 // Step commits a transaction at time t, runs the rule programs, and
 // returns the violation witnesses the rules derived.

@@ -108,8 +108,8 @@ func replay(h workload.History, step stepFn) (replayResult, error) {
 	return res, nil
 }
 
-func newIncremental(h workload.History) (*core.Checker, error) {
-	c := core.New(h.Schema)
+func newIncremental(h workload.History, opts ...core.Option) (*core.Checker, error) {
+	c := core.New(h.Schema, opts...)
 	for _, cs := range h.Constraints {
 		con, err := check.Parse(cs.Name, cs.Source, h.Schema)
 		if err != nil {
@@ -159,8 +159,8 @@ func repeats(quick bool) int {
 	return 3
 }
 
-func runIncremental(h workload.History) (replayResult, core.Stats, error) {
-	c, err := newIncremental(h)
+func runIncremental(h workload.History, opts ...core.Option) (replayResult, core.Stats, error) {
+	c, err := newIncremental(h, opts...)
 	if err != nil {
 		return replayResult{}, core.Stats{}, err
 	}
@@ -172,11 +172,11 @@ func runIncremental(h workload.History) (replayResult, core.Stats, error) {
 
 // bestIncremental replays n times on fresh checkers and keeps the
 // fastest run (stats are identical across runs).
-func bestIncremental(h workload.History, n int) (replayResult, core.Stats, error) {
+func bestIncremental(h workload.History, n int, opts ...core.Option) (replayResult, core.Stats, error) {
 	var best replayResult
 	var stats core.Stats
 	for i := 0; i < n; i++ {
-		res, st, err := runIncremental(h)
+		res, st, err := runIncremental(h, opts...)
 		if err != nil {
 			return res, st, err
 		}

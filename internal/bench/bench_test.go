@@ -76,8 +76,8 @@ func TestAllExperimentsQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 11 {
-		t.Fatalf("got %d tables, want 11", len(tables))
+	if len(tables) != 12 {
+		t.Fatalf("got %d tables, want 12", len(tables))
 	}
 	for _, tbl := range tables {
 		if len(tbl.Rows) == 0 {

@@ -10,18 +10,34 @@
 // relations. Space is bounded by the constraints' metric windows and the
 // data that flowed through the database — independent of history length
 // — and so is per-transaction checking time.
+//
+// A commit runs as an explicit four-phase pipeline:
+//
+//	apply   — validate and apply the transaction to the current state
+//	update  — phase A of every auxiliary node, by dependency level
+//	check   — evaluate every constraint's denial in the new state
+//	carry   — phase B: compute then commit next-state carry-over
+//
+// The update, check and carry phases are data-parallel: nodes within
+// one dependency level (see schedule.go) and constraints against one
+// state are independent, so a checker built WithParallelism(n>1) runs
+// them on a bounded worker pool. n=1 runs the phases inline and is
+// bit-for-bit the sequential algorithm.
 package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"rtic/internal/check"
+	"rtic/internal/engine"
 	"rtic/internal/fol"
 	"rtic/internal/mtl"
 	"rtic/internal/obs"
 	"rtic/internal/schema"
 	"rtic/internal/storage"
+	"rtic/internal/value"
 )
 
 // Checker is the incremental bounded-history checker.
@@ -29,14 +45,25 @@ type Checker struct {
 	schema      *schema.Schema
 	cur         *storage.State
 	constraints []*check.Constraint
+	conNames    map[string]struct{}
 
-	nodes  []auxNode // bottom-up (children before parents)
+	nodes  []auxNode // registration order (children before parents)
 	byNode map[mtl.Formula]auxNode
 	// byShape dedups structurally identical temporal subformulas across
 	// constraints: one auxiliary node serves every occurrence with the
 	// same canonical form (the form includes variable names and
 	// intervals, so equal shape means equal semantics).
 	byShape map[string]auxNode
+
+	// The leveled update schedule: levels[0] holds nodes with no nested
+	// temporal subformulas, levels[k] nodes whose deepest child sits at
+	// k-1. Built incrementally by register/schedule.
+	levels  [][]auxNode
+	levelOf map[auxNode]int
+
+	// par is the worker-pool width of the commit pipeline (1 = run the
+	// phases inline, sequentially).
+	par int
 
 	index   int
 	now     uint64
@@ -56,15 +83,34 @@ type conMetrics struct {
 	seconds    *obs.Histogram
 }
 
+// Option configures a Checker at construction time.
+type Option func(*Checker)
+
+// WithParallelism sets the worker-pool width of the commit pipeline.
+// n=1 runs the pipeline inline (the exact sequential algorithm); n>1
+// updates independent auxiliary nodes and checks constraints
+// concurrently on at most n goroutines; n<=0 selects GOMAXPROCS. The
+// default is GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(c *Checker) { c.par = resolveParallelism(n) }
+}
+
 // New returns an empty checker over s. Install constraints with
 // AddConstraint before the first Step.
-func New(s *schema.Schema) *Checker {
-	return &Checker{
-		schema:  s,
-		cur:     storage.NewState(s),
-		byNode:  make(map[mtl.Formula]auxNode),
-		byShape: make(map[string]auxNode),
+func New(s *schema.Schema, opts ...Option) *Checker {
+	c := &Checker{
+		schema:   s,
+		cur:      storage.NewState(s),
+		conNames: make(map[string]struct{}),
+		byNode:   make(map[mtl.Formula]auxNode),
+		byShape:  make(map[string]auxNode),
+		levelOf:  make(map[auxNode]int),
+		par:      resolveParallelism(0),
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // DisablePruning turns off the window-pruning rules — the ablation knob
@@ -88,15 +134,14 @@ func (c *Checker) AddConstraint(con *check.Constraint) error {
 	if c.started {
 		return fmt.Errorf("core: constraint %q added after the history started; the auxiliary encoding would miss past states", con.Name)
 	}
-	for _, existing := range c.constraints {
-		if existing.Name == con.Name {
-			return fmt.Errorf("core: duplicate constraint %q", con.Name)
-		}
+	if _, dup := c.conNames[con.Name]; dup {
+		return fmt.Errorf("core: duplicate constraint %q", con.Name)
 	}
 	if err := c.compile(con.Denial); err != nil {
 		return err
 	}
 	c.constraints = append(c.constraints, con)
+	c.conNames[con.Name] = struct{}{}
 	c.syncConMetrics()
 	return nil
 }
@@ -108,6 +153,9 @@ func (c *Checker) SetObserver(o *obs.Observer) {
 	c.obs = o
 	c.conMetrics = nil
 	c.syncConMetrics()
+	if m, _ := o.Parts(); m != nil {
+		m.ParallelWorkers.Set(int64(c.par))
+	}
 }
 
 // syncConMetrics extends the cached per-constraint handles to cover
@@ -198,6 +246,7 @@ func (c *Checker) register(f mtl.Formula, node auxNode) {
 	c.byShape[shape] = node
 	c.byNode[f] = node
 	c.nodes = append(c.nodes, node)
+	c.schedule(f, node)
 }
 
 // Step commits a transaction at time t, updates every auxiliary node,
@@ -210,6 +259,17 @@ func (c *Checker) Step(t uint64, tx *storage.Transaction) ([]check.Violation, er
 	if m == nil && tr == nil {
 		return c.step(t, tx, nil, nil)
 	}
+	vs, err := c.observedStep(t, tx, m, tr)
+	if m != nil && err == nil {
+		c.refreshAuxGauges(m)
+	}
+	return vs, err
+}
+
+// observedStep is one instrumented commit: counters, latency histogram
+// and the step trace event — everything per-step except the
+// auxiliary-storage gauge refresh, which batch commits amortize.
+func (c *Checker) observedStep(t uint64, tx *storage.Transaction, m *obs.Metrics, tr obs.Tracer) ([]check.Violation, error) {
 	start := time.Now()
 	vs, err := c.step(t, tx, m, tr)
 	d := time.Since(start)
@@ -219,11 +279,6 @@ func (c *Checker) Step(t uint64, tx *storage.Transaction) ([]check.Violation, er
 		} else {
 			m.Commits.Inc()
 			m.CommitSeconds.Observe(d.Seconds())
-			st := c.Stats()
-			m.AuxNodes.Set(int64(st.Nodes))
-			m.AuxEntries.Set(int64(st.Entries))
-			m.AuxTimestamps.Set(int64(st.Timestamps))
-			m.AuxBytes.Set(int64(st.Bytes))
 		}
 	}
 	if tr != nil {
@@ -232,85 +287,274 @@ func (c *Checker) Step(t uint64, tx *storage.Transaction) ([]check.Violation, er
 	return vs, err
 }
 
+// refreshAuxGauges walks the auxiliary nodes and republishes the
+// storage gauges — the one O(aux) piece of instrumentation, kept out of
+// the per-step path of batch commits.
+func (c *Checker) refreshAuxGauges(m *obs.Metrics) {
+	st := c.Stats()
+	m.AuxNodes.Set(int64(st.Nodes))
+	m.AuxEntries.Set(int64(st.Entries))
+	m.AuxTimestamps.Set(int64(st.Timestamps))
+	m.AuxBytes.Set(int64(st.Bytes))
+}
+
+// StepBatch commits a sequence of transactions in order, refreshing the
+// auxiliary-storage gauges once at the end instead of after every step
+// (per-step counters, latencies and trace events are still recorded).
+// On error the committed prefix stays committed and its violations are
+// returned alongside the error.
+func (c *Checker) StepBatch(steps []engine.Step) ([][]check.Violation, error) {
+	m, tr := c.obs.Parts()
+	if m != nil {
+		defer c.refreshAuxGauges(m)
+	}
+	out := make([][]check.Violation, 0, len(steps))
+	for i, s := range steps {
+		var vs []check.Violation
+		var err error
+		if m == nil && tr == nil {
+			vs, err = c.step(s.Time, s.Tx, nil, nil)
+		} else {
+			vs, err = c.observedStep(s.Time, s.Tx, m, tr)
+		}
+		if err != nil {
+			return out, fmt.Errorf("core: batch step %d (t=%d): %w", i, s.Time, err)
+		}
+		out = append(out, vs)
+	}
+	return out, nil
+}
+
+// domainCache computes the state's active domain once per commit and
+// shares it across the pipeline's per-goroutine evaluators.
+type domainCache struct {
+	st   *storage.State
+	once sync.Once
+	dom  []value.Value
+}
+
+func (d *domainCache) get() []value.Value {
+	d.once.Do(func() { d.dom = d.st.ActiveDomain() })
+	return d.dom
+}
+
+// step runs the four-phase commit pipeline for one transaction.
 func (c *Checker) step(t uint64, tx *storage.Transaction, m *obs.Metrics, tr obs.Tracer) ([]check.Violation, error) {
 	if c.started && t <= c.now {
 		return nil, fmt.Errorf("core: non-increasing timestamp %d after %d", t, c.now)
 	}
-	if err := tx.Validate(c.schema); err != nil {
-		return nil, err
-	}
-	if err := c.cur.Apply(tx); err != nil {
+	if err := c.applyPhase(tx); err != nil {
 		return nil, err
 	}
 
-	ev := fol.NewEvaluator(c.cur, &oracle{c: c, now: t})
-
-	// Phase A: bring every node's answer up to the new state,
-	// children first.
-	for _, node := range c.nodes {
-		if tr == nil {
-			if err := node.phaseA(ev, t); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		n0 := time.Now()
-		err := node.phaseA(ev, t)
-		tr.Trace(obs.TraceEvent{
-			Op: obs.OpNodeUpdate, Detail: node.formula().String(),
-			Time: t, Duration: time.Since(n0), Err: err,
-		})
-		if err != nil {
-			return nil, err
-		}
+	// Evaluators cache the active domain and so are per-goroutine;
+	// newEval hands each pipeline task its own, all sharing one domain
+	// computation for this commit.
+	dc := &domainCache{st: c.cur}
+	newEval := func() *fol.Evaluator {
+		return fol.NewEvaluatorShared(c.cur, &oracle{c: c, now: t}, dc.get)
 	}
 
-	// Check constraints against the new state.
-	var out []check.Violation
-	for i, con := range c.constraints {
-		var c0 time.Time
-		if m != nil || tr != nil {
-			c0 = time.Now()
-		}
-		b, err := ev.Eval(con.Denial)
-		var vs []check.Violation
-		if err != nil {
-			err = fmt.Errorf("core: constraint %s at state %d: %w", con.Name, c.index, err)
-		} else {
-			vs, err = check.FromBindings(con, c.index, t, b)
-		}
-		if m != nil && i < len(c.conMetrics) {
-			c.conMetrics[i].seconds.Observe(time.Since(c0).Seconds())
-			c.conMetrics[i].violations.Add(uint64(len(vs)))
-		}
-		if tr != nil {
-			tr.Trace(obs.TraceEvent{
-				Op: obs.OpConstraintCheck, Detail: con.Name,
-				Time: t, Duration: time.Since(c0), Err: err,
-			})
-		}
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, vs...)
+	if err := c.updatePhase(t, newEval, tr); err != nil {
+		return nil, err
 	}
-
-	// Phase B: compute the carry-over state for the next transition
-	// (all computations first, so nodes keep answering for this state),
-	// then commit.
-	for _, node := range c.nodes {
-		if err := node.phaseBCompute(ev, t); err != nil {
-			return nil, err
-		}
+	out, err := c.checkPhase(t, newEval, m, tr)
+	if err != nil {
+		return nil, err
 	}
-	for _, node := range c.nodes {
-		node.phaseBCommit(t)
+	if err := c.carryPhase(t, newEval); err != nil {
+		return nil, err
 	}
 
 	c.index++
 	c.now = t
 	c.started = true
 	return out, nil
+}
+
+// applyPhase validates the transaction and applies it to the current
+// state.
+func (c *Checker) applyPhase(tx *storage.Transaction) error {
+	if err := tx.Validate(c.schema); err != nil {
+		return err
+	}
+	return c.cur.Apply(tx)
+}
+
+// updatePhase brings every auxiliary node's answer up to the new state:
+// levels run in order (children before parents), nodes within a level
+// concurrently.
+func (c *Checker) updatePhase(t uint64, newEval func() *fol.Evaluator, tr obs.Tracer) error {
+	for _, level := range c.levels {
+		if err := c.runNodePhase(level, t, newEval, tr, func(n auxNode, ev *fol.Evaluator) error {
+			return n.phaseA(ev, t)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// carryPhase computes the carry-over state for the next transition
+// (all computations first, so nodes keep answering for this state),
+// then commits it. Computations only read this-state answers and write
+// the node's own pending slot, so they run concurrently; commits are a
+// cheap sequential sweep.
+func (c *Checker) carryPhase(t uint64, newEval func() *fol.Evaluator) error {
+	if err := c.runNodePhase(c.nodes, t, newEval, nil, func(n auxNode, ev *fol.Evaluator) error {
+		return n.phaseBCompute(ev, t)
+	}); err != nil {
+		return err
+	}
+	for _, node := range c.nodes {
+		node.phaseBCommit(t)
+	}
+	return nil
+}
+
+// runNodePhase drives one node phase over nodes, inline when the
+// pipeline is sequential and on the worker pool otherwise. Parallel
+// runs record per-node durations and errors in per-index slots and
+// emit trace events afterwards in schedule order, so output and the
+// returned error (the first node's, in schedule order) are
+// deterministic regardless of interleaving.
+func (c *Checker) runNodePhase(nodes []auxNode, t uint64, newEval func() *fol.Evaluator, tr obs.Tracer, f func(auxNode, *fol.Evaluator) error) error {
+	n := len(nodes)
+	if n == 0 {
+		return nil
+	}
+	if c.par <= 1 || n == 1 {
+		ev := newEval()
+		for _, node := range nodes {
+			if tr == nil {
+				if err := f(node, ev); err != nil {
+					return err
+				}
+				continue
+			}
+			n0 := time.Now()
+			err := f(node, ev)
+			tr.Trace(obs.TraceEvent{
+				Op: obs.OpNodeUpdate, Detail: node.formula().String(),
+				Time: t, Duration: time.Since(n0), Err: err,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	durs := make([]time.Duration, n)
+	c.runTasks(n, func(i int) {
+		ev := newEval()
+		if tr == nil {
+			errs[i] = f(nodes[i], ev)
+			return
+		}
+		n0 := time.Now()
+		errs[i] = f(nodes[i], ev)
+		durs[i] = time.Since(n0)
+	})
+	for i, node := range nodes {
+		if tr != nil {
+			tr.Trace(obs.TraceEvent{
+				Op: obs.OpNodeUpdate, Detail: node.formula().String(),
+				Time: t, Duration: durs[i], Err: errs[i],
+			})
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkPhase evaluates every constraint's denial against the new state,
+// concurrently when the pipeline is parallel. Violations are collected
+// per constraint and flattened in installation order, and per-
+// constraint metrics and trace events are emitted in that same order,
+// so results are identical to the sequential pipeline's.
+func (c *Checker) checkPhase(t uint64, newEval func() *fol.Evaluator, m *obs.Metrics, tr obs.Tracer) ([]check.Violation, error) {
+	n := len(c.constraints)
+	if n == 0 {
+		return nil, nil
+	}
+	instrumented := m != nil || tr != nil
+	if c.par <= 1 || n == 1 {
+		ev := newEval()
+		var out []check.Violation
+		for i, con := range c.constraints {
+			var c0 time.Time
+			if instrumented {
+				c0 = time.Now()
+			}
+			vs, err := c.checkOne(ev, con, t)
+			if m != nil && i < len(c.conMetrics) {
+				c.conMetrics[i].seconds.Observe(time.Since(c0).Seconds())
+				c.conMetrics[i].violations.Add(uint64(len(vs)))
+			}
+			if tr != nil {
+				tr.Trace(obs.TraceEvent{
+					Op: obs.OpConstraintCheck, Detail: con.Name,
+					Time: t, Duration: time.Since(c0), Err: err,
+				})
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vs...)
+		}
+		return out, nil
+	}
+	results := make([][]check.Violation, n)
+	errs := make([]error, n)
+	durs := make([]time.Duration, n)
+	c.runTasks(n, func(i int) {
+		ev := newEval()
+		var c0 time.Time
+		if instrumented {
+			c0 = time.Now()
+		}
+		results[i], errs[i] = c.checkOne(ev, c.constraints[i], t)
+		if instrumented {
+			durs[i] = time.Since(c0)
+		}
+	})
+	var out []check.Violation
+	for i, con := range c.constraints {
+		if m != nil && i < len(c.conMetrics) {
+			c.conMetrics[i].seconds.Observe(durs[i].Seconds())
+			c.conMetrics[i].violations.Add(uint64(len(results[i])))
+		}
+		if tr != nil {
+			tr.Trace(obs.TraceEvent{
+				Op: obs.OpConstraintCheck, Detail: con.Name,
+				Time: t, Duration: durs[i], Err: errs[i],
+			})
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, vs := range results {
+		out = append(out, vs...)
+	}
+	return out, nil
+}
+
+// checkOne evaluates one constraint's denial and materializes the
+// violation witnesses.
+func (c *Checker) checkOne(ev *fol.Evaluator, con *check.Constraint, t uint64) ([]check.Violation, error) {
+	b, err := ev.Eval(con.Denial)
+	if err != nil {
+		return nil, fmt.Errorf("core: constraint %s at state %d: %w", con.Name, c.index, err)
+	}
+	return check.FromBindings(con, c.index, t, b)
 }
 
 // State returns the current database state; callers must not mutate it.
@@ -371,7 +615,8 @@ func (c *Checker) CheckInvariants() error {
 }
 
 // oracle resolves temporal nodes from the auxiliary state at the
-// current evaluation time.
+// current evaluation time. Its lookups are read-only over maps frozen
+// at AddConstraint time, so one oracle may serve concurrent evaluators.
 type oracle struct {
 	c   *Checker
 	now uint64

@@ -148,18 +148,19 @@ func encodeNode(node auxNode) (snapNode, error) {
 
 // LoadSnapshot rebuilds a checker over s from a snapshot written by
 // SaveSnapshot. The schema must define every relation the snapshot
-// references.
-func LoadSnapshot(s *schema.Schema, r io.Reader) (*Checker, error) {
-	return LoadSnapshotObserved(s, r, nil)
+// references. Options (e.g. WithParallelism) configure the restored
+// checker; the snapshot format does not record them.
+func LoadSnapshot(s *schema.Schema, r io.Reader, opts ...Option) (*Checker, error) {
+	return LoadSnapshotObserved(s, r, nil, opts...)
 }
 
 // LoadSnapshotObserved is LoadSnapshot with the observer attached to
 // the restored checker before it starts answering; the restore itself
 // is traced as OpSnapshotRestore.
-func LoadSnapshotObserved(s *schema.Schema, r io.Reader, o *obs.Observer) (*Checker, error) {
+func LoadSnapshotObserved(s *schema.Schema, r io.Reader, o *obs.Observer, opts ...Option) (*Checker, error) {
 	_, tr := o.Parts()
 	if tr == nil {
-		c, err := loadSnapshot(s, r)
+		c, err := loadSnapshot(s, r, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +168,7 @@ func LoadSnapshotObserved(s *schema.Schema, r io.Reader, o *obs.Observer) (*Chec
 		return c, nil
 	}
 	start := time.Now()
-	c, err := loadSnapshot(s, r)
+	c, err := loadSnapshot(s, r, opts...)
 	ev := obs.TraceEvent{Op: obs.OpSnapshotRestore, Duration: time.Since(start), Err: err}
 	if c != nil {
 		ev.Time = c.now
@@ -181,7 +182,7 @@ func LoadSnapshotObserved(s *schema.Schema, r io.Reader, o *obs.Observer) (*Chec
 	return c, nil
 }
 
-func loadSnapshot(s *schema.Schema, r io.Reader) (*Checker, error) {
+func loadSnapshot(s *schema.Schema, r io.Reader, opts ...Option) (*Checker, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
@@ -189,7 +190,7 @@ func loadSnapshot(s *schema.Schema, r io.Reader) (*Checker, error) {
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("core: snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
 	}
-	c := New(s)
+	c := New(s, opts...)
 	for _, sc := range snap.Constraints {
 		con, err := check.Parse(sc.Name, sc.Source, s)
 		if err != nil {

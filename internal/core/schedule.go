@@ -1,0 +1,143 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rtic/internal/mtl"
+)
+
+// The commit pipeline's schedule: auxiliary nodes are grouped into
+// dependency levels at AddConstraint time — a node's level is one more
+// than the deepest temporal subformula nested inside it, so every level
+// only reads answers of strictly lower levels. Nodes within one level
+// share no state and are updated concurrently; levels run in order with
+// a barrier between them. The flat bottom-up walk the sequential
+// pipeline used is exactly the concatenation of the levels.
+
+// directTemporal appends the outermost temporal subformulas of f to
+// out: recursion descends through the first-order skeleton and stops at
+// Prev/Once/Since without entering them (their own nesting is already
+// accounted for in their level).
+func directTemporal(f mtl.Formula, out *[]mtl.Formula) {
+	switch n := f.(type) {
+	case *mtl.Prev, *mtl.Once, *mtl.Since:
+		*out = append(*out, f)
+	case *mtl.Not:
+		directTemporal(n.F, out)
+	case *mtl.And:
+		directTemporal(n.L, out)
+		directTemporal(n.R, out)
+	case *mtl.Or:
+		directTemporal(n.L, out)
+		directTemporal(n.R, out)
+	case *mtl.Exists:
+		directTemporal(n.F, out)
+	}
+}
+
+// operands returns the immediate subformulas of a temporal operator.
+func operands(f mtl.Formula) []mtl.Formula {
+	switch n := f.(type) {
+	case *mtl.Prev:
+		return []mtl.Formula{n.F}
+	case *mtl.Once:
+		return []mtl.Formula{n.F}
+	case *mtl.Since:
+		return []mtl.Formula{n.L, n.R}
+	default:
+		return nil
+	}
+}
+
+// nodeLevel computes the dependency level of the temporal formula f:
+// zero when f contains no nested temporal subformulas, otherwise one
+// more than the deepest child level. compile registers children before
+// parents, so every child's node is already leveled.
+func (c *Checker) nodeLevel(f mtl.Formula) int {
+	var kids []mtl.Formula
+	for _, op := range operands(f) {
+		directTemporal(op, &kids)
+	}
+	lvl := 0
+	for _, k := range kids {
+		child, ok := c.byNode[k]
+		if !ok {
+			continue // unreachable: compile registers bottom-up
+		}
+		if cl := c.levelOf[child] + 1; cl > lvl {
+			lvl = cl
+		}
+	}
+	return lvl
+}
+
+// schedule places a freshly registered node into its level.
+func (c *Checker) schedule(f mtl.Formula, node auxNode) {
+	lvl := c.nodeLevel(f)
+	c.levelOf[node] = lvl
+	for len(c.levels) <= lvl {
+		c.levels = append(c.levels, nil)
+	}
+	c.levels[lvl] = append(c.levels[lvl], node)
+}
+
+// Schedule describes the leveled update plan, outermost slice per
+// level, each entry a node's canonical formula; exposed for tests and
+// diagnostics.
+func (c *Checker) Schedule() [][]string {
+	out := make([][]string, len(c.levels))
+	for i, level := range c.levels {
+		for _, n := range level {
+			out[i] = append(out[i], n.formula().String())
+		}
+	}
+	return out
+}
+
+// Parallelism reports the worker-pool width the pipeline runs with
+// (1 = sequential).
+func (c *Checker) Parallelism() int { return c.par }
+
+// resolveParallelism maps the WithParallelism argument to a pool width:
+// n >= 1 is taken literally, anything else means GOMAXPROCS.
+func resolveParallelism(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runTasks evaluates f(0..n-1) on a pool bounded by the checker's
+// parallelism. With one worker (or one task) it degenerates to the
+// plain sequential loop. f must confine its writes to per-index slots;
+// error collection is the caller's business for exactly that reason.
+func (c *Checker) runTasks(n int, f func(i int)) {
+	workers := c.par
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -25,9 +25,15 @@ type Oracle interface {
 // Evaluator evaluates kernel formulas over one database state, with
 // temporal nodes delegated to the oracle. It caches the state's active
 // domain across calls.
+//
+// An Evaluator is not safe for concurrent use: the domain cache is
+// written lazily. Concurrent callers over the same state create one
+// Evaluator per goroutine; NewEvaluatorShared lets them share a single
+// active-domain computation so parallelism does not multiply its cost.
 type Evaluator struct {
 	st     *storage.State
 	oracle Oracle
+	domFn  func() []value.Value // optional shared domain source
 	domain []value.Value
 	hasDom bool
 }
@@ -37,9 +43,22 @@ func NewEvaluator(st *storage.State, oracle Oracle) *Evaluator {
 	return &Evaluator{st: st, oracle: oracle}
 }
 
+// NewEvaluatorShared returns an evaluator for st whose active domain is
+// read from domFn instead of being computed from the state — the hook
+// per-goroutine evaluators use to share one (sync.Once-guarded) domain
+// computation. domFn must return an equivalent of st.ActiveDomain() and
+// must itself be safe for concurrent use.
+func NewEvaluatorShared(st *storage.State, oracle Oracle, domFn func() []value.Value) *Evaluator {
+	return &Evaluator{st: st, oracle: oracle, domFn: domFn}
+}
+
 func (e *Evaluator) activeDomain() []value.Value {
 	if !e.hasDom {
-		e.domain = e.st.ActiveDomain()
+		if e.domFn != nil {
+			e.domain = e.domFn()
+		} else {
+			e.domain = e.st.ActiveDomain()
+		}
 		e.hasDom = true
 	}
 	return e.domain

@@ -1,7 +1,9 @@
-// Package monitor wraps the incremental checker for long-running use:
+// Package monitor wraps a checking engine for long-running use:
 // serialized concurrent commits, violation fan-out to subscribers,
 // snapshot/restore, and a line-protocol network server so external
-// producers can stream transactions to one shared checker.
+// producers can stream transactions to one shared checker. The engine
+// defaults to the paper's incremental checker; WithMode selects the
+// baselines for comparison deployments.
 package monitor
 
 import (
@@ -9,19 +11,26 @@ import (
 	"io"
 	"sync"
 
+	"rtic/internal/active"
 	"rtic/internal/check"
 	"rtic/internal/core"
+	"rtic/internal/engine"
+	"rtic/internal/naive"
 	"rtic/internal/obs"
 	"rtic/internal/schema"
 	"rtic/internal/storage"
 	"rtic/internal/workload"
 )
 
-// Monitor is a thread-safe integrity monitor around one incremental
-// checker. Commits are serialized; subscribers receive every violation.
+// Monitor is a thread-safe integrity monitor around one checking
+// engine. Commits are serialized; subscribers receive every violation.
 type Monitor struct {
 	mu     sync.Mutex
-	c      *core.Checker
+	eng    engine.Engine
+	inc    *core.Checker // non-nil in Incremental mode: snapshots, stats
+	mode   engine.Mode
+	states int
+	now    uint64
 	schema *schema.Schema
 	obs    *obs.Observer
 
@@ -38,48 +47,100 @@ type Monitor struct {
 // recentCapacity bounds the violation ring buffer.
 const recentCapacity = 128
 
+// Option configures a monitor at construction time.
+type Option func(*options)
+
+type options struct {
+	mode engine.Mode
+	par  int
+}
+
+// WithMode selects the checking engine (default Incremental). Snapshot
+// and Stats are only available in Incremental mode.
+func WithMode(m engine.Mode) Option {
+	return func(o *options) { o.mode = m }
+}
+
+// WithParallelism sets the worker-pool width of the incremental
+// engine's commit pipeline (n<=0 selects GOMAXPROCS, the default); the
+// other engines check sequentially and ignore it.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.par = n }
+}
+
 // New builds a monitor over the schema with the given constraints.
-func New(s *schema.Schema, constraints []workload.ConstraintSpec) (*Monitor, error) {
-	c := core.New(s)
+func New(s *schema.Schema, constraints []workload.ConstraintSpec, opts ...Option) (*Monitor, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	m := &Monitor{mode: o.mode, schema: s, subs: make(map[int]chan check.Violation)}
+	switch o.mode {
+	case engine.Incremental:
+		m.inc = core.New(s, core.WithParallelism(o.par))
+		m.eng = m.inc
+	case engine.Naive:
+		m.eng = naive.New(s)
+	case engine.ActiveRules:
+		m.eng = active.New(s)
+	default:
+		return nil, fmt.Errorf("monitor: unknown mode %v", o.mode)
+	}
 	for _, cs := range constraints {
 		con, err := check.Parse(cs.Name, cs.Source, s)
 		if err != nil {
 			return nil, err
 		}
-		if err := c.AddConstraint(con); err != nil {
+		if err := m.eng.AddConstraint(con); err != nil {
 			return nil, err
 		}
 	}
-	return &Monitor{c: c, schema: s, subs: make(map[int]chan check.Violation)}, nil
+	return m, nil
 }
 
 // Restore rebuilds a monitor from a checker snapshot (see
-// core.SaveSnapshot); the snapshot carries its constraints.
-func Restore(s *schema.Schema, r io.Reader) (*Monitor, error) {
-	return RestoreObserved(s, r, nil)
+// core.SaveSnapshot); the snapshot carries its constraints. Restored
+// monitors always run the incremental engine (it is the only one with
+// snapshot support), so WithMode is rejected here.
+func Restore(s *schema.Schema, r io.Reader, opts ...Option) (*Monitor, error) {
+	return RestoreObserved(s, r, nil, opts...)
 }
 
 // RestoreObserved is Restore with the observer attached before the
 // checker starts answering, so the restore itself is traced and the
 // restored monitor is instrumented from its first commit.
-func RestoreObserved(s *schema.Schema, r io.Reader, o *obs.Observer) (*Monitor, error) {
-	c, err := core.LoadSnapshotObserved(s, r, o)
+func RestoreObserved(s *schema.Schema, r io.Reader, o *obs.Observer, opts ...Option) (*Monitor, error) {
+	var op options
+	for _, opt := range opts {
+		opt(&op)
+	}
+	if op.mode != engine.Incremental {
+		return nil, fmt.Errorf("monitor: snapshots restore the incremental engine; mode %v is not restorable", op.mode)
+	}
+	c, err := core.LoadSnapshotObserved(s, r, o, core.WithParallelism(op.par))
 	if err != nil {
 		return nil, err
 	}
-	return &Monitor{c: c, schema: s, obs: o, subs: make(map[int]chan check.Violation)}, nil
+	return &Monitor{
+		eng: c, inc: c, mode: engine.Incremental,
+		states: c.Len(), now: c.Now(),
+		schema: s, obs: o, subs: make(map[int]chan check.Violation),
+	}, nil
 }
 
-// SetObserver attaches instrumentation to the monitor and its checker:
-// the checker records commit/constraint metrics and trace events, the
+// SetObserver attaches instrumentation to the monitor and its engine:
+// the engine records commit/constraint metrics and trace events, the
 // monitor counts subscriber drops, and the server (if any) counts
 // connections and protocol errors. Attach before serving traffic.
 func (m *Monitor) SetObserver(o *obs.Observer) {
 	m.mu.Lock()
 	m.obs = o
-	m.c.SetObserver(o)
+	m.eng.SetObserver(o)
 	m.mu.Unlock()
 }
+
+// Mode reports the engine the monitor runs.
+func (m *Monitor) Mode() engine.Mode { return m.mode }
 
 // Observer returns the attached observer (nil when uninstrumented).
 func (m *Monitor) Observer() *obs.Observer {
@@ -93,7 +154,11 @@ func (m *Monitor) Observer() *obs.Observer {
 // all callers.
 func (m *Monitor) Apply(t uint64, tx *storage.Transaction) ([]check.Violation, error) {
 	m.mu.Lock()
-	vs, err := m.c.Step(t, tx)
+	vs, err := m.eng.Step(t, tx)
+	if err == nil {
+		m.states++
+		m.now = t
+	}
 	m.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -181,32 +246,40 @@ func (m *Monitor) Dropped() int {
 	return m.dropped
 }
 
-// Snapshot checkpoints the checker state.
+// Snapshot checkpoints the checker state. Only the incremental engine
+// supports snapshots.
 func (m *Monitor) Snapshot(w io.Writer) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.c.SaveSnapshot(w)
+	if m.inc == nil {
+		return fmt.Errorf("monitor: snapshots are only available in incremental mode (current: %v)", m.mode)
+	}
+	return m.inc.SaveSnapshot(w)
 }
 
-// Stats reports the checker's auxiliary storage.
+// Stats reports the incremental engine's auxiliary storage; it returns
+// zeros for the other engines.
 func (m *Monitor) Stats() core.Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.c.Stats()
+	if m.inc == nil {
+		return core.Stats{}
+	}
+	return m.inc.Stats()
 }
 
 // Len reports the number of committed transactions.
 func (m *Monitor) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.c.Len()
+	return m.states
 }
 
 // Now returns the latest committed timestamp.
 func (m *Monitor) Now() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.c.Now()
+	return m.now
 }
 
 // String describes the monitor for logs.

@@ -16,6 +16,7 @@ import (
 
 	"rtic/internal/check"
 	"rtic/internal/chronicle"
+	"rtic/internal/engine"
 	"rtic/internal/fol"
 	"rtic/internal/mtl"
 	"rtic/internal/obs"
@@ -123,7 +124,20 @@ func (c *Checker) State() *storage.State {
 // sinks, keeping the full-history baseline comparable with the
 // incremental engine: same commit/constraint metrics; the aux-bytes
 // gauge reports the stored history's footprint instead.
-func (c *Checker) SetObserver(o *obs.Observer) { c.obs = o }
+func (c *Checker) SetObserver(o *obs.Observer) {
+	c.obs = o
+	if m, _ := o.Parts(); m != nil {
+		// The naive route checks sequentially; publish the pool width so
+		// dashboards read a truthful 1 rather than a stale value.
+		m.ParallelWorkers.Set(1)
+	}
+}
+
+// StepBatch commits a sequence of transactions one at a time; the naive
+// route has no amortizable per-commit overhead.
+func (c *Checker) StepBatch(steps []engine.Step) ([][]check.Violation, error) {
+	return engine.SerialBatch(c.Step, steps)
+}
 
 // Step commits a transaction at time t and checks every constraint in
 // the resulting state, returning all violations.

@@ -19,6 +19,7 @@ type Metrics struct {
 	AuxEntries        *Gauge        // bindings currently tracked
 	AuxTimestamps     *Gauge        // timestamps stored across bindings
 	AuxBytes          *Gauge        // estimated auxiliary footprint
+	ParallelWorkers   *Gauge        // commit-pipeline worker-pool width
 
 	// Monitor section (updated by the line-protocol server).
 	Connections       *Counter // accepted connections
@@ -52,6 +53,8 @@ func NewMetrics(r *Registry) *Metrics {
 			"Timestamps stored across all auxiliary bindings."),
 		AuxBytes: r.Gauge("rtic_aux_bytes",
 			"Estimated auxiliary storage footprint in bytes."),
+		ParallelWorkers: r.Gauge("rtic_parallel_workers",
+			"Worker-pool width of the engine's commit pipeline (1 = sequential)."),
 
 		Connections: r.Counter("rtic_monitor_connections_total",
 			"Connections accepted by the line-protocol server."),

@@ -40,6 +40,7 @@ import (
 	"rtic/internal/active"
 	"rtic/internal/check"
 	"rtic/internal/core"
+	"rtic/internal/engine"
 	"rtic/internal/fol"
 	"rtic/internal/mtl"
 	"rtic/internal/naive"
@@ -90,46 +91,53 @@ func (sb *SchemaBuilder) Build() (*Schema, error) { return sb.b.Build() }
 // MustBuild builds or panics.
 func (sb *SchemaBuilder) MustBuild() *Schema { return sb.b.MustBuild() }
 
-// Mode selects the checking engine.
-type Mode int
+// Mode selects the checking engine. It aliases the internal engine
+// package's Mode so the public API, the monitor and the daemons share
+// one enum.
+type Mode = engine.Mode
 
 const (
 	// Incremental is the paper's method: bounded history encoding,
 	// no stored history. The default.
-	Incremental Mode = iota
+	Incremental = engine.Incremental
 	// Naive stores the full history and evaluates the temporal
 	// semantics directly; the baseline the paper improves on.
-	Naive
+	Naive = engine.Naive
 	// ActiveRules compiles constraints to production rules maintaining
 	// the encoding in ordinary relations (the active-DBMS route).
-	ActiveRules
+	ActiveRules = engine.ActiveRules
 )
 
-// String names the mode.
-func (m Mode) String() string {
-	switch m {
-	case Incremental:
-		return "incremental"
-	case Naive:
-		return "naive"
-	case ActiveRules:
-		return "active-rules"
-	default:
-		return fmt.Sprintf("mode(%d)", int(m))
-	}
-}
+// ParseMode resolves a mode name as accepted by the CLIs: "incremental",
+// "naive", "active" or "active-rules". Unknown names produce an error
+// listing the valid ones.
+func ParseMode(s string) (Mode, error) { return engine.ParseMode(s) }
+
+// ModeNames lists the spellings ParseMode accepts, for usage strings.
+func ModeNames() []string { return engine.ModeNames() }
 
 // Option configures a Checker.
 type Option func(*config)
 
 type config struct {
 	mode Mode
+	par  int
 	obs  *obs.Observer
 }
 
 // WithMode selects the checking engine (default Incremental).
 func WithMode(m Mode) Option {
 	return func(c *config) { c.mode = m }
+}
+
+// WithParallelism sets the worker-pool width of the incremental
+// engine's commit pipeline: independent auxiliary-node updates and
+// constraint checks of one commit run on at most n goroutines. n=1
+// runs the pipeline inline (the exact sequential algorithm); n<=0 —
+// the default — selects GOMAXPROCS. The other engines check
+// sequentially and ignore the option.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.par = n }
 }
 
 // Observer bundles the instrumentation sinks a checker can carry: a
@@ -169,19 +177,12 @@ func WithObserver(o *Observer) Option {
 	return func(c *config) { c.obs = o }
 }
 
-// engine is the interface all three checking routes implement.
-type engine interface {
-	AddConstraint(*check.Constraint) error
-	Step(uint64, *storage.Transaction) ([]check.Violation, error)
-	SetObserver(*obs.Observer)
-}
-
 // Checker validates a stream of transactions against installed
 // constraints. Checkers are not safe for concurrent use.
 type Checker struct {
 	schema  *Schema
 	mode    Mode
-	eng     engine
+	eng     engine.Engine
 	inc     *core.Checker // non-nil in Incremental mode, for Stats
 	obs     *obs.Observer
 	started bool
@@ -200,7 +201,7 @@ func NewChecker(s *Schema, opts ...Option) (*Checker, error) {
 	c := &Checker{schema: s, mode: cfg.mode, obs: cfg.obs}
 	switch cfg.mode {
 	case Incremental:
-		inc := core.New(s)
+		inc := core.New(s, core.WithParallelism(cfg.par))
 		c.eng, c.inc = inc, inc
 	case Naive:
 		c.eng = naive.New(s)
@@ -217,6 +218,16 @@ func NewChecker(s *Schema, opts ...Option) (*Checker, error) {
 
 // Mode reports the engine in use.
 func (c *Checker) Mode() Mode { return c.mode }
+
+// Parallelism reports the worker-pool width of the commit pipeline: the
+// incremental engine's configured width, or 1 for the other engines,
+// which check sequentially.
+func (c *Checker) Parallelism() int {
+	if c.inc != nil {
+		return c.inc.Parallelism()
+	}
+	return 1
+}
 
 // Constraints returns the names of installed constraints, in
 // installation order.
@@ -349,6 +360,54 @@ func (t *Tx) Commit(time uint64) ([]Violation, error) {
 	return vs, nil
 }
 
+// Batch accumulates transactions for one amortized multi-commit: each
+// added transaction still commits atomically at its own timestamp, but
+// fixed per-commit overhead (for the incremental engine, the
+// auxiliary-storage gauge refresh) is paid once per batch — the bulk
+// path for replaying a backlog or ingesting a high-rate feed.
+type Batch struct {
+	c     *Checker
+	steps []engine.Step
+	err   error
+}
+
+// BeginBatch starts a batch commit against the checker.
+func (c *Checker) BeginBatch() *Batch { return &Batch{c: c} }
+
+// Add appends a transaction built with Begin to the batch, to commit at
+// the given timestamp. Timestamps must be strictly increasing within
+// the batch and after the checker's last commit.
+func (b *Batch) Add(time uint64, t *Tx) *Batch {
+	if b.err != nil {
+		return b
+	}
+	if t == nil || t.c != b.c {
+		b.err = fmt.Errorf("rtic: batch Add of a transaction from a different checker")
+		return b
+	}
+	if t.err != nil {
+		b.err = t.err
+		return b
+	}
+	b.steps = append(b.steps, engine.Step{Time: time, Tx: t.tx})
+	return b
+}
+
+// Commit commits the batched transactions in order and returns one
+// violation slice per transaction. On error the committed prefix stays
+// committed (the detection-oriented model never rolls back) and the
+// prefix's violations are returned alongside the error.
+func (b *Batch) Commit() ([][]Violation, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	out, err := b.c.eng.StepBatch(b.steps)
+	if len(out) > 0 {
+		b.c.started = true
+	}
+	return out, err
+}
+
 // SaveSnapshot checkpoints the checker's complete state — the current
 // database, clock and (small) auxiliary encoding — so a monitor can
 // restart without replaying its history. Only the Incremental engine
@@ -361,15 +420,16 @@ func (c *Checker) SaveSnapshot(w io.Writer) error {
 }
 
 // RestoreChecker rebuilds an Incremental checker from a snapshot written
-// by SaveSnapshot; the snapshot carries its constraints. The only
-// meaningful option is WithObserver (restored checkers are always
-// Incremental); the restore itself is traced when a tracer is attached.
+// by SaveSnapshot; the snapshot carries its constraints. The meaningful
+// options are WithObserver and WithParallelism (restored checkers are
+// always Incremental); the restore itself is traced when a tracer is
+// attached.
 func RestoreChecker(s *Schema, r io.Reader, opts ...Option) (*Checker, error) {
 	cfg := config{mode: Incremental}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	inc, err := core.LoadSnapshotObserved(s, r, cfg.obs)
+	inc, err := core.LoadSnapshotObserved(s, r, cfg.obs, core.WithParallelism(cfg.par))
 	if err != nil {
 		return nil, err
 	}
