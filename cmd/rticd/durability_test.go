@@ -1,0 +1,335 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"rtic/internal/wal"
+)
+
+// crash abandons a daemon the way kill -9 would: the listeners die, but
+// no shutdown checkpoint is written and the WAL is never closed. (The
+// background checkpointer is stopped because a dead process runs no
+// goroutines.)
+func (d *daemon) crash() {
+	d.l.Close()
+	d.srv.Close()
+	if d.hsrv != nil {
+		d.hsrv.Close()
+	}
+	if d.dur != nil {
+		d.dur.Stop()
+	}
+}
+
+type lineClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialLine(t *testing.T, d *daemon) *lineClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", d.l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	t.Cleanup(func() { conn.Close() })
+	return &lineClient{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// commit sends one transaction line and returns every reply line up to
+// and including the closing "ok N" (or "error ..."). The violation
+// lines are sorted: within one commit the parallel pipeline reports
+// them in nondeterministic order.
+func (c *lineClient) commit(t *testing.T, line string) []string {
+	t.Helper()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		t.Fatal(err)
+	}
+	var replies []string
+	for {
+		raw, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading reply to %q: %v", line, err)
+		}
+		reply := strings.TrimSpace(raw)
+		replies = append(replies, reply)
+		if strings.HasPrefix(reply, "ok ") || strings.HasPrefix(reply, "error ") {
+			sort.Strings(replies[:len(replies)-1])
+			return replies
+		}
+	}
+}
+
+// rehireTrace builds protocol lines where every odd step rehires one
+// employee fired earlier — at most one violation per line, so replies
+// are deterministic.
+func rehireTrace(n int) []string {
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		e := (i / 2) % 5
+		if i%2 == 0 {
+			lines = append(lines, fmt.Sprintf("@%d +fire(%d)", i*10, e))
+		} else {
+			lines = append(lines, fmt.Sprintf("@%d -fire(%d) +hire(%d)", i*10, e, e))
+		}
+	}
+	return lines
+}
+
+const hrSpec = "relation hire/1\nrelation fire/1\nconstraint no_quick_rehire: hire(e) -> not once[0,365] fire(e)\n"
+
+// TestDaemonKillAndRecover is the end-to-end acceptance test: a daemon
+// running with -wal is killed without any shutdown, restarted against
+// the same files, and must finish the workload with byte-identical
+// protocol replies to an uninterrupted daemon.
+func TestDaemonKillAndRecover(t *testing.T) {
+	trace := rehireTrace(24)
+	half := len(trace) / 2
+	ckptAt := len(trace) / 3
+
+	// Reference: one uninterrupted daemon over the whole trace.
+	refDir := t.TempDir()
+	ref, err := start(options{
+		specPath: writeSpec(t, refDir, "hr.rtic", hrSpec),
+		listen:   "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.shutdown()
+	refC := dialLine(t, ref)
+	var want [][]string
+	for _, line := range trace {
+		want = append(want, refC.commit(t, line))
+	}
+
+	// Durable daemon: half the trace, a mid-way checkpoint, then a crash.
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, "hr.rtic", hrSpec)
+	snap := filepath.Join(dir, "state.snap")
+	walPath := filepath.Join(dir, "state.wal")
+	opts := options{
+		specPath:    spec,
+		listen:      "127.0.0.1:0",
+		snapPath:    snap,
+		walPath:     walPath,
+		walSync:     "always",
+		metricsAddr: "127.0.0.1:0",
+	}
+	a, err := start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := dialLine(t, a)
+	for i, line := range trace[:half] {
+		if got := ac.commit(t, line); !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("pre-crash step %d: replies %q, want %q", i, got, want[i])
+		}
+		if i+1 == ckptAt {
+			if err := a.dur.Checkpoint(); err != nil {
+				t.Fatalf("mid-run checkpoint: %v", err)
+			}
+		}
+	}
+	health := httpGet(t, "http://"+a.hl.Addr().String()+"/healthz")
+	for _, wantStr := range []string{`"status":"ok"`, `"last_checkpoint_age_seconds"`, `"wal_bytes"`} {
+		if !strings.Contains(health, wantStr) {
+			t.Errorf("/healthz missing %q: %s", wantStr, health)
+		}
+	}
+	a.crash()
+
+	// Recovery: checkpoint + WAL tail, then the rest of the trace.
+	b, err := start(opts)
+	if err != nil {
+		t.Fatalf("restart after crash: %v", err)
+	}
+	if b.m.Len() != half || b.m.Now() != uint64((half-1)*10) {
+		t.Fatalf("recovered to Len=%d Now=%d, want %d/%d", b.m.Len(), b.m.Now(), half, (half-1)*10)
+	}
+	health = httpGet(t, "http://"+b.hl.Addr().String()+"/healthz")
+	if !strings.Contains(health, fmt.Sprintf(`"replayed_records":%d`, half-ckptAt)) {
+		t.Errorf("/healthz does not report %d replayed records: %s", half-ckptAt, health)
+	}
+	bc := dialLine(t, b)
+	for i, line := range trace[half:] {
+		if got := bc.commit(t, line); !reflect.DeepEqual(got, want[half+i]) {
+			t.Errorf("post-recovery step %d: replies %q, want %q", half+i, got, want[half+i])
+		}
+	}
+	// Auxiliary state converged too, not just the violation stream.
+	if got, wantStats := b.m.Stats(), ref.m.Stats(); !reflect.DeepEqual(got, wantStats) {
+		t.Errorf("recovered aux stats = %+v, want %+v", got, wantStats)
+	}
+
+	// A clean shutdown checkpoints and truncates the WAL; the next start
+	// needs no replay.
+	if err := b.shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.shutdown()
+	if c.m.Len() != len(trace) {
+		t.Errorf("post-shutdown restart: Len=%d, want %d", c.m.Len(), len(trace))
+	}
+}
+
+// TestDaemonWALTruncationSweep cuts the crashed daemon's WAL at every
+// byte offset of the final record and restarts: every cut must recover
+// without error, losing at most the torn final record.
+func TestDaemonWALTruncationSweep(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, "hr.rtic", hrSpec)
+	walPath := filepath.Join(dir, "state.wal")
+	trace := rehireTrace(6)
+
+	d, err := start(options{specPath: spec, listen: "127.0.0.1:0", walPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialLine(t, d)
+	for _, line := range trace {
+		c.commit(t, line)
+	}
+	d.crash()
+
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find where the final record's frame starts by replaying the intact
+	// log: the frame is its payload plus the fixed 8-byte frame header.
+	var lastPayload int
+	lcheck, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := lcheck.Replay(func(p []byte) error { lastPayload = len(p); return nil })
+	lcheck.Close()
+	if err != nil || n != len(trace) {
+		t.Fatalf("intact WAL replays %d records (err %v), want %d", n, err, len(trace))
+	}
+	lastStart := len(raw) - (8 + lastPayload) // 4-byte length + 4-byte CRC32C
+
+	for cut := lastStart; cut <= len(raw); cut++ {
+		caseDir := t.TempDir()
+		cutWal := filepath.Join(caseDir, "state.wal")
+		if err := os.WriteFile(cutWal, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d, err := start(options{specPath: spec, listen: "127.0.0.1:0", walPath: cutWal})
+		if err != nil {
+			t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+		}
+		wantLen := len(trace) - 1
+		if cut == len(raw) {
+			wantLen = len(trace)
+		}
+		if d.m.Len() != wantLen {
+			t.Errorf("cut=%d: recovered %d states, want %d", cut, d.m.Len(), wantLen)
+		}
+		// The truncated log accepts new commits after recovery.
+		cl := dialLine(t, d)
+		if got := cl.commit(t, "@1000 +fire(9)"); got[len(got)-1] != "ok 0" {
+			t.Errorf("cut=%d: commit after recovery replied %q", cut, got)
+		}
+		if err := d.shutdown(); err != nil {
+			t.Errorf("cut=%d: shutdown: %v", cut, err)
+		}
+	}
+}
+
+// TestDaemonHealthzDegraded flips /healthz to degraded when the
+// checkpoint directory disappears out from under a running daemon.
+func TestDaemonHealthzDegraded(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, "hr.rtic", hrSpec)
+	snapDir := filepath.Join(dir, "snaps")
+	if err := os.Mkdir(snapDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	d, err := start(options{
+		specPath:    spec,
+		listen:      "127.0.0.1:0",
+		snapPath:    filepath.Join(snapDir, "state.snap"),
+		walPath:     filepath.Join(dir, "state.wal"),
+		metricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialLine(t, d)
+	c.commit(t, "@0 +fire(1)")
+
+	if err := d.dur.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + d.hl.Addr().String()
+	if health := httpGet(t, base+"/healthz"); !strings.Contains(health, `"status":"ok"`) {
+		t.Fatalf("/healthz before failure: %s", health)
+	}
+
+	if err := os.RemoveAll(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.dur.Checkpoint(); err == nil {
+		t.Fatal("checkpoint into a removed directory succeeded")
+	}
+	health := httpGet(t, base+"/healthz")
+	for _, want := range []string{`"status":"degraded"`, `"last_error"`} {
+		if !strings.Contains(health, want) {
+			t.Errorf("/healthz after failed checkpoint missing %q: %s", want, health)
+		}
+	}
+	d.crash() // shutdown would fail on the missing snapshot dir, by design
+}
+
+// TestDurabilityArgValidation covers the flag combinations the
+// durability layer rejects at startup.
+func TestDurabilityArgValidation(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, "s.rtic", "relation p/1\nconstraint c: p(x) -> not once p(x)\n")
+	cases := []struct {
+		name string
+		opts options
+		want string
+	}{
+		{"wal without incremental",
+			options{specPath: spec, listen: "127.0.0.1:0", mode: "naive", walPath: filepath.Join(dir, "w.wal")},
+			"require -mode incremental"},
+		{"snapshot without incremental",
+			options{specPath: spec, listen: "127.0.0.1:0", mode: "active", snapPath: filepath.Join(dir, "s.snap")},
+			"require -mode incremental"},
+		{"checkpoint interval without snapshot",
+			options{specPath: spec, listen: "127.0.0.1:0", ckptInterval: time.Second},
+			"-checkpoint-interval requires -snapshot"},
+		{"bad wal sync policy",
+			options{specPath: spec, listen: "127.0.0.1:0", walPath: filepath.Join(dir, "w.wal"), walSync: "sometimes"},
+			"sync policy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := start(tc.opts)
+			if err == nil {
+				d.shutdown()
+				t.Fatal("start accepted bad options")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -6,6 +6,9 @@
 //	rticd -spec constraints.rtic [-listen 127.0.0.1:7411]
 //	      [-mode incremental] [-parallelism N]
 //	      [-snapshot state.snap] [-restore]
+//	      [-wal state.wal] [-wal-sync always|batch]
+//	      [-checkpoint-interval 30s]
+//	      [-max-conns N] [-idle-timeout 5m]
 //	      [-metrics 127.0.0.1:9411] [-trace]
 //
 // Protocol (one line per transaction, shared global clock):
@@ -21,9 +24,20 @@
 //	-> quit
 //
 // With -snapshot the monitor checkpoints its (small, bounded) state to
-// the given file on shutdown; -restore starts from that checkpoint
-// instead of an empty history. Shutdown triggers on SIGINT or SIGTERM,
-// so the checkpoint is also written under container/systemd stops.
+// the given file on shutdown — atomically (tmp + fsync + rename), so a
+// crash mid-checkpoint never destroys the previous good checkpoint —
+// and, with -checkpoint-interval, periodically in the background;
+// -restore starts from that checkpoint instead of an empty history.
+// Shutdown triggers on SIGINT or SIGTERM, so the checkpoint is also
+// written under container/systemd stops.
+//
+// With -wal every committed transaction is journaled to a checksummed
+// write-ahead log before the next commit is accepted (-wal-sync selects
+// per-commit fsync or batched flushing), and startup recovers crash
+// state automatically: load the newest valid checkpoint, replay the
+// journal tail (tolerating a torn final record), continue. Periodic
+// checkpoints truncate the replayed journal prefix. See
+// docs/DURABILITY.md for the format and recovery semantics.
 //
 // With -metrics the daemon serves HTTP on the given address:
 //
@@ -49,6 +63,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"strings"
 
@@ -56,17 +71,23 @@ import (
 	"rtic/internal/monitor"
 	"rtic/internal/obs"
 	"rtic/internal/spec"
+	"rtic/internal/wal"
 )
 
 type options struct {
-	specPath    string
-	listen      string
-	mode        string
-	parallelism int
-	snapPath    string
-	restore     bool
-	metricsAddr string
-	trace       bool
+	specPath     string
+	listen       string
+	mode         string
+	parallelism  int
+	snapPath     string
+	restore      bool
+	walPath      string
+	walSync      string
+	ckptInterval time.Duration
+	maxConns     int
+	idleTimeout  time.Duration
+	metricsAddr  string
+	trace        bool
 }
 
 func main() {
@@ -77,8 +98,13 @@ func main() {
 		"checking engine ("+strings.Join(rtic.ModeNames(), ", ")+")")
 	flag.IntVar(&opts.parallelism, "parallelism", 0,
 		"commit-pipeline worker-pool width (1 = sequential, <=0 = GOMAXPROCS; incremental engine only)")
-	flag.StringVar(&opts.snapPath, "snapshot", "", "checkpoint file written on shutdown")
+	flag.StringVar(&opts.snapPath, "snapshot", "", "checkpoint file, written atomically on shutdown (and periodically with -checkpoint-interval)")
 	flag.BoolVar(&opts.restore, "restore", false, "start from the -snapshot checkpoint")
+	flag.StringVar(&opts.walPath, "wal", "", "write-ahead log journaling every commit; startup recovers checkpoint + WAL tail automatically")
+	flag.StringVar(&opts.walSync, "wal-sync", "always", "WAL sync policy: always (fsync per commit) or batch (background flush)")
+	flag.DurationVar(&opts.ckptInterval, "checkpoint-interval", 0, "background checkpoint period truncating the WAL (0 = checkpoint only on shutdown)")
+	flag.IntVar(&opts.maxConns, "max-conns", 0, "cap on concurrently open line-protocol connections (0 = unlimited)")
+	flag.DurationVar(&opts.idleTimeout, "idle-timeout", 0, "close line-protocol connections idle for this long (0 = never)")
 	flag.StringVar(&opts.metricsAddr, "metrics", "", "HTTP listen address for /metrics and /healthz (empty: disabled)")
 	flag.BoolVar(&opts.trace, "trace", false, "log engine trace events (structured, stderr)")
 	flag.Parse()
@@ -114,6 +140,8 @@ type daemon struct {
 	opts options
 	m    *monitor.Monitor
 	srv  *monitor.Server
+	dur  *monitor.Durable // nil without -wal or -checkpoint-interval
+	wlog *wal.Log         // nil without -wal
 	l    net.Listener
 	hl   net.Listener // nil without -metrics
 	hsrv *http.Server
@@ -150,19 +178,37 @@ func start(opts options) (*daemon, error) {
 	if opts.mode == "" {
 		opts.mode = "incremental"
 	}
+	if opts.walSync == "" {
+		opts.walSync = "always"
+	}
 	mode, err := rtic.ParseMode(opts.mode)
 	if err != nil {
 		return nil, err
 	}
 
+	if mode != rtic.Incremental && (opts.snapPath != "" || opts.walPath != "") {
+		return nil, fmt.Errorf("-snapshot and -wal require -mode incremental (only the incremental engine is durable)")
+	}
+	if opts.ckptInterval > 0 && opts.snapPath == "" {
+		return nil, fmt.Errorf("-checkpoint-interval requires -snapshot")
+	}
+
+	// -wal implies recovery: load the newest valid checkpoint if one
+	// exists, then replay the journal tail. Plain -restore keeps its
+	// strict behavior (the checkpoint file must exist).
+	snapExists := false
+	if opts.snapPath != "" {
+		if _, err := os.Stat(opts.snapPath); err == nil {
+			snapExists = true
+		}
+	}
 	var m *monitor.Monitor
-	if opts.restore {
-		if opts.snapPath == "" {
-			return nil, fmt.Errorf("-restore requires -snapshot")
-		}
-		if mode != rtic.Incremental {
-			return nil, fmt.Errorf("-restore requires -mode incremental (snapshots restore the incremental engine)")
-		}
+	switch {
+	case opts.restore && opts.snapPath == "":
+		return nil, fmt.Errorf("-restore requires -snapshot")
+	case opts.restore && mode != rtic.Incremental:
+		return nil, fmt.Errorf("-restore requires -mode incremental (snapshots restore the incremental engine)")
+	case (opts.restore || opts.walPath != "") && snapExists:
 		sf, err := os.Open(opts.snapPath)
 		if err != nil {
 			return nil, err
@@ -174,7 +220,10 @@ func start(opts options) (*daemon, error) {
 			return nil, err
 		}
 		fmt.Printf("restored checkpoint: %d states, t=%d\n", m.Len(), m.Now())
-	} else {
+	case opts.restore && opts.walPath == "":
+		_, err := os.Open(opts.snapPath) // surface the underlying error
+		return nil, err
+	default:
 		m, err = monitor.New(sp.Schema, sp.Constraints,
 			monitor.WithMode(mode), monitor.WithParallelism(opts.parallelism))
 		if err != nil {
@@ -182,15 +231,56 @@ func start(opts options) (*daemon, error) {
 		}
 		m.SetObserver(o)
 	}
-	if mode != rtic.Incremental && opts.snapPath != "" {
-		return nil, fmt.Errorf("-snapshot requires -mode incremental (only the incremental engine checkpoints)")
+
+	var wlog *wal.Log
+	var dur *monitor.Durable
+	if opts.walPath != "" {
+		pol, err := wal.ParseSyncPolicy(opts.walSync)
+		if err != nil {
+			return nil, err
+		}
+		wlog, err = wal.Open(opts.walPath, wal.WithSyncPolicy(pol), wal.WithMetrics(o.Metrics))
+		if err != nil {
+			return nil, err
+		}
+		dur, err = monitor.NewDurable(m, wlog, opts.snapPath)
+		if err != nil {
+			wlog.Close()
+			return nil, err
+		}
+		if off, torn := wlog.TornTail(); torn {
+			fmt.Printf("wal: truncated torn final record at byte %d of %s\n", off, opts.walPath)
+		}
+		n, err := dur.Recover()
+		if err != nil {
+			wlog.Close()
+			return nil, fmt.Errorf("wal recovery: %w", err)
+		}
+		if n > 0 {
+			fmt.Printf("replayed %d transactions from %s (now %d states, t=%d)\n",
+				n, opts.walPath, m.Len(), m.Now())
+		}
+		dur.Attach()
+	} else if opts.ckptInterval > 0 {
+		dur, err = monitor.NewDurable(m, nil, opts.snapPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if dur != nil {
+		dur.Start(opts.ckptInterval)
 	}
 
 	l, err := net.Listen("tcp", opts.listen)
 	if err != nil {
+		if wlog != nil {
+			wlog.Close()
+		}
 		return nil, err
 	}
-	d := &daemon{opts: opts, m: m, l: l, srv: monitor.NewServer(m), done: make(chan error, 1)}
+	srv := monitor.NewServer(m,
+		monitor.WithMaxConns(opts.maxConns), monitor.WithIdleTimeout(opts.idleTimeout))
+	d := &daemon{opts: opts, m: m, l: l, srv: srv, dur: dur, wlog: wlog, done: make(chan error, 1)}
 
 	if opts.metricsAddr != "" {
 		hl, err := net.Listen("tcp", opts.metricsAddr)
@@ -206,11 +296,21 @@ func start(opts options) (*daemon, error) {
 		})
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(map[string]any{
+			resp := map[string]any{
 				"status": "ok",
 				"states": m.Len(),
 				"now":    m.Now(),
-			})
+			}
+			if d.dur != nil {
+				h := d.dur.Health()
+				resp["durability"] = h
+				if h.Status != "ok" {
+					// Orchestrators watch the top-level status: commits
+					// still serve, but they are no longer durable.
+					resp["status"] = "degraded"
+				}
+			}
+			_ = json.NewEncoder(w).Encode(resp)
 		})
 		d.hl = hl
 		d.hsrv = &http.Server{Handler: mux}
@@ -223,8 +323,10 @@ func start(opts options) (*daemon, error) {
 	return d, nil
 }
 
-// shutdown stops both listeners, closes open connections, and writes
-// the checkpoint when -snapshot is set.
+// shutdown stops both listeners, closes open connections, and writes a
+// final atomic checkpoint when -snapshot is set. The checkpoint goes to
+// a temp file first and is renamed into place, so even a crash here
+// cannot destroy the previous good checkpoint.
 func (d *daemon) shutdown() error {
 	d.l.Close()
 	d.srv.Close()
@@ -232,19 +334,23 @@ func (d *daemon) shutdown() error {
 		d.hsrv.Close()
 	}
 
-	if d.opts.snapPath != "" {
-		sf, err := os.Create(d.opts.snapPath)
-		if err != nil {
-			return err
+	var err error
+	if d.dur != nil {
+		d.dur.Stop()
+		if d.opts.snapPath != "" {
+			if err = d.dur.Checkpoint(); err == nil {
+				fmt.Printf("checkpoint written to %s (%d states)\n", d.opts.snapPath, d.m.Len())
+			}
 		}
-		err = d.m.Snapshot(sf)
-		if cerr := sf.Close(); err == nil {
+	} else if d.opts.snapPath != "" {
+		if err = wal.WriteFileAtomic(d.opts.snapPath, d.m.Snapshot); err == nil {
+			fmt.Printf("checkpoint written to %s (%d states)\n", d.opts.snapPath, d.m.Len())
+		}
+	}
+	if d.wlog != nil {
+		if cerr := d.wlog.Close(); err == nil {
 			err = cerr
 		}
-		if err != nil {
-			return err
-		}
-		fmt.Printf("checkpoint written to %s (%d states)\n", d.opts.snapPath, d.m.Len())
 	}
-	return nil
+	return err
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 	"time"
@@ -23,6 +26,20 @@ import (
 // exact), so a snapshot is self-describing up to the schema.
 
 const snapshotVersion = 1
+
+// Snapshot files carry a framing envelope so LoadSnapshot can reject a
+// torn or corrupted file with a clear error instead of decoding
+// garbage: an 8-byte magic, the payload length (8 bytes LE), a CRC32C
+// of the payload (4 bytes LE), then the gob payload.
+var snapshotMagic = [8]byte{'R', 'T', 'I', 'C', 'S', 'N', 'P', '1'}
+
+// snapshotCRC is the CRC32C (Castagnoli) polynomial table.
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// maxSnapshotBytes caps the payload length LoadSnapshot will allocate;
+// the whole point of bounded history encoding is that real snapshots
+// are far smaller.
+const maxSnapshotBytes = 1 << 30
 
 type snapConstraint struct {
 	Name   string
@@ -115,7 +132,19 @@ func (c *Checker) saveSnapshot(w io.Writer) error {
 		}
 		snap.Nodes = append(snap.Nodes, sn)
 	}
-	return gob.NewEncoder(w).Encode(snap)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return err
+	}
+	var hdr [20]byte
+	copy(hdr[:8], snapshotMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(payload.Bytes(), snapshotCRC))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
 }
 
 func encodeNode(node auxNode) (snapNode, error) {
@@ -183,8 +212,27 @@ func LoadSnapshotObserved(s *schema.Schema, r io.Reader, o *obs.Observer, opts .
 }
 
 func loadSnapshot(s *schema.Schema, r io.Reader, opts ...Option) (*Checker, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: snapshot truncated in header (%d-byte envelope): %w", len(hdr), err)
+	}
+	if !bytes.Equal(hdr[:8], snapshotMagic[:]) {
+		return nil, fmt.Errorf("core: not an rtic snapshot (magic %q, want %q)", hdr[:8], snapshotMagic[:])
+	}
+	size := binary.LittleEndian.Uint64(hdr[8:16])
+	if size == 0 || size > maxSnapshotBytes {
+		return nil, fmt.Errorf("core: snapshot header corrupted: implausible payload length %d", size)
+	}
+	want := binary.LittleEndian.Uint32(hdr[16:20])
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("core: snapshot truncated: header promises %d payload bytes: %w", size, err)
+	}
+	if got := crc32.Checksum(payload, snapshotCRC); got != want {
+		return nil, fmt.Errorf("core: snapshot corrupted: checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
 	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
 	if snap.Version != snapshotVersion {

@@ -1,0 +1,219 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"rtic/internal/storage"
+	"rtic/internal/wal"
+)
+
+// Durable is the durability manager around a monitor: it journals every
+// accepted transaction to a write-ahead log, periodically rotates an
+// atomic checkpoint that truncates the journal, and replays the journal
+// tail over the newest checkpoint on startup. Only the incremental
+// engine is durable (it is the only one with snapshot support).
+//
+// Crash-safety argument: a commit is journaled under the commit lock
+// before the next commit can start, so the log always holds every
+// accepted transaction since the last checkpoint. A checkpoint writes
+// the snapshot to a temp file, fsyncs, renames it over the live path,
+// and only then resets the log — a crash before the rename leaves the
+// old checkpoint plus a log that covers everything after it; a crash
+// after the rename but before the reset leaves records the recovery
+// skips by timestamp (timestamps are strictly increasing, so "t at or
+// before the checkpoint's clock" identifies them exactly).
+type Durable struct {
+	m        *Monitor
+	log      *wal.Log // nil: checkpoint-only durability
+	snapPath string   // "": journal-only durability
+
+	mu       sync.Mutex
+	last     time.Time // last successful checkpoint
+	lastErr  error     // latest durability failure, nil when healthy
+	replayed int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewDurable builds the durability manager. log may be nil (periodic
+// checkpoints without a journal) and snapPath may be empty (journal
+// only, replayed in full on recovery); at least one must be set.
+func NewDurable(m *Monitor, log *wal.Log, snapPath string) (*Durable, error) {
+	if m.inc == nil {
+		return nil, fmt.Errorf("monitor: durability requires the incremental engine (current: %v)", m.mode)
+	}
+	if log == nil && snapPath == "" {
+		return nil, fmt.Errorf("monitor: durability needs a WAL, a checkpoint path, or both")
+	}
+	return &Durable{m: m, log: log, snapPath: snapPath}, nil
+}
+
+// Recover replays the journal tail into the monitor and returns how
+// many records were applied. Call it on the freshly built (or
+// checkpoint-restored) monitor, before Attach and before serving
+// traffic. Records already covered by the checkpoint — possible when a
+// crash hit between checkpoint rename and journal reset — are skipped
+// by timestamp.
+func (d *Durable) Recover() (int, error) {
+	if d.log == nil {
+		return 0, nil
+	}
+	applied := 0
+	_, err := d.log.Replay(func(payload []byte) error {
+		t, tx, err := wal.DecodeTx(payload)
+		if err != nil {
+			return err
+		}
+		if d.m.Len() > 0 && t <= d.m.Now() {
+			return nil // already in the checkpoint
+		}
+		if _, err := d.m.Apply(t, tx); err != nil {
+			return fmt.Errorf("monitor: replaying record at t=%d: %w", t, err)
+		}
+		applied++
+		return nil
+	})
+	d.mu.Lock()
+	d.replayed = applied
+	d.mu.Unlock()
+	if mm, _ := d.m.Observer().Parts(); mm != nil {
+		mm.ReplayedRecords.Add(uint64(applied))
+	}
+	return applied, err
+}
+
+// Attach starts journaling: every subsequently accepted transaction is
+// appended to the log under the commit lock. Append failures mark the
+// manager degraded (see Health) — the in-memory commit has already
+// happened and keeps serving.
+func (d *Durable) Attach() {
+	if d.log == nil {
+		return
+	}
+	d.m.SetJournal(func(t uint64, tx *storage.Transaction) {
+		if err := d.log.AppendTx(t, tx); err != nil {
+			d.noteError(err)
+		}
+	})
+}
+
+// Start runs the background checkpointer at the given interval until
+// Stop. It requires a checkpoint path.
+func (d *Durable) Start(interval time.Duration) {
+	if d.snapPath == "" || interval <= 0 {
+		return
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go func() {
+		defer close(d.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+				d.Checkpoint() //nolint:errcheck — recorded in Health and metrics
+			}
+		}
+	}()
+}
+
+// Stop halts the background checkpointer (without a final checkpoint;
+// call Checkpoint explicitly for a clean shutdown).
+func (d *Durable) Stop() {
+	if d.stop != nil {
+		close(d.stop)
+		<-d.done
+		d.stop = nil
+	}
+}
+
+// Checkpoint atomically rotates a snapshot into the checkpoint path and
+// resets the journal. Commits are held out for the duration — bounded
+// history encoding keeps the state (and so the pause) small.
+func (d *Durable) Checkpoint() error {
+	if d.snapPath == "" {
+		return fmt.Errorf("monitor: no checkpoint path configured")
+	}
+	mm, _ := d.m.Observer().Parts()
+	start := time.Now()
+	err := d.checkpointLocked()
+	if mm != nil {
+		mm.CheckpointSeconds.Observe(time.Since(start).Seconds())
+		if err != nil {
+			mm.CheckpointErrors.Inc()
+		} else {
+			mm.Checkpoints.Inc()
+			mm.CheckpointLastUnix.Set(time.Now().Unix())
+		}
+	}
+	d.mu.Lock()
+	if err != nil {
+		d.lastErr = err
+	} else {
+		d.last = time.Now()
+		d.lastErr = nil
+	}
+	d.mu.Unlock()
+	return err
+}
+
+func (d *Durable) checkpointLocked() error {
+	d.m.mu.Lock()
+	defer d.m.mu.Unlock()
+	if err := wal.WriteFileAtomic(d.snapPath, func(w io.Writer) error {
+		return d.m.inc.SaveSnapshot(w)
+	}); err != nil {
+		return err
+	}
+	if d.log != nil {
+		return d.log.Reset()
+	}
+	return nil
+}
+
+func (d *Durable) noteError(err error) {
+	d.mu.Lock()
+	d.lastErr = err
+	d.mu.Unlock()
+}
+
+// DurabilityHealth is the durability section of a health report.
+type DurabilityHealth struct {
+	// Status is "ok", or "degraded" when the latest journal append or
+	// checkpoint failed.
+	Status string `json:"status"`
+	// LastCheckpointAgeSeconds is the age of the newest successful
+	// checkpoint, -1 when none has been written this run.
+	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds"`
+	// WALBytes is the journal's current on-disk size.
+	WALBytes int64 `json:"wal_bytes"`
+	// ReplayedRecords counts journal records applied during recovery.
+	ReplayedRecords int `json:"replayed_records"`
+	// LastError describes the failure behind a degraded status.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Health reports the durability state for /healthz.
+func (d *Durable) Health() DurabilityHealth {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := DurabilityHealth{Status: "ok", LastCheckpointAgeSeconds: -1, ReplayedRecords: d.replayed}
+	if !d.last.IsZero() {
+		h.LastCheckpointAgeSeconds = time.Since(d.last).Seconds()
+	}
+	if d.log != nil {
+		h.WALBytes = d.log.Size()
+	}
+	if d.lastErr != nil {
+		h.Status = "degraded"
+		h.LastError = d.lastErr.Error()
+	}
+	return h
+}

@@ -34,6 +34,10 @@ type Monitor struct {
 	schema *schema.Schema
 	obs    *obs.Observer
 
+	// journal, when set, receives every accepted transaction under the
+	// commit lock — the write-ahead hook of the durability layer.
+	journal func(t uint64, tx *storage.Transaction)
+
 	subMu   sync.Mutex
 	nextSub int
 	subs    map[int]chan check.Violation
@@ -139,6 +143,17 @@ func (m *Monitor) SetObserver(o *obs.Observer) {
 	m.mu.Unlock()
 }
 
+// SetJournal attaches a hook invoked under the commit lock for every
+// transaction the engine accepts, after the state has advanced. The
+// hook must not call back into the monitor; journaling failures are the
+// hook's to record (the commit has already happened and cannot be
+// rolled back). A nil hook detaches the journal.
+func (m *Monitor) SetJournal(j func(t uint64, tx *storage.Transaction)) {
+	m.mu.Lock()
+	m.journal = j
+	m.mu.Unlock()
+}
+
 // Mode reports the engine the monitor runs.
 func (m *Monitor) Mode() engine.Mode { return m.mode }
 
@@ -158,6 +173,9 @@ func (m *Monitor) Apply(t uint64, tx *storage.Transaction) ([]check.Violation, e
 	if err == nil {
 		m.states++
 		m.now = t
+		if m.journal != nil {
+			m.journal(t, tx)
+		}
 	}
 	m.mu.Unlock()
 	if err != nil {

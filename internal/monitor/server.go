@@ -4,10 +4,13 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"rtic/internal/spec"
 )
@@ -44,27 +47,89 @@ const maxLineBytes = 1 << 20
 type Server struct {
 	M *Monitor
 
+	maxConns    int           // 0 = unlimited
+	idleTimeout time.Duration // 0 = no read deadline
+
 	mu    sync.Mutex
 	conns map[net.Conn]bool
 }
 
-// NewServer wraps a monitor.
-func NewServer(m *Monitor) *Server {
-	return &Server{M: m, conns: make(map[net.Conn]bool)}
+// ServerOption configures a server at construction time.
+type ServerOption func(*Server)
+
+// WithMaxConns caps concurrently open connections (0 = unlimited). A
+// connection arriving at the cap receives one "error" reply and is
+// closed, so a client can tell a full server from a dead one.
+func WithMaxConns(n int) ServerOption {
+	return func(s *Server) { s.maxConns = n }
 }
 
-// Serve accepts connections until the listener is closed.
+// WithIdleTimeout closes connections whose socket stays silent for d
+// (0 = never); without it a stalled client pins its goroutine forever.
+// The deadline is refreshed on every read, so a slowly streaming client
+// is never cut off.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// NewServer wraps a monitor.
+func NewServer(m *Monitor, opts ...ServerOption) *Server {
+	s := &Server{M: m, conns: make(map[net.Conn]bool)}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// acceptBackoff bounds the retry delays on temporary Accept errors.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
+// Serve accepts connections until the listener is closed. Temporary
+// accept failures (EMFILE, ECONNABORTED, ...) are retried with
+// exponential backoff instead of killing the serve loop — under fd
+// exhaustion the server degrades instead of dying.
 func (s *Server) Serve(l net.Listener) error {
+	var backoff time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if ne, ok := err.(interface{ Temporary() bool }); ok && ne.Temporary() {
+				if backoff == 0 {
+					backoff = acceptBackoffMin
+				} else if backoff *= 2; backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
+				time.Sleep(backoff)
+				continue
+			}
 			return err
 		}
+		backoff = 0
 		s.mu.Lock()
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.mu.Unlock()
+			s.reject(conn)
+			continue
+		}
 		s.conns[conn] = true
 		s.mu.Unlock()
 		go s.handle(conn)
 	}
+}
+
+// reject tells a connection the server is at capacity and closes it.
+func (s *Server) reject(conn net.Conn) {
+	if m, _ := s.M.Observer().Parts(); m != nil {
+		m.ConnectionsRejected.Inc()
+	}
+	go func() {
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		fmt.Fprintf(conn, "error server at connection limit (%d)\n", s.maxConns)
+		conn.Close()
+	}()
 }
 
 // Close terminates every open connection.
@@ -92,7 +157,11 @@ func (s *Server) handle(conn net.Conn) {
 			m.ConnectionsActive.Dec()
 		}
 	}()
-	sc := bufio.NewScanner(conn)
+	var src io.Reader = conn
+	if s.idleTimeout > 0 {
+		src = &idleReader{conn: conn, timeout: s.idleTimeout}
+	}
+	sc := bufio.NewScanner(src)
 	sc.Buffer(make([]byte, 0, 4096), maxLineBytes)
 	w := bufio.NewWriter(conn)
 	reply := func(format string, args ...interface{}) bool {
@@ -188,6 +257,24 @@ func (s *Server) handle(conn net.Conn) {
 			replyError("line exceeds %d bytes", maxLineBytes)
 			return
 		}
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			replyError("idle for more than %s, closing", s.idleTimeout)
+			return
+		}
 		replyError("read: %v", err)
 	}
+}
+
+// idleReader refreshes the connection's read deadline before every
+// socket read, so the deadline measures idle time, not connection age.
+type idleReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (r *idleReader) Read(p []byte) (int, error) {
+	if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+		return 0, err
+	}
+	return r.conn.Read(p)
 }

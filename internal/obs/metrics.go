@@ -22,10 +22,23 @@ type Metrics struct {
 	ParallelWorkers   *Gauge        // commit-pipeline worker-pool width
 
 	// Monitor section (updated by the line-protocol server).
-	Connections       *Counter // accepted connections
-	ConnectionsActive *Gauge   // currently open connections
-	ProtocolErrors    *Counter // "error ..." replies sent
-	DroppedViolations *Counter // subscriber-overflow drops
+	Connections         *Counter // accepted connections
+	ConnectionsActive   *Gauge   // currently open connections
+	ConnectionsRejected *Counter // refused at the max-connections cap
+	ProtocolErrors      *Counter // "error ..." replies sent
+	DroppedViolations   *Counter // subscriber-overflow drops
+
+	// Durability section (updated by the WAL and the checkpointer).
+	WALAppends         *Counter   // records journaled
+	WALAppendedBytes   *Counter   // framed bytes journaled
+	WALFsyncs          *Counter   // fsyncs issued on the log
+	WALErrors          *Counter   // failed appends/fsyncs/resets
+	WALSizeBytes       *Gauge     // current log size on disk
+	Checkpoints        *Counter   // checkpoints written
+	CheckpointErrors   *Counter   // failed checkpoint attempts
+	CheckpointSeconds  *Histogram // checkpoint wall time
+	CheckpointLastUnix *Gauge     // unix time of the last good checkpoint
+	ReplayedRecords    *Counter   // WAL records replayed during recovery
 }
 
 // NewMetrics registers the standard metric set on r and returns the
@@ -60,10 +73,33 @@ func NewMetrics(r *Registry) *Metrics {
 			"Connections accepted by the line-protocol server."),
 		ConnectionsActive: r.Gauge("rtic_monitor_connections_active",
 			"Line-protocol connections currently open."),
+		ConnectionsRejected: r.Counter("rtic_monitor_connections_rejected_total",
+			"Connections refused because the server was at its max-connections cap."),
 		ProtocolErrors: r.Counter("rtic_monitor_protocol_errors_total",
 			"Error replies sent over the line protocol."),
 		DroppedViolations: r.Counter("rtic_monitor_dropped_violations_total",
 			"Violations dropped because a subscriber lagged."),
+
+		WALAppends: r.Counter("rtic_wal_appends_total",
+			"Transaction records appended to the write-ahead log."),
+		WALAppendedBytes: r.Counter("rtic_wal_appended_bytes_total",
+			"Framed bytes appended to the write-ahead log."),
+		WALFsyncs: r.Counter("rtic_wal_fsyncs_total",
+			"Fsyncs issued on the write-ahead log."),
+		WALErrors: r.Counter("rtic_wal_errors_total",
+			"Write-ahead log operations that failed (append, fsync, reset)."),
+		WALSizeBytes: r.Gauge("rtic_wal_size_bytes",
+			"Current on-disk size of the write-ahead log."),
+		Checkpoints: r.Counter("rtic_checkpoints_total",
+			"Checkpoints written and rotated into place."),
+		CheckpointErrors: r.Counter("rtic_checkpoint_errors_total",
+			"Checkpoint attempts that failed (the previous checkpoint survives)."),
+		CheckpointSeconds: r.Histogram("rtic_checkpoint_duration_seconds",
+			"Wall time of one checkpoint (snapshot, fsync, rename, WAL reset).", nil),
+		CheckpointLastUnix: r.Gauge("rtic_checkpoint_last_unix_seconds",
+			"Unix time of the last successful checkpoint (0 = never)."),
+		ReplayedRecords: r.Counter("rtic_recovery_replayed_records_total",
+			"WAL records replayed into the engine during startup recovery."),
 	}
 }
 

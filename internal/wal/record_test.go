@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"testing"
+
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+	"rtic/internal/value"
+)
+
+func TestEncodeDecodeTx(t *testing.T) {
+	cases := []struct {
+		name string
+		t    uint64
+		tx   *storage.Transaction
+	}{
+		{"empty", 0, storage.NewTransaction()},
+		{"single insert", 100, storage.NewTransaction().Insert("hire", tuple.Ints(7))},
+		{"mixed ops", 1 << 40, storage.NewTransaction().
+			Delete("fire", tuple.Ints(7)).
+			Insert("hire", tuple.Ints(7)).
+			Insert("badge", tuple.Of(value.Str("ann"), value.Str("red")))},
+		{"nullary relation", 3, storage.NewTransaction().Insert("tick", tuple.Of())},
+		{"awkward strings", 5, storage.NewTransaction().
+			Insert("s", tuple.Of(value.Str(""), value.Str("with 'quotes' and\nnewlines\x00nul")))},
+		{"negative ints", 7, storage.NewTransaction().Insert("n", tuple.Ints(-42))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := EncodeTx(tc.t, tc.tx)
+			gt, gtx, err := DecodeTx(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gt != tc.t {
+				t.Errorf("time = %d, want %d", gt, tc.t)
+			}
+			if len(gtx.Ops()) != len(tc.tx.Ops()) {
+				t.Fatalf("op count = %d, want %d", len(gtx.Ops()), len(tc.tx.Ops()))
+			}
+			for i, op := range gtx.Ops() {
+				want := tc.tx.Ops()[i]
+				if op.Rel != want.Rel || op.Insert != want.Insert || !op.Tuple.Equal(want.Tuple) {
+					t.Errorf("op %d = %+v, want %+v", i, op, want)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeTxRejectsGarbage(t *testing.T) {
+	good := EncodeTx(100, storage.NewTransaction().Insert("hire", tuple.Ints(7)))
+	cases := map[string][]byte{
+		"empty":             {},
+		"time only":         good[:1],
+		"mid-op truncation": good[:len(good)-3],
+		"trailing bytes":    append(append([]byte(nil), good...), 0xff),
+		"bad insert flag":   {0, 1, 7, 0, 0},
+		"huge op count":     {0, 0xff, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := DecodeTx(data); err == nil {
+				t.Errorf("garbage %x decoded without error", data)
+			}
+		})
+	}
+}
+
+// FuzzDecodeTx asserts DecodeTx never panics or over-allocates, and
+// that whatever it accepts re-encodes to the same bytes (the encoding
+// is canonical).
+func FuzzDecodeTx(f *testing.F) {
+	f.Add(EncodeTx(100, storage.NewTransaction().Insert("hire", tuple.Ints(7))))
+	f.Add(EncodeTx(0, storage.NewTransaction()))
+	f.Add([]byte{0, 1, 1, 1, 'p', 1, 9, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, tx, err := DecodeTx(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeTx(ts, tx); string(got) != string(data) {
+			t.Fatalf("accepted %x but re-encodes to %x", data, got)
+		}
+	})
+}

@@ -1,0 +1,504 @@
+// Package wal implements the durability layer of the checker stack: a
+// crash-safe write-ahead log of committed transactions and atomic
+// checkpoint rotation.
+//
+// The log is a single append-only file. It starts with an 8-byte magic
+// header ("RTICWAL1") followed by length-prefixed records:
+//
+//	[4 bytes LE payload length][4 bytes LE CRC32C of payload][payload]
+//
+// A record either made it to disk completely or it did not: replay
+// verifies every checksum and treats an incomplete frame at the end of
+// the file as a torn final write (the one failure an interrupted append
+// can produce), truncating it away on open. A checksum mismatch on a
+// *complete* frame, a bad magic header, or an implausible length are
+// reported as *CorruptError — they cannot result from a torn append and
+// indicate real corruption that an operator must look at.
+//
+// Two sync policies cover the durability/latency trade-off: SyncAlways
+// fsyncs after every append (no committed transaction is ever lost),
+// SyncBatch marks the log dirty and fsyncs from a background flusher at
+// a configurable interval (bounded loss window, much higher append
+// throughput on spinning or network disks).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"rtic/internal/obs"
+	"rtic/internal/storage"
+)
+
+const (
+	// headerSize is the length of the magic file header.
+	headerSize = 8
+	// frameHeaderSize prefixes every record: 4-byte length + 4-byte CRC.
+	frameHeaderSize = 8
+	// MaxRecordBytes caps one record's payload; a length prefix beyond it
+	// is reported as corruption rather than allocated.
+	MaxRecordBytes = 16 << 20
+)
+
+// magic identifies a WAL file (and its format version).
+var magic = [headerSize]byte{'R', 'T', 'I', 'C', 'W', 'A', 'L', '1'}
+
+// castagnoli is the CRC32C polynomial, hardware-accelerated on amd64
+// and arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks an incomplete final frame — recoverable, not corrupt.
+var errTorn = errors.New("wal: torn final record")
+
+// CorruptError reports damage that cannot be explained by a torn final
+// append: bad magic, an implausible length prefix, or a checksum
+// mismatch on a complete frame.
+type CorruptError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: %s corrupt at byte %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: a commit acknowledged to a
+	// client is durable.
+	SyncAlways SyncPolicy = iota
+	// SyncBatch fsyncs from a background flusher on a fixed interval; a
+	// crash loses at most one interval's worth of acknowledged commits.
+	SyncBatch
+)
+
+// String returns the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy reads a -wal-sync flag value.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "batch", "batched":
+		return SyncBatch, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (want always or batch)", s)
+	}
+}
+
+// file is the subset of *os.File the log needs; fault-injection tests
+// substitute failing and short-writing implementations.
+type file interface {
+	io.Writer
+	io.ReaderAt
+	Sync() error
+	Truncate(int64) error
+	Close() error
+}
+
+// Option configures a log at open time.
+type Option func(*logOptions)
+
+type logOptions struct {
+	policy   SyncPolicy
+	interval time.Duration
+	metrics  *obs.Metrics
+}
+
+// WithSyncPolicy selects the sync policy (default SyncAlways).
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(o *logOptions) { o.policy = p }
+}
+
+// WithBatchInterval sets the SyncBatch flush interval (default 100ms).
+func WithBatchInterval(d time.Duration) Option {
+	return func(o *logOptions) { o.interval = d }
+}
+
+// WithMetrics attaches the standard metric set: appends, appended
+// bytes, fsyncs, errors, and the log size gauge.
+func WithMetrics(m *obs.Metrics) Option {
+	return func(o *logOptions) { o.metrics = m }
+}
+
+// Log is an append-only, checksummed record log. All methods are safe
+// for concurrent use.
+type Log struct {
+	path    string
+	policy  SyncPolicy
+	metrics *obs.Metrics
+
+	mu      sync.Mutex
+	f       file
+	size    int64 // bytes of valid header + records on disk
+	records int   // valid records on disk
+	dirty   bool  // bytes appended since the last fsync
+	broken  error // sticky: set when the on-disk state is unknown
+
+	torn       bool  // a torn final record was truncated on open
+	tornOffset int64 // where the torn record started
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Open opens (or creates) the log at path, validates the header, scans
+// the valid record prefix, and truncates a torn final record so that
+// subsequent appends extend a clean log. Corruption that a torn append
+// cannot explain is returned as *CorruptError.
+func Open(path string, opts ...Option) (*Log, error) {
+	var o logOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l, err := newLog(f, path, st.Size(), o)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// newLog validates and recovers an opened file; tests drive it with
+// fault-injecting file implementations.
+func newLog(f file, path string, size int64, o logOptions) (*Log, error) {
+	if o.interval <= 0 {
+		o.interval = 100 * time.Millisecond
+	}
+	l := &Log{path: path, policy: o.policy, metrics: o.metrics, f: f, size: size}
+	if size == 0 {
+		if _, err := f.Write(magic[:]); err != nil {
+			return nil, fmt.Errorf("wal: writing header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("wal: syncing header: %w", err)
+		}
+		l.size = headerSize
+		l.countFsync()
+	} else {
+		if size < headerSize {
+			return nil, &CorruptError{Path: path, Offset: 0, Reason: "file shorter than the magic header"}
+		}
+		var hdr [headerSize]byte
+		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+			return nil, err
+		}
+		if hdr != magic {
+			return nil, &CorruptError{Path: path, Offset: 0, Reason: fmt.Sprintf("bad magic %q", hdr[:])}
+		}
+		off := int64(headerSize)
+		for {
+			_, next, err := l.frameAt(off, size)
+			if err == io.EOF {
+				break
+			}
+			if errors.Is(err, errTorn) {
+				// The one failure an interrupted append produces: truncate
+				// it so the next append extends a clean prefix.
+				l.torn, l.tornOffset = true, off
+				if terr := f.Truncate(off); terr != nil {
+					return nil, fmt.Errorf("wal: truncating torn record at byte %d: %w", off, terr)
+				}
+				if serr := f.Sync(); serr != nil {
+					return nil, fmt.Errorf("wal: syncing after truncation: %w", serr)
+				}
+				l.countFsync()
+				size = off
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			l.records++
+			off = next
+		}
+		l.size = size
+	}
+	if m := l.metrics; m != nil {
+		m.WALSizeBytes.Set(l.size)
+	}
+	if l.policy == SyncBatch {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop(o.interval)
+	}
+	return l, nil
+}
+
+// frameAt reads the record frame starting at off within the first size
+// bytes. It returns io.EOF at a clean end, errTorn when the remaining
+// bytes cannot hold the frame, and *CorruptError on checksum or length
+// damage.
+func (l *Log) frameAt(off, size int64) (payload []byte, next int64, err error) {
+	rem := size - off
+	if rem == 0 {
+		return nil, off, io.EOF
+	}
+	if rem < frameHeaderSize {
+		return nil, off, errTorn
+	}
+	var hdr [frameHeaderSize]byte
+	if _, err := l.f.ReadAt(hdr[:], off); err != nil {
+		return nil, off, fmt.Errorf("wal: reading frame header at byte %d: %w", off, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if n == 0 || n > MaxRecordBytes {
+		// Appends never write such a length, and truncation cannot
+		// manufacture one: the length bytes are either all present (and
+		// then correct) or the frame is already torn.
+		return nil, off, &CorruptError{Path: l.path, Offset: off,
+			Reason: fmt.Sprintf("implausible record length %d", n)}
+	}
+	if rem-frameHeaderSize < int64(n) {
+		return nil, off, errTorn
+	}
+	payload = make([]byte, n)
+	if _, err := l.f.ReadAt(payload, off+frameHeaderSize); err != nil {
+		return nil, off, fmt.Errorf("wal: reading record at byte %d: %w", off, err)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return nil, off, &CorruptError{Path: l.path, Offset: off,
+			Reason: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", sum, got)}
+	}
+	return payload, off + frameHeaderSize + int64(n), nil
+}
+
+// Append frames payload and writes it. Under SyncAlways the record is
+// on stable storage when Append returns; under SyncBatch it is durable
+// after the next background flush. A failed or short write is rolled
+// back by truncating the partial frame; if even that fails the log
+// latches broken and refuses further appends.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("wal: empty record")
+	}
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte cap", len(payload), MaxRecordBytes)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderSize:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		l.countError()
+		return fmt.Errorf("wal: log unusable after earlier write failure: %w", l.broken)
+	}
+	n, err := l.f.Write(frame)
+	if err != nil || n != len(frame) {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		// Roll the partial frame back so the on-disk prefix stays a valid
+		// log; if the rollback fails we no longer know what is on disk.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.broken = fmt.Errorf("append failed (%v) and rollback failed (%v)", err, terr)
+		}
+		l.countError()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.records++
+	l.dirty = true
+	if m := l.metrics; m != nil {
+		m.WALAppends.Inc()
+		m.WALAppendedBytes.Add(uint64(len(frame)))
+		m.WALSizeBytes.Set(l.size)
+	}
+	if l.policy == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// AppendTx journals one committed transaction.
+func (l *Log) AppendTx(t uint64, tx *storage.Transaction) error {
+	return l.Append(EncodeTx(t, tx))
+}
+
+// Sync forces buffered appends to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.broken != nil {
+		return fmt.Errorf("wal: log unusable after earlier write failure: %w", l.broken)
+	}
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		// After a failed fsync the kernel may have dropped the dirty
+		// pages; nothing about the tail can be trusted any more.
+		l.broken = err
+		l.countError()
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	l.countFsync()
+	return nil
+}
+
+// Reset truncates the log back to its header — called after a
+// checkpoint has made every journaled record redundant.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return fmt.Errorf("wal: log unusable after earlier write failure: %w", l.broken)
+	}
+	if err := l.f.Truncate(headerSize); err != nil {
+		l.broken = err
+		l.countError()
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.broken = err
+		l.countError()
+		return fmt.Errorf("wal: reset sync: %w", err)
+	}
+	l.size = headerSize
+	l.records = 0
+	l.dirty = false
+	l.countFsync()
+	if m := l.metrics; m != nil {
+		m.WALSizeBytes.Set(l.size)
+	}
+	return nil
+}
+
+// Replay calls fn for every valid record payload in order and returns
+// how many were delivered. It stops with the callback's error, or with
+// *CorruptError on damage; a torn final record never reaches fn (Open
+// already truncated it).
+func (l *Log) Replay(fn func(payload []byte) error) (int, error) {
+	l.mu.Lock()
+	size := l.size
+	l.mu.Unlock()
+	off := int64(headerSize)
+	n := 0
+	for {
+		payload, next, err := l.frameAt(off, size)
+		if err == io.EOF || errors.Is(err, errTorn) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := fn(payload); err != nil {
+			return n, err
+		}
+		n++
+		off = next
+	}
+}
+
+// flushLoop is the SyncBatch background flusher.
+func (l *Log) flushLoop(interval time.Duration) {
+	defer close(l.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			l.Sync() //nolint:errcheck — the broken latch reports it on the next append
+		}
+	}
+}
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	if l.flushStop != nil {
+		close(l.flushStop)
+		<-l.flushDone
+		l.flushStop = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := error(nil)
+	if l.broken == nil && l.dirty {
+		if serr := l.f.Sync(); serr == nil {
+			l.dirty = false
+			l.countFsync()
+		} else {
+			err = fmt.Errorf("wal: close sync: %w", serr)
+		}
+	}
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}
+
+// Size reports the valid on-disk bytes (header included).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Records reports the number of valid records in the log.
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// TornTail reports whether Open truncated a torn final record, and at
+// which byte offset it started.
+func (l *Log) TornTail() (int64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tornOffset, l.torn
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+func (l *Log) countFsync() {
+	if m := l.metrics; m != nil {
+		m.WALFsyncs.Inc()
+	}
+}
+
+func (l *Log) countError() {
+	if m := l.metrics; m != nil {
+		m.WALErrors.Inc()
+	}
+}
