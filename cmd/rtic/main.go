@@ -5,6 +5,8 @@
 //
 //	rtic -spec constraints.rtic [-mode incremental|naive|active]
 //	     [-parallelism N] [-trace] [log...]
+//	rtic lint -spec constraints.rtic [-json] [-strict]
+//	     [-cost-threshold N] [log...]
 //
 // The spec file declares relations and constraints (see package
 // internal/spec). Transaction logs are read from the given files, or
@@ -13,6 +15,9 @@
 // is 2 when any violation occurred, 1 on errors, 0 otherwise. With
 // -trace every engine operation (step, per-node update, constraint
 // check) is logged as a structured line on stderr.
+//
+// "rtic lint" statically analyzes the spec without replaying a log;
+// see lint.go and docs/LINTING.md.
 package main
 
 import (
@@ -35,6 +40,17 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		if err := runLint(os.Args[2:], os.Stdout); err != nil {
+			if err == errLintFindings {
+				os.Exit(2)
+			}
+			fmt.Fprintln(os.Stderr, "rtic:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	specPath := flag.String("spec", "", "spec file with relations and constraints (required)")
 	mode := flag.String("mode", "incremental",
 		"checking engine ("+strings.Join(rtic.ModeNames(), ", ")+")")

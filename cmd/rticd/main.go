@@ -44,7 +44,16 @@
 //	GET /metrics  -> Prometheus text exposition (commits, violations by
 //	                 constraint, commit-latency histogram, auxiliary
 //	                 encoding gauges, connection counters)
-//	GET /healthz  -> {"status":"ok","states":N,"now":T}
+//	GET /healthz  -> {"status":"ok","states":N,"now":T,...} with a
+//	                 "lint" section summarizing the startup findings
+//
+// At startup the daemon lints the spec (see docs/LINTING.md): every
+// finding is logged, counted in rtic_lint_warnings_total and
+// rtic_lint_findings_total{rule=...}, and summarized under /healthz.
+// Findings never stop the daemon — the constraints parsed and compiled
+// — but an Error-severity finding (contradiction, unsatisfiable
+// window) means some constraint cannot behave as written. Clients can
+// also retrieve the findings over the line protocol with "lint".
 //
 // Engine metrics are always collected (the line-protocol "metrics"
 // command scrapes them without the HTTP listener); -metrics only
@@ -68,6 +77,7 @@ import (
 	"strings"
 
 	"rtic"
+	"rtic/internal/lint"
 	"rtic/internal/monitor"
 	"rtic/internal/obs"
 	"rtic/internal/spec"
@@ -137,15 +147,40 @@ func main() {
 // daemon holds the running pieces so tests can drive a full lifecycle
 // without signals.
 type daemon struct {
-	opts options
-	m    *monitor.Monitor
-	srv  *monitor.Server
-	dur  *monitor.Durable // nil without -wal or -checkpoint-interval
-	wlog *wal.Log         // nil without -wal
-	l    net.Listener
-	hl   net.Listener // nil without -metrics
-	hsrv *http.Server
-	done chan error
+	opts  options
+	m     *monitor.Monitor
+	srv   *monitor.Server
+	dur   *monitor.Durable // nil without -wal or -checkpoint-interval
+	wlog  *wal.Log         // nil without -wal
+	l     net.Listener
+	hl    net.Listener // nil without -metrics
+	hsrv  *http.Server
+	diags []lint.Diagnostic // startup lint findings over the spec
+	done  chan error
+}
+
+// lintSummary condenses the startup findings for /healthz.
+func lintSummary(diags []lint.Diagnostic) map[string]any {
+	var errs, warns int
+	rules := map[string]int{}
+	for _, d := range diags {
+		switch d.Severity {
+		case lint.Error:
+			errs++
+		case lint.Warning:
+			warns++
+		}
+		rules[d.Rule]++
+	}
+	s := map[string]any{
+		"findings": len(diags),
+		"errors":   errs,
+		"warnings": warns,
+	}
+	if len(rules) > 0 {
+		s["rules"] = rules
+	}
+	return s
 }
 
 // start loads the spec, builds (or restores) the monitor with its
@@ -232,6 +267,22 @@ func start(opts options) (*daemon, error) {
 		m.SetObserver(o)
 	}
 
+	// Lint the spec at startup: log every finding and feed the lint
+	// counters. The restored path installs the snapshot's constraints,
+	// but the operator's spec file is what the report is about.
+	diags := lint.Constraints(sp.Constraints, sp.Schema, lint.Options{})
+	for _, dg := range diags {
+		fmt.Printf("lint: %s\n", dg.String())
+		o.Metrics.LintFindings.With(dg.Rule).Inc()
+		if dg.Severity >= lint.Warning {
+			o.Metrics.LintWarnings.Inc()
+		}
+	}
+	if n := len(diags); n > 0 {
+		fmt.Printf("lint: %d finding(s) in %s (run `rtic lint -spec %s` for details)\n",
+			n, opts.specPath, opts.specPath)
+	}
+
 	var wlog *wal.Log
 	var dur *monitor.Durable
 	if opts.walPath != "" {
@@ -280,7 +331,7 @@ func start(opts options) (*daemon, error) {
 	}
 	srv := monitor.NewServer(m,
 		monitor.WithMaxConns(opts.maxConns), monitor.WithIdleTimeout(opts.idleTimeout))
-	d := &daemon{opts: opts, m: m, l: l, srv: srv, dur: dur, wlog: wlog, done: make(chan error, 1)}
+	d := &daemon{opts: opts, m: m, l: l, srv: srv, dur: dur, wlog: wlog, diags: diags, done: make(chan error, 1)}
 
 	if opts.metricsAddr != "" {
 		hl, err := net.Listen("tcp", opts.metricsAddr)
@@ -300,6 +351,7 @@ func start(opts options) (*daemon, error) {
 				"status": "ok",
 				"states": m.Len(),
 				"now":    m.Now(),
+				"lint":   lintSummary(d.diags),
 			}
 			if d.dur != nil {
 				h := d.dur.Health()

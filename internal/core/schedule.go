@@ -96,6 +96,91 @@ func (c *Checker) Schedule() [][]string {
 	return out
 }
 
+// NodeCost is the worst-case bounded-history estimate for one
+// auxiliary node of the leveled schedule: Span is the number of
+// timestamps a single binding may retain inside the metric window
+// (1 for prev and for unbounded-above windows, Hi−Lo+1 otherwise),
+// Arity the number of free variables spanning the binding space, and
+// Weight their saturating product — the per-binding storage bound the
+// linter's cost pass sums per constraint.
+type NodeCost struct {
+	Formula string      // canonical rendering
+	Node    mtl.Formula // the temporal subformula itself
+	Level   int         // dependency level in the schedule
+	Span    uint64
+	Arity   int
+	Weight  uint64
+}
+
+// ScheduleCosts reports the per-node cost estimates of the current
+// leveled schedule, in schedule order (level by level).
+func (c *Checker) ScheduleCosts() []NodeCost {
+	var out []NodeCost
+	for lvl, level := range c.levels {
+		for _, n := range level {
+			f := n.formula()
+			span := windowSpan(f)
+			arity := len(mtl.FreeVars(f))
+			w := arity
+			if w < 1 {
+				w = 1
+			}
+			out = append(out, NodeCost{
+				Formula: f.String(),
+				Node:    f,
+				Level:   lvl,
+				Span:    span,
+				Arity:   arity,
+				Weight:  satMul(span, uint64(w)),
+			})
+		}
+	}
+	return out
+}
+
+// windowSpan bounds how many timestamps one binding of the node can
+// retain: prev stores a single state, an unbounded-above window keeps
+// only its earliest timestamp (satisfaction is monotone in age), and a
+// bounded window prunes ages beyond Hi, leaving at most Hi+1 live
+// timestamps (ages 0..Hi — pruning ignores Lo, young anchors may still
+// age into the window).
+func windowSpan(f mtl.Formula) uint64 {
+	var iv mtl.Interval
+	switch n := f.(type) {
+	case *mtl.Prev:
+		return 1
+	case *mtl.Once:
+		iv = n.I
+	case *mtl.Since:
+		iv = n.I
+	default:
+		return 1
+	}
+	if iv.Unbounded {
+		return 1
+	}
+	return satAdd(iv.Hi, 1)
+}
+
+func satAdd(a, b uint64) uint64 {
+	s := a + b
+	if s < a {
+		return ^uint64(0)
+	}
+	return s
+}
+
+func satMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/a != b {
+		return ^uint64(0)
+	}
+	return p
+}
+
 // Parallelism reports the worker-pool width the pipeline runs with
 // (1 = sequential).
 func (c *Checker) Parallelism() int { return c.par }

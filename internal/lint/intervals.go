@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"fmt"
+
+	"rtic/internal/mtl"
+)
+
+// The interval pass flags metric windows that can never fire.
+//
+// Two facts drive it: (1) intervals are [Lo,Hi] over non-negative
+// distances, so Lo > Hi is empty outright (the parser rejects this,
+// but programmatically built formulas reach the linter too); (2) the
+// engine requires timestamps to strictly increase across commits, so
+// the distance to *any previous state* is at least 1 — a prev whose
+// window excludes every distance ≥ 1 is dead.
+func lintIntervals(name string, f mtl.Formula, out *[]Diagnostic) {
+	mtl.Walk(f, func(g mtl.Formula) {
+		switch n := g.(type) {
+		case *mtl.Prev:
+			emptyInterval(name, g, n.I, out)
+			if !n.I.Unbounded && n.I.Hi < 1 {
+				*out = append(*out, Diagnostic{
+					Rule:       "interval-unsatisfiable",
+					Severity:   Error,
+					Constraint: name,
+					Node:       g.String(),
+					Pos:        mtl.NodePos(g),
+					Message: fmt.Sprintf("window %s of prev can never fire: timestamps strictly increase, so the previous state is always at least 1 time unit in the past",
+						n.I.String()),
+					Suggestion: "widen the window, e.g. prev[1,1] or prev",
+				})
+			}
+		case *mtl.Once:
+			emptyInterval(name, g, n.I, out)
+		case *mtl.Always:
+			emptyInterval(name, g, n.I, out)
+		case *mtl.Since:
+			emptyInterval(name, g, n.I, out)
+		case *mtl.LeadsTo:
+			emptyInterval(name, g, n.I, out)
+			// The deadline monitor rewrites "L leadsto[a,d] R" into a
+			// since over [d+1, ∞); d+1 saturates at the top of uint64.
+			if !n.I.Unbounded && n.I.Hi == ^uint64(0) {
+				*out = append(*out, Diagnostic{
+					Rule:       "interval-overflow",
+					Severity:   Warning,
+					Constraint: name,
+					Node:       g.String(),
+					Pos:        mtl.NodePos(g),
+					Message:    "deadline is the maximum uint64; the expiry bound d+1 saturates and the obligation is never reported overdue",
+					Suggestion: "use an unbounded window (leadsto is then vacuous) or a realistic deadline",
+				})
+			}
+		}
+	})
+}
+
+func emptyInterval(name string, g mtl.Formula, iv mtl.Interval, out *[]Diagnostic) {
+	if !iv.Unbounded && iv.Lo > iv.Hi {
+		*out = append(*out, Diagnostic{
+			Rule:       "interval-empty",
+			Severity:   Error,
+			Constraint: name,
+			Node:       g.String(),
+			Pos:        mtl.NodePos(g),
+			Message:    fmt.Sprintf("window %s is empty: lower bound exceeds upper bound", iv.String()),
+			Suggestion: "swap the bounds or widen the window",
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"rtic/internal/mtl"
+	"rtic/internal/schema"
+	"rtic/internal/value"
+)
+
+// The schema pass checks every atom against the declared vocabulary
+// (unlike the compiler's fol.CheckSchema it reports all findings, not
+// just the first) and infers a column type from the constants compared
+// against each column, flagging conflicts — a column that is both an
+// integer and a string in the same constraint set can never join.
+//
+// It returns false when an Error-severity finding fired, in which case
+// compilation-dependent passes are pointless.
+func lintSchema(name string, f mtl.Formula, s *schema.Schema, out *[]Diagnostic) bool {
+	ok := true
+	cols := make(map[colRef]colUse)
+	mtl.Walk(f, func(g mtl.Formula) {
+		a, isAtom := g.(*mtl.Atom)
+		if !isAtom {
+			return
+		}
+		def, known := s.Lookup(a.Rel)
+		if !known {
+			ok = false
+			*out = append(*out, Diagnostic{
+				Rule:       "unknown-relation",
+				Severity:   Error,
+				Constraint: name,
+				Node:       g.String(),
+				Pos:        mtl.NodePos(g),
+				Message:    fmt.Sprintf("relation %s is not declared in the schema", a.Rel),
+				Suggestion: suggestRelation(a.Rel, s),
+			})
+			return
+		}
+		if def.Arity != len(a.Args) {
+			ok = false
+			*out = append(*out, Diagnostic{
+				Rule:       "arity-mismatch",
+				Severity:   Error,
+				Constraint: name,
+				Node:       g.String(),
+				Pos:        mtl.NodePos(g),
+				Message: fmt.Sprintf("atom has %d arguments, relation %s has arity %d",
+					len(a.Args), a.Rel, def.Arity),
+			})
+			return
+		}
+		for i, arg := range a.Args {
+			if c, isConst := arg.(mtl.Const); isConst {
+				recordColUse(cols, colRef{rel: a.Rel, col: i}, c.Val.Kind(), mtl.NodePos(g))
+			}
+		}
+	})
+	// Variable-mediated uses: x in p(x) compared with a constant, or
+	// carried into another column, propagates that constant's kind.
+	propagateVarKinds(f, cols)
+	reportColConflicts(name, cols, out)
+	return ok
+}
+
+type colRef struct {
+	rel string
+	col int
+}
+
+type colUse struct {
+	kinds map[value.Kind]int // kind -> first source position seen
+}
+
+func recordColUse(cols map[colRef]colUse, ref colRef, k value.Kind, pos int) {
+	u, ok := cols[ref]
+	if !ok {
+		u = colUse{kinds: make(map[value.Kind]int)}
+		cols[ref] = u
+	}
+	if _, seen := u.kinds[k]; !seen {
+		u.kinds[k] = pos
+	}
+}
+
+// propagateVarKinds joins columns through shared variables and through
+// comparisons of a variable against a constant: in
+// "p(x) and x = 'ann'" column p.0 is a string column.
+func propagateVarKinds(f mtl.Formula, cols map[colRef]colUse) {
+	varCols := make(map[string][]colRef) // variable -> columns it flows through
+	varKinds := make(map[string]map[value.Kind]int)
+	mtl.Walk(f, func(g mtl.Formula) {
+		switch n := g.(type) {
+		case *mtl.Atom:
+			for i, arg := range n.Args {
+				if v, isVar := arg.(mtl.Var); isVar {
+					varCols[v.Name] = append(varCols[v.Name], colRef{rel: n.Rel, col: i})
+				}
+			}
+		case *mtl.Cmp:
+			v, lVar := n.L.(mtl.Var)
+			c, rConst := n.R.(mtl.Const)
+			if !lVar || !rConst {
+				v, lVar = n.R.(mtl.Var)
+				c, rConst = n.L.(mtl.Const)
+			}
+			if lVar && rConst {
+				if varKinds[v.Name] == nil {
+					varKinds[v.Name] = make(map[value.Kind]int)
+				}
+				if _, seen := varKinds[v.Name][c.Val.Kind()]; !seen {
+					varKinds[v.Name][c.Val.Kind()] = mtl.NodePos(g)
+				}
+			}
+		}
+	})
+	for name, kinds := range varKinds {
+		for _, ref := range varCols[name] {
+			for k, pos := range kinds {
+				recordColUse(cols, ref, k, pos)
+			}
+		}
+	}
+}
+
+func reportColConflicts(name string, cols map[colRef]colUse, out *[]Diagnostic) {
+	refs := make([]colRef, 0, len(cols))
+	for ref := range cols {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].rel != refs[j].rel {
+			return refs[i].rel < refs[j].rel
+		}
+		return refs[i].col < refs[j].col
+	})
+	for _, ref := range refs {
+		u := cols[ref]
+		if len(u.kinds) < 2 {
+			continue
+		}
+		pos := 0
+		for _, p := range u.kinds {
+			if pos == 0 || (p > 0 && p < pos) {
+				pos = p
+			}
+		}
+		*out = append(*out, Diagnostic{
+			Rule:       "column-type-conflict",
+			Severity:   Warning,
+			Constraint: name,
+			Pos:        pos,
+			Message: fmt.Sprintf("column %d of %s is used both as int and as string; such comparisons never match",
+				ref.col, ref.rel),
+			Suggestion: "make the literals agree on one type",
+		})
+	}
+}
+
+// suggestRelation proposes the closest declared relation name, if any
+// is within edit distance 2.
+func suggestRelation(miss string, s *schema.Schema) string {
+	best, bestD := "", 3
+	for _, n := range s.Names() {
+		if d := editDistance(miss, n); d < bestD {
+			best, bestD = n, d
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return fmt.Sprintf("did you mean %s?", best)
+}
+
+func editDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

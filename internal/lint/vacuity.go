@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"fmt"
+
+	"rtic/internal/mtl"
+)
+
+// The vacuity pass detects constraints (and subformulas) whose truth
+// value is already decided at compile time. It reuses the compiler's
+// own pipeline — Simplify∘Normalize — as the decision procedure, so a
+// constraint is flagged vacuous exactly when the engine would install
+// a denial that never (or always) fires.
+func lintVacuity(name string, f mtl.Formula, out *[]Diagnostic) {
+	den := mtl.Simplify(mtl.Normalize(&mtl.Not{F: f}))
+	if t, ok := den.(mtl.Truth); ok {
+		if t.Bool {
+			*out = append(*out, Diagnostic{
+				Rule:       "contradiction",
+				Severity:   Error,
+				Constraint: name,
+				Node:       f.String(),
+				Pos:        mtl.NodePos(f),
+				Message:    "constraint simplifies to false; every state of every history violates it",
+				Suggestion: "the constraint as written is unsatisfiable — rewrite it",
+			})
+		} else {
+			*out = append(*out, Diagnostic{
+				Rule:       "vacuous-constraint",
+				Severity:   Warning,
+				Constraint: name,
+				Node:       f.String(),
+				Pos:        mtl.NodePos(f),
+				Message:    "constraint simplifies to true; it can never be violated and checking it is wasted work",
+				Suggestion: "delete it or fix the condition that makes it trivial",
+			})
+		}
+	}
+	w := &vacuityWalker{name: name, out: out, bound: make(map[string]bool)}
+	// Free constraint variables are implicitly ∀-quantified, so an
+	// explicit quantifier rebinding one of them shadows it.
+	for _, v := range mtl.FreeVars(f) {
+		w.bound[v] = true
+	}
+	w.walk(f, true)
+}
+
+type vacuityWalker struct {
+	name  string
+	out   *[]Diagnostic
+	bound map[string]bool // quantified variables in scope
+}
+
+// simpConst reports whether g's kernel simplification is the constant
+// truth value c.
+func simpConst(g mtl.Formula) (c bool, ok bool) {
+	t, ok := mtl.Simplify(mtl.Normalize(g)).(mtl.Truth)
+	return t.Bool, ok
+}
+
+// walk descends f reporting the *maximal* constant subformulas: once a
+// node is reported its children are skipped, so nested constants
+// produce one finding, not a cascade. The root is exempt — top-level
+// constancy is the vacuous-constraint/contradiction rule's business.
+func (w *vacuityWalker) walk(g mtl.Formula, root bool) {
+	if _, isLiteral := g.(mtl.Truth); !isLiteral && !root {
+		if c, ok := simpConst(g); ok {
+			w.reportConst(g, c)
+			return
+		}
+	}
+	switch n := g.(type) {
+	case *mtl.Not:
+		w.walk(n.F, false)
+	case *mtl.And:
+		w.walk(n.L, false)
+		w.walk(n.R, false)
+	case *mtl.Or:
+		w.deadBranch(n)
+	case *mtl.Implies:
+		w.walk(n.L, false)
+		w.walk(n.R, false)
+	case *mtl.Iff:
+		w.walk(n.L, false)
+		w.walk(n.R, false)
+	case *mtl.Exists:
+		w.quantifier(g, n.Vars, n.F)
+	case *mtl.Forall:
+		w.quantifier(g, n.Vars, n.F)
+	case *mtl.Prev:
+		w.walk(n.F, false)
+	case *mtl.Once:
+		w.walk(n.F, false)
+	case *mtl.Always:
+		w.walk(n.F, false)
+	case *mtl.Since:
+		w.walk(n.L, false)
+		w.walk(n.R, false)
+	case *mtl.LeadsTo:
+		w.walk(n.L, false)
+		w.walk(n.R, false)
+	}
+}
+
+// reportConst classifies a constant subformula: a conjunction that
+// folds to false without a constant conjunct has contradictory
+// conjuncts (e.g. x = 1 and x != 1); everything else is the generic
+// constant-subformula rule.
+func (w *vacuityWalker) reportConst(g mtl.Formula, val bool) {
+	if !val && w.contradictoryConjuncts(g) {
+		return
+	}
+	*w.out = append(*w.out, Diagnostic{
+		Rule:       "constant-subformula",
+		Severity:   Warning,
+		Constraint: w.name,
+		Node:       g.String(),
+		Pos:        mtl.NodePos(g),
+		Message:    fmt.Sprintf("subformula is always %t regardless of the history", val),
+		Suggestion: "replace it with the constant or fix the condition",
+	})
+}
+
+// contradictoryConjuncts reports (and returns true) when g is a
+// conjunction folding to false although no conjunct is constant on its
+// own — e.g. x = 1 and x != 1.
+func (w *vacuityWalker) contradictoryConjuncts(g mtl.Formula) bool {
+	n, ok := g.(*mtl.And)
+	if !ok {
+		return false
+	}
+	if _, lConst := simpConst(n.L); lConst {
+		return false
+	}
+	if _, rConst := simpConst(n.R); rConst {
+		return false
+	}
+	*w.out = append(*w.out, Diagnostic{
+		Rule:       "contradictory-conjuncts",
+		Severity:   Warning,
+		Constraint: w.name,
+		Node:       g.String(),
+		Pos:        mtl.NodePos(g),
+		Message:    "conjuncts are contradictory; the conjunction can never hold",
+		Suggestion: "drop one side or fix the comparison",
+	})
+	return true
+}
+
+// deadBranch reports disjuncts that can never hold; live branches are
+// walked normally.
+func (w *vacuityWalker) deadBranch(n *mtl.Or) {
+	for _, side := range []mtl.Formula{n.L, n.R} {
+		if _, isLiteral := side.(mtl.Truth); isLiteral {
+			continue
+		}
+		if c, ok := simpConst(side); ok && !c {
+			*w.out = append(*w.out, Diagnostic{
+				Rule:       "dead-branch",
+				Severity:   Warning,
+				Constraint: w.name,
+				Node:       side.String(),
+				Pos:        mtl.NodePos(side),
+				Message:    "disjunct can never hold; the branch is dead",
+				Suggestion: "delete the branch or fix its condition",
+			})
+			w.contradictoryConjuncts(side)
+			continue
+		}
+		w.walk(side, false)
+	}
+}
+
+// quantifier checks the variable list (unused, shadowing) and walks the
+// body with the variables in scope.
+func (w *vacuityWalker) quantifier(g mtl.Formula, vars []string, body mtl.Formula) {
+	free := make(map[string]bool)
+	for _, v := range mtl.FreeVars(body) {
+		free[v] = true
+	}
+	var restore []string
+	for _, v := range vars {
+		if !free[v] {
+			*w.out = append(*w.out, Diagnostic{
+				Rule:       "unused-variable",
+				Severity:   Warning,
+				Constraint: w.name,
+				Node:       g.String(),
+				Pos:        mtl.NodePos(g),
+				Message:    fmt.Sprintf("quantified variable %q does not occur in the body", v),
+				Suggestion: fmt.Sprintf("drop %q from the quantifier", v),
+			})
+		}
+		if w.bound[v] {
+			*w.out = append(*w.out, Diagnostic{
+				Rule:       "shadowed-variable",
+				Severity:   Warning,
+				Constraint: w.name,
+				Node:       g.String(),
+				Pos:        mtl.NodePos(g),
+				Message:    fmt.Sprintf("variable %q shadows an outer quantifier; the inner binding wins and the outer value is unreachable here", v),
+				Suggestion: fmt.Sprintf("rename the inner %q", v),
+			})
+		} else {
+			w.bound[v] = true
+			restore = append(restore, v)
+		}
+	}
+	w.walk(body, false)
+	for _, v := range restore {
+		delete(w.bound, v)
+	}
+}

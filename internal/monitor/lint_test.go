@@ -1,0 +1,121 @@
+package monitor
+
+import (
+	"bytes"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rtic/internal/lint"
+	"rtic/internal/schema"
+	"rtic/internal/workload"
+)
+
+// suspectMonitor builds a monitor over a spec whose constraint installs
+// fine but carries an Error-severity lint finding (prev[0,0] can never
+// hold under strictly increasing timestamps).
+func suspectMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	s := schema.NewBuilder().Relation("p", 1).MustBuild()
+	m, err := New(s, []workload.ConstraintSpec{
+		{Name: "dead_window", Source: "p(x) -> prev[0,0] p(x)", Line: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMonitorDiagnostics(t *testing.T) {
+	m := suspectMonitor(t)
+	ds := m.Diagnostics()
+	found := false
+	for _, d := range ds {
+		if d.Rule == "interval-unsatisfiable" && d.Constraint == "dead_window" {
+			found = true
+			if d.Line != 3 {
+				t.Errorf("diagnostic line = %d, want 3", d.Line)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("interval-unsatisfiable not recorded: %v", ds)
+	}
+	if lint.MaxSeverity(ds) != lint.Error {
+		t.Errorf("max severity = %v, want error", lint.MaxSeverity(ds))
+	}
+
+	// A clean spec records no findings.
+	clean, _ := hrMonitor(t)
+	if ds := clean.Diagnostics(); len(ds) != 0 {
+		t.Errorf("clean monitor has findings: %v", ds)
+	}
+}
+
+// TestRestoredMonitorDiagnostics: restore carries no spec, so no
+// findings — the lint command degrades to "ok 0" rather than lying.
+func TestRestoredMonitorDiagnostics(t *testing.T) {
+	m := suspectMonitor(t)
+	var buf bytes.Buffer
+	if err := m.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := schema.NewBuilder().Relation("p", 1).MustBuild()
+	r, err := Restore(s, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := r.Diagnostics(); len(ds) != 0 {
+		t.Errorf("restored monitor has findings: %v", ds)
+	}
+}
+
+func TestServerLintCommand(t *testing.T) {
+	m := suspectMonitor(t)
+	srv := NewServer(m)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l) //nolint:errcheck — returns when the listener closes
+	t.Cleanup(func() {
+		l.Close()
+		srv.Close()
+	})
+
+	c := dial(t, l.Addr())
+	c.send(t, "lint")
+	got := c.recv(t)
+	if !strings.HasPrefix(got, "diag error interval-unsatisfiable dead_window ") {
+		t.Fatalf("diag line = %q", got)
+	}
+	var n int
+	for !strings.HasPrefix(got, "ok ") {
+		n++
+		got = c.recv(t)
+	}
+	if got != "ok "+strconv.Itoa(n) {
+		t.Fatalf("count line = %q after %d diag lines", got, n)
+	}
+	// The connection stays usable — and the dead window does exactly
+	// what the finding predicted: prev[0,0] never holds, so the commit
+	// is flagged immediately.
+	c.send(t, "@1 +p(7)")
+	if got := c.recv(t); !strings.HasPrefix(got, "violation dead_window") {
+		t.Fatalf("reply after lint = %q", got)
+	}
+	if got := c.recv(t); got != "ok 1" {
+		t.Fatalf("reply after lint = %q", got)
+	}
+}
+
+// TestServerLintCommandClean: a clean spec replies ok 0.
+func TestServerLintCommandClean(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	c.send(t, "lint")
+	if got := c.recv(t); got != "ok 0" {
+		t.Fatalf("reply = %q", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"rtic/internal/check"
 	"rtic/internal/core"
 	"rtic/internal/engine"
+	"rtic/internal/lint"
 	"rtic/internal/naive"
 	"rtic/internal/obs"
 	"rtic/internal/schema"
@@ -37,6 +38,11 @@ type Monitor struct {
 	// journal, when set, receives every accepted transaction under the
 	// commit lock — the write-ahead hook of the durability layer.
 	journal func(t uint64, tx *storage.Transaction)
+
+	// diags holds the linter findings recorded while the constraints
+	// were installed (New only; restored monitors carry none — their
+	// constraints were vetted when first installed).
+	diags []lint.Diagnostic
 
 	subMu   sync.Mutex
 	nextSub int
@@ -99,7 +105,21 @@ func New(s *schema.Schema, constraints []workload.ConstraintSpec, opts ...Option
 			return nil, err
 		}
 	}
+	// Lint the spec the monitor now enforces. Findings never block
+	// construction (the constraints above parsed and compiled), but they
+	// are kept for the lint protocol command, the daemon's startup log
+	// and the lint metrics.
+	m.diags = lint.Constraints(constraints, s, lint.Options{})
 	return m, nil
+}
+
+// Diagnostics returns the linter findings recorded when the monitor's
+// constraints were installed (nil for restored monitors). The slice is
+// a copy; callers may reorder it.
+func (m *Monitor) Diagnostics() []lint.Diagnostic {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]lint.Diagnostic(nil), m.diags...)
 }
 
 // Restore rebuilds a monitor from a checker snapshot (see

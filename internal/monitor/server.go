@@ -34,6 +34,9 @@ const maxLineBytes = 1 << 20
 //	metrics -> the full Prometheus text exposition, terminated by a
 //	           line reading "# EOF" (requires an attached observer
 //	           with metrics; "error metrics not enabled" otherwise)
+//	lint    -> one "diag <severity> <rule> <constraint> <message>" line
+//	           per linter finding recorded at spec load ("-" as the
+//	           constraint for spec-level findings), then "ok N"
 //	quit    -> closes the connection
 //
 // Lines up to 1 MiB are accepted; a longer line (or any other read
@@ -198,6 +201,20 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			if !reply("# EOF") {
+				return
+			}
+		case line == "lint":
+			ds := s.M.Diagnostics()
+			for _, d := range ds {
+				name := d.Constraint
+				if name == "" {
+					name = "-"
+				}
+				if !reply("diag %s %s %s %s", d.Severity, d.Rule, name, d.Message) {
+					return
+				}
+			}
+			if !reply("ok %d", len(ds)) {
 				return
 			}
 		case line == "recent" || strings.HasPrefix(line, "recent "):

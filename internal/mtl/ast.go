@@ -107,6 +107,12 @@ func (op CmpOp) Apply(a, b value.Value) bool {
 // Forall and Always; Normalize eliminates them (and pushes negation
 // inward), so the evaluators only ever see the kernel:
 // Truth, Atom, Cmp, Not, And, Or, Exists, Prev, Once, Since.
+//
+// Every pointer node carries a Pos: the 1-based byte offset of the
+// node's first token in the source the parser read (0 when the node was
+// built programmatically). Normalize, Simplify and Substitute propagate
+// positions, so diagnostics on rewritten formulas still point into the
+// original source. Pos never participates in Equal.
 type Formula interface {
 	isFormula()
 	String() string
@@ -119,61 +125,83 @@ type Truth struct{ Bool bool }
 type Atom struct {
 	Rel  string
 	Args []Term
+	Pos  int
 }
 
 // Cmp compares two terms.
 type Cmp struct {
 	Op   CmpOp
 	L, R Term
+	Pos  int
 }
 
 // Not negates its argument.
-type Not struct{ F Formula }
+type Not struct {
+	F   Formula
+	Pos int
+}
 
 // And is binary conjunction; chains are left-nested by the parser.
-type And struct{ L, R Formula }
+type And struct {
+	L, R Formula
+	Pos  int
+}
 
 // Or is binary disjunction.
-type Or struct{ L, R Formula }
+type Or struct {
+	L, R Formula
+	Pos  int
+}
 
 // Implies is material implication (sugar).
-type Implies struct{ L, R Formula }
+type Implies struct {
+	L, R Formula
+	Pos  int
+}
 
 // Iff is biconditional (sugar).
-type Iff struct{ L, R Formula }
+type Iff struct {
+	L, R Formula
+	Pos  int
+}
 
 // Exists binds Vars existentially in F.
 type Exists struct {
 	Vars []string
 	F    Formula
+	Pos  int
 }
 
 // Forall binds Vars universally in F (sugar for ¬∃¬).
 type Forall struct {
 	Vars []string
 	F    Formula
+	Pos  int
 }
 
 // Prev holds when F held in the immediately preceding state and the
 // elapsed real time lies in I.
 type Prev struct {
-	I Interval
-	F Formula
+	I   Interval
+	F   Formula
+	Pos int
 }
 
 // Once holds when F held at some past state whose distance lies in I
 // ("sometime in the past"; reflexive: the current state qualifies when
 // 0 ∈ I).
 type Once struct {
-	I Interval
-	F Formula
+	I   Interval
+	F   Formula
+	Pos int
 }
 
 // Always holds when F held at every past state whose distance lies in I
 // ("always in the past"; sugar for ¬ once[I] ¬F).
 type Always struct {
-	I Interval
-	F Formula
+	I   Interval
+	F   Formula
+	Pos int
 }
 
 // Since holds when R held at some past state j within window I and L has
@@ -181,6 +209,7 @@ type Always struct {
 type Since struct {
 	I    Interval
 	L, R Formula
+	Pos  int
 }
 
 // LeadsTo is the deadline-obligation sugar "L leadsto[0,d] R": whenever
@@ -197,6 +226,7 @@ type Since struct {
 type LeadsTo struct {
 	I    Interval
 	L, R Formula
+	Pos  int
 }
 
 func (Truth) isFormula()    {}

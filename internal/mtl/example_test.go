@@ -34,5 +34,5 @@ func ExampleCheckSafe() {
 	err := mtl.CheckSafe(denial)
 	fmt.Println(err)
 	// Output:
-	// mtl: unsafe formula "not hire(e)": negation cannot enumerate bindings; its variables must be bound by a positive conjunct
+	// mtl: unsafe formula "not hire(e)" (at position 1): negation cannot enumerate bindings; its variables must be bound by a positive conjunct
 }

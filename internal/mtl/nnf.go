@@ -17,31 +17,32 @@ func Normalize(f Formula) Formula {
 	case *Not:
 		return negate(n.F)
 	case *And:
-		return &And{L: Normalize(n.L), R: Normalize(n.R)}
+		return &And{L: Normalize(n.L), R: Normalize(n.R), Pos: n.Pos}
 	case *Or:
-		return &Or{L: Normalize(n.L), R: Normalize(n.R)}
+		return &Or{L: Normalize(n.L), R: Normalize(n.R), Pos: n.Pos}
 	case *Implies:
-		return &Or{L: negate(n.L), R: Normalize(n.R)}
+		return &Or{L: negate(n.L), R: Normalize(n.R), Pos: n.Pos}
 	case *Iff:
 		// (L -> R) and (R -> L).
 		return &And{
-			L: &Or{L: negate(n.L), R: Normalize(n.R)},
-			R: &Or{L: negate(n.R), R: Normalize(n.L)},
+			L:   &Or{L: negate(n.L), R: Normalize(n.R), Pos: n.Pos},
+			R:   &Or{L: negate(n.R), R: Normalize(n.L), Pos: n.Pos},
+			Pos: n.Pos,
 		}
 	case *Exists:
-		return &Exists{Vars: n.Vars, F: Normalize(n.F)}
+		return &Exists{Vars: n.Vars, F: Normalize(n.F), Pos: n.Pos}
 	case *Forall:
-		return &Not{F: &Exists{Vars: n.Vars, F: negate(n.F)}}
+		return &Not{F: &Exists{Vars: n.Vars, F: negate(n.F), Pos: n.Pos}, Pos: n.Pos}
 	case *Prev:
-		return &Prev{I: n.I, F: Normalize(n.F)}
+		return &Prev{I: n.I, F: Normalize(n.F), Pos: n.Pos}
 	case *Once:
-		return &Once{I: n.I, F: Normalize(n.F)}
+		return &Once{I: n.I, F: Normalize(n.F), Pos: n.Pos}
 	case *Always:
-		return &Not{F: &Once{I: n.I, F: negate(n.F)}}
+		return &Not{F: &Once{I: n.I, F: negate(n.F), Pos: n.Pos}, Pos: n.Pos}
 	case *Since:
-		return &Since{I: n.I, L: Normalize(n.L), R: Normalize(n.R)}
+		return &Since{I: n.I, L: Normalize(n.L), R: Normalize(n.R), Pos: n.Pos}
 	case *LeadsTo:
-		return &Not{F: leadsToViolation(n)}
+		return &Not{F: leadsToViolation(n), Pos: n.Pos}
 	default:
 		panic(fmt.Sprintf("mtl: Normalize: unknown node %T", f))
 	}
@@ -57,9 +58,10 @@ func leadsToViolation(n *LeadsTo) *Since {
 		expiry = n.I.Hi
 	}
 	return &Since{
-		I: AtLeast(expiry),
-		L: negate(n.R),
-		R: &And{L: Normalize(n.L), R: negate(n.R)},
+		I:   AtLeast(expiry),
+		L:   negate(n.R),
+		R:   &And{L: Normalize(n.L), R: negate(n.R), Pos: n.Pos},
+		Pos: n.Pos,
 	}
 }
 
@@ -69,35 +71,36 @@ func negate(f Formula) Formula {
 	case Truth:
 		return Truth{Bool: !n.Bool}
 	case *Atom:
-		return &Not{F: n}
+		return &Not{F: n, Pos: n.Pos}
 	case *Cmp:
-		return &Cmp{Op: n.Op.Negate(), L: n.L, R: n.R}
+		return &Cmp{Op: n.Op.Negate(), L: n.L, R: n.R, Pos: n.Pos}
 	case *Not:
 		return Normalize(n.F)
 	case *And:
-		return &Or{L: negate(n.L), R: negate(n.R)}
+		return &Or{L: negate(n.L), R: negate(n.R), Pos: n.Pos}
 	case *Or:
-		return &And{L: negate(n.L), R: negate(n.R)}
+		return &And{L: negate(n.L), R: negate(n.R), Pos: n.Pos}
 	case *Implies:
-		return &And{L: Normalize(n.L), R: negate(n.R)}
+		return &And{L: Normalize(n.L), R: negate(n.R), Pos: n.Pos}
 	case *Iff:
 		// ¬(L <-> R) = (L and ¬R) or (R and ¬L).
 		return &Or{
-			L: &And{L: Normalize(n.L), R: negate(n.R)},
-			R: &And{L: Normalize(n.R), R: negate(n.L)},
+			L:   &And{L: Normalize(n.L), R: negate(n.R), Pos: n.Pos},
+			R:   &And{L: Normalize(n.R), R: negate(n.L), Pos: n.Pos},
+			Pos: n.Pos,
 		}
 	case *Exists:
-		return &Not{F: &Exists{Vars: n.Vars, F: Normalize(n.F)}}
+		return &Not{F: &Exists{Vars: n.Vars, F: Normalize(n.F), Pos: n.Pos}, Pos: n.Pos}
 	case *Forall:
-		return &Exists{Vars: n.Vars, F: negate(n.F)}
+		return &Exists{Vars: n.Vars, F: negate(n.F), Pos: n.Pos}
 	case *Prev:
-		return &Not{F: &Prev{I: n.I, F: Normalize(n.F)}}
+		return &Not{F: &Prev{I: n.I, F: Normalize(n.F), Pos: n.Pos}, Pos: n.Pos}
 	case *Once:
-		return &Not{F: &Once{I: n.I, F: Normalize(n.F)}}
+		return &Not{F: &Once{I: n.I, F: Normalize(n.F), Pos: n.Pos}, Pos: n.Pos}
 	case *Always:
-		return &Once{I: n.I, F: negate(n.F)}
+		return &Once{I: n.I, F: negate(n.F), Pos: n.Pos}
 	case *Since:
-		return &Not{F: &Since{I: n.I, L: Normalize(n.L), R: Normalize(n.R)}}
+		return &Not{F: &Since{I: n.I, L: Normalize(n.L), R: Normalize(n.R), Pos: n.Pos}, Pos: n.Pos}
 	case *LeadsTo:
 		return leadsToViolation(n)
 	default:

@@ -92,6 +92,7 @@ func (p *parser) eatKeyword(kw string) (bool, error) {
 }
 
 func (p *parser) formula() (Formula, error) {
+	start := p.tok.pos + 1
 	for _, kw := range []string{"exists", "forall"} {
 		ok, err := p.eatKeyword(kw)
 		if err != nil {
@@ -112,9 +113,9 @@ func (p *parser) formula() (Formula, error) {
 			return nil, err
 		}
 		if kw == "exists" {
-			return &Exists{Vars: vars, F: body}, nil
+			return &Exists{Vars: vars, F: body, Pos: start}, nil
 		}
-		return &Forall{Vars: vars, F: body}, nil
+		return &Forall{Vars: vars, F: body, Pos: start}, nil
 	}
 	return p.iff()
 }
@@ -140,6 +141,7 @@ func (p *parser) varList() ([]string, error) {
 }
 
 func (p *parser) iff() (Formula, error) {
+	start := p.tok.pos + 1
 	l, err := p.implies()
 	if err != nil {
 		return nil, err
@@ -152,12 +154,13 @@ func (p *parser) iff() (Formula, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &Iff{L: l, R: r}
+		l = &Iff{L: l, R: r, Pos: start}
 	}
 	return l, nil
 }
 
 func (p *parser) implies() (Formula, error) {
+	start := p.tok.pos + 1
 	l, err := p.or()
 	if err != nil {
 		return nil, err
@@ -170,12 +173,13 @@ func (p *parser) implies() (Formula, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Implies{L: l, R: r}, nil
+		return &Implies{L: l, R: r, Pos: start}, nil
 	}
 	return l, nil
 }
 
 func (p *parser) or() (Formula, error) {
+	start := p.tok.pos + 1
 	l, err := p.and()
 	if err != nil {
 		return nil, err
@@ -188,12 +192,13 @@ func (p *parser) or() (Formula, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &Or{L: l, R: r}
+		l = &Or{L: l, R: r, Pos: start}
 	}
 	return l, nil
 }
 
 func (p *parser) and() (Formula, error) {
+	start := p.tok.pos + 1
 	l, err := p.since()
 	if err != nil {
 		return nil, err
@@ -206,12 +211,13 @@ func (p *parser) and() (Formula, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &And{L: l, R: r}
+		l = &And{L: l, R: r, Pos: start}
 	}
 	return l, nil
 }
 
 func (p *parser) since() (Formula, error) {
+	start := p.tok.pos + 1
 	l, err := p.unary()
 	if err != nil {
 		return nil, err
@@ -231,7 +237,7 @@ func (p *parser) since() (Formula, error) {
 			return nil, err
 		}
 		if kw == "since" {
-			l = &Since{I: iv, L: l, R: r}
+			l = &Since{I: iv, L: l, R: r, Pos: start}
 			continue
 		}
 		// leadsto needs a finite deadline starting at 0: the obligation
@@ -242,12 +248,13 @@ func (p *parser) since() (Formula, error) {
 		if iv.Lo != 0 {
 			return nil, fmt.Errorf("mtl: parse error at offset %d: leadsto interval must start at 0, got %s", kwPos, iv.String())
 		}
-		l = &LeadsTo{I: iv, L: l, R: r}
+		l = &LeadsTo{I: iv, L: l, R: r, Pos: start}
 	}
 	return l, nil
 }
 
 func (p *parser) unary() (Formula, error) {
+	start := p.tok.pos + 1
 	switch {
 	case p.isKeyword("exists"), p.isKeyword("forall"):
 		// Quantifiers are also accepted in operand position; the body
@@ -261,7 +268,7 @@ func (p *parser) unary() (Formula, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Not{F: f}, nil
+		return &Not{F: f, Pos: start}, nil
 	case p.isKeyword("prev"), p.isKeyword("once"), p.isKeyword("always"):
 		kw := p.tok.text
 		if err := p.advance(); err != nil {
@@ -277,11 +284,11 @@ func (p *parser) unary() (Formula, error) {
 		}
 		switch kw {
 		case "prev":
-			return &Prev{I: iv, F: f}, nil
+			return &Prev{I: iv, F: f, Pos: start}, nil
 		case "once":
-			return &Once{I: iv, F: f}, nil
+			return &Once{I: iv, F: f, Pos: start}, nil
 		default:
-			return &Always{I: iv, F: f}, nil
+			return &Always{I: iv, F: f, Pos: start}, nil
 		}
 	}
 	return p.primary()
@@ -366,25 +373,27 @@ func (p *parser) primary() (Formula, error) {
 		return f, nil
 	case p.tok.kind == tokIdent && !keywords[p.tok.text]:
 		name := p.tok.text
+		start := p.tok.pos + 1
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
 		if p.tok.kind == tokLParen {
-			return p.atom(name)
+			return p.atom(name, start)
 		}
-		return p.cmp(Var{Name: name})
+		return p.cmp(Var{Name: name}, start)
 	case p.tok.kind == tokInt || p.tok.kind == tokString:
+		start := p.tok.pos + 1
 		t, err := p.literal()
 		if err != nil {
 			return nil, err
 		}
-		return p.cmp(t)
+		return p.cmp(t, start)
 	default:
 		return nil, p.errf("expected formula, found %s", p.tok)
 	}
 }
 
-func (p *parser) atom(rel string) (Formula, error) {
+func (p *parser) atom(rel string, start int) (Formula, error) {
 	if err := p.advance(); err != nil { // consume '('
 		return nil, err
 	}
@@ -407,7 +416,7 @@ func (p *parser) atom(rel string) (Formula, error) {
 	if _, err := p.expect(tokRParen, "')'"); err != nil {
 		return nil, err
 	}
-	return &Atom{Rel: rel, Args: args}, nil
+	return &Atom{Rel: rel, Args: args, Pos: start}, nil
 }
 
 func (p *parser) term() (Term, error) {
@@ -437,7 +446,7 @@ func (p *parser) literal() (Term, error) {
 	}
 }
 
-func (p *parser) cmp(l Term) (Formula, error) {
+func (p *parser) cmp(l Term, start int) (Formula, error) {
 	var op CmpOp
 	switch p.tok.kind {
 	case tokEq:
@@ -462,5 +471,5 @@ func (p *parser) cmp(l Term) (Formula, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cmp{Op: op, L: l, R: r}, nil
+	return &Cmp{Op: op, L: l, R: r, Pos: start}, nil
 }

@@ -1,0 +1,40 @@
+package mtl
+
+// NodePos returns the source position of f: the 1-based byte offset of
+// its first token in the source the parser read, or 0 when the node was
+// built programmatically (Truth nodes never carry positions — they are
+// value types shared by construction).
+func NodePos(f Formula) int {
+	switch n := f.(type) {
+	case *Atom:
+		return n.Pos
+	case *Cmp:
+		return n.Pos
+	case *Not:
+		return n.Pos
+	case *And:
+		return n.Pos
+	case *Or:
+		return n.Pos
+	case *Implies:
+		return n.Pos
+	case *Iff:
+		return n.Pos
+	case *Exists:
+		return n.Pos
+	case *Forall:
+		return n.Pos
+	case *Prev:
+		return n.Pos
+	case *Once:
+		return n.Pos
+	case *Always:
+		return n.Pos
+	case *Since:
+		return n.Pos
+	case *LeadsTo:
+		return n.Pos
+	default:
+		return 0
+	}
+}

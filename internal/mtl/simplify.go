@@ -3,12 +3,17 @@ package mtl
 import "fmt"
 
 // Simplify performs conservative, semantics-preserving constant folding
-// on a kernel formula: boolean identities, comparison folding,
-// structural deduplication of identical operands, and the temporal
-// absorptions that hold in every history. It deliberately avoids any
-// rewrite whose validity depends on the active domain (e.g. it never
-// touches quantifiers: under active-domain semantics "exists x: true"
-// is false in an empty database).
+// on a kernel formula: boolean identities, comparison folding, double
+// negation, structural deduplication of identical operands, and the
+// temporal absorptions that hold in every history. It deliberately
+// avoids any rewrite whose validity depends on the active domain (e.g.
+// it never touches quantifiers: under active-domain semantics
+// "exists x: true" is false in an empty database).
+//
+// Simplify is idempotent — Simplify(Simplify(f)) is structurally equal
+// to Simplify(f) for every formula, a property the linter relies on and
+// FuzzSimplifyIdempotent pins over the parser corpus. Source positions
+// survive: rebuilt nodes keep the position of the node they replace.
 //
 // The constraint compiler runs Simplify on denials after Normalize;
 // the cross-evaluator property tests pin the equivalence.
@@ -28,7 +33,12 @@ func Simplify(f Formula) Formula {
 		if t, ok := inner.(Truth); ok {
 			return Truth{Bool: !t.Bool}
 		}
-		return &Not{F: inner}
+		// Evaluation is two-valued, so ¬¬f is f. (Normalize never emits
+		// double negation, but Simplify is total over hand-built trees.)
+		if nn, ok := inner.(*Not); ok {
+			return nn.F
+		}
+		return &Not{F: inner, Pos: n.Pos}
 	case *And:
 		l, r := Simplify(n.L), Simplify(n.R)
 		if t, ok := l.(Truth); ok {
@@ -49,7 +59,7 @@ func Simplify(f Formula) Formula {
 		if complementary(l, r) {
 			return Truth{Bool: false}
 		}
-		return &And{L: l, R: r}
+		return &And{L: l, R: r, Pos: n.Pos}
 	case *Or:
 		l, r := Simplify(n.L), Simplify(n.R)
 		if t, ok := l.(Truth); ok {
@@ -70,16 +80,16 @@ func Simplify(f Formula) Formula {
 		if complementary(l, r) {
 			return Truth{Bool: true}
 		}
-		return &Or{L: l, R: r}
+		return &Or{L: l, R: r, Pos: n.Pos}
 	case *Exists:
-		return &Exists{Vars: n.Vars, F: Simplify(n.F)}
+		return &Exists{Vars: n.Vars, F: Simplify(n.F), Pos: n.Pos}
 	case *Prev:
 		inner := Simplify(n.F)
 		// prev false never holds (there is no state where false held).
 		if t, ok := inner.(Truth); ok && !t.Bool {
 			return Truth{Bool: false}
 		}
-		return &Prev{I: n.I, F: inner}
+		return &Prev{I: n.I, F: inner, Pos: n.Pos}
 	case *Once:
 		inner := Simplify(n.F)
 		if t, ok := inner.(Truth); ok {
@@ -91,7 +101,7 @@ func Simplify(f Formula) Formula {
 				return Truth{Bool: true}
 			}
 		}
-		return &Once{I: n.I, F: inner}
+		return &Once{I: n.I, F: inner, Pos: n.Pos}
 	case *Since:
 		l, r := Simplify(n.L), Simplify(n.R)
 		// No anchor can ever exist.
@@ -100,21 +110,21 @@ func Simplify(f Formula) Formula {
 		}
 		// φ since ψ with φ = true is once ψ.
 		if t, ok := l.(Truth); ok && t.Bool {
-			return Simplify(&Once{I: n.I, F: r})
+			return Simplify(&Once{I: n.I, F: r, Pos: n.Pos})
 		}
-		return &Since{I: n.I, L: l, R: r}
+		return &Since{I: n.I, L: l, R: r, Pos: n.Pos}
 	// Sugar nodes pass through untouched (Simplify targets kernel
 	// formulas, but stays total so callers need not care).
 	case *Implies:
-		return &Implies{L: Simplify(n.L), R: Simplify(n.R)}
+		return &Implies{L: Simplify(n.L), R: Simplify(n.R), Pos: n.Pos}
 	case *Iff:
-		return &Iff{L: Simplify(n.L), R: Simplify(n.R)}
+		return &Iff{L: Simplify(n.L), R: Simplify(n.R), Pos: n.Pos}
 	case *Forall:
-		return &Forall{Vars: n.Vars, F: Simplify(n.F)}
+		return &Forall{Vars: n.Vars, F: Simplify(n.F), Pos: n.Pos}
 	case *Always:
-		return &Always{I: n.I, F: Simplify(n.F)}
+		return &Always{I: n.I, F: Simplify(n.F), Pos: n.Pos}
 	case *LeadsTo:
-		return &LeadsTo{I: n.I, L: Simplify(n.L), R: Simplify(n.R)}
+		return &LeadsTo{I: n.I, L: Simplify(n.L), R: Simplify(n.R), Pos: n.Pos}
 	default:
 		panic(fmt.Sprintf("mtl: Simplify: unknown node %T", f))
 	}

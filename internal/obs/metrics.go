@@ -28,6 +28,10 @@ type Metrics struct {
 	ProtocolErrors      *Counter // "error ..." replies sent
 	DroppedViolations   *Counter // subscriber-overflow drops
 
+	// Lint section (updated by daemons that lint their spec at startup).
+	LintWarnings *Counter    // Warning-or-worse findings
+	LintFindings *CounterVec // all findings, by rule
+
 	// Durability section (updated by the WAL and the checkpointer).
 	WALAppends         *Counter   // records journaled
 	WALAppendedBytes   *Counter   // framed bytes journaled
@@ -79,6 +83,11 @@ func NewMetrics(r *Registry) *Metrics {
 			"Error replies sent over the line protocol."),
 		DroppedViolations: r.Counter("rtic_monitor_dropped_violations_total",
 			"Violations dropped because a subscriber lagged."),
+
+		LintWarnings: r.Counter("rtic_lint_warnings_total",
+			"Warning-or-worse constraint-linter findings at spec load."),
+		LintFindings: r.CounterVec("rtic_lint_findings_total",
+			"Constraint-linter findings at spec load, by rule.", "rule"),
 
 		WALAppends: r.Counter("rtic_wal_appends_total",
 			"Transaction records appended to the write-ahead log."),

@@ -74,6 +74,7 @@ func ParseSpec(r io.Reader) (*Spec, error) {
 			cons = append(cons, workload.ConstraintSpec{
 				Name:   strings.TrimSpace(name),
 				Source: strings.TrimSpace(src),
+				Line:   lineNo,
 			})
 		default:
 			return nil, fmt.Errorf("spec: line %d: unknown directive %q", lineNo, line)

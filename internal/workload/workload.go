@@ -20,10 +20,13 @@ type Step struct {
 	Tx   *storage.Transaction
 }
 
-// ConstraintSpec names a constraint in surface syntax.
+// ConstraintSpec names a constraint in surface syntax. Line, when
+// non-zero, is the line of the spec file it was declared on; generated
+// constraints leave it zero.
 type ConstraintSpec struct {
 	Name   string
 	Source string
+	Line   int
 }
 
 // History bundles a generated update stream with the schema and

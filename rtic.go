@@ -42,6 +42,7 @@ import (
 	"rtic/internal/core"
 	"rtic/internal/engine"
 	"rtic/internal/fol"
+	"rtic/internal/lint"
 	"rtic/internal/mtl"
 	"rtic/internal/naive"
 	"rtic/internal/obs"
@@ -123,6 +124,42 @@ type config struct {
 	mode Mode
 	par  int
 	obs  *obs.Observer
+	lint LintMode
+}
+
+// Diagnostic is one static-analysis finding of the constraint linter;
+// see the rtic lint command and docs/LINTING.md for the rule catalogue.
+type Diagnostic = lint.Diagnostic
+
+// Severity grades a lint finding.
+type Severity = lint.Severity
+
+const (
+	// LintInfo findings are advisory.
+	LintInfo = lint.Info
+	// LintWarning findings flag legal but suspicious constraints.
+	LintWarning = lint.Warning
+	// LintError findings are constraints that cannot work as written.
+	LintError = lint.Error
+)
+
+// LintMode selects how AddConstraint treats linter findings.
+type LintMode int
+
+const (
+	// LintWarn (the default) runs the linter and records findings —
+	// retrieve them with LintDiagnostics — but installs the constraint
+	// regardless. Checking results are unaffected.
+	LintWarn LintMode = iota
+	// LintStrict rejects constraints with Warning-or-worse findings.
+	LintStrict
+	// LintOff skips the linter entirely.
+	LintOff
+)
+
+// WithLint selects the lint mode for AddConstraint (default LintWarn).
+func WithLint(m LintMode) Option {
+	return func(c *config) { c.lint = m }
 }
 
 // WithMode selects the checking engine (default Incremental).
@@ -180,13 +217,15 @@ func WithObserver(o *Observer) Option {
 // Checker validates a stream of transactions against installed
 // constraints. Checkers are not safe for concurrent use.
 type Checker struct {
-	schema  *Schema
-	mode    Mode
-	eng     engine.Engine
-	inc     *core.Checker // non-nil in Incremental mode, for Stats
-	obs     *obs.Observer
-	started bool
-	names   []string
+	schema   *Schema
+	mode     Mode
+	eng      engine.Engine
+	inc      *core.Checker // non-nil in Incremental mode, for Stats
+	obs      *obs.Observer
+	started  bool
+	names    []string
+	lintMode LintMode
+	diags    []lint.Diagnostic
 }
 
 // NewChecker creates a checker over s.
@@ -198,7 +237,7 @@ func NewChecker(s *Schema, opts ...Option) (*Checker, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	c := &Checker{schema: s, mode: cfg.mode, obs: cfg.obs}
+	c := &Checker{schema: s, mode: cfg.mode, obs: cfg.obs, lintMode: cfg.lint}
 	switch cfg.mode {
 	case Incremental:
 		inc := core.New(s, core.WithParallelism(cfg.par))
@@ -257,11 +296,36 @@ func (c *Checker) AddConstraint(name, src string) error {
 	if err != nil {
 		return err
 	}
+	if c.lintMode != LintOff {
+		diags := lint.Constraint(name, con.Formula, c.schema, lint.Options{})
+		c.diags = append(c.diags, diags...)
+		if c.lintMode == LintStrict {
+			if max := lint.MaxSeverity(diags); max >= lint.Warning {
+				worst := diags[0]
+				for _, d := range diags {
+					if d.Severity == max {
+						worst = d
+						break
+					}
+				}
+				return fmt.Errorf("rtic: constraint %q rejected by strict lint (%d finding(s)): %s",
+					name, len(diags), worst.String())
+			}
+		}
+	}
 	if err := c.eng.AddConstraint(con); err != nil {
 		return err
 	}
 	c.names = append(c.names, name)
 	return nil
+}
+
+// LintDiagnostics returns the linter findings accumulated by
+// AddConstraint, in installation order. Empty under WithLint(LintOff).
+// Findings never change checking results except under LintStrict,
+// where a Warning-or-worse finding makes AddConstraint fail.
+func (c *Checker) LintDiagnostics() []Diagnostic {
+	return append([]Diagnostic(nil), c.diags...)
 }
 
 // MustAddConstraint installs or panics; for literal constraint sets.
@@ -433,7 +497,7 @@ func RestoreChecker(s *Schema, r io.Reader, opts ...Option) (*Checker, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Checker{schema: s, mode: Incremental, eng: inc, inc: inc, obs: cfg.obs, started: inc.Len() > 0}
+	c := &Checker{schema: s, mode: Incremental, eng: inc, inc: inc, obs: cfg.obs, started: inc.Len() > 0, lintMode: cfg.lint}
 	for _, name := range incConstraintNames(inc) {
 		c.names = append(c.names, name)
 	}

@@ -1,0 +1,135 @@
+package rtic
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"rtic/internal/workload"
+)
+
+// lintTraces are the five equivalence-suite workloads the
+// WithLint(LintWarn) invariance is pinned over.
+func lintTraces() map[string]workload.History {
+	return map[string]workload.History{
+		"uniform": workload.Uniform(workload.UniformConfig{Steps: 200, Seed: 7, OpsPerTx: 2, Domain: 8}),
+		"tickets": workload.Tickets(workload.TicketsConfig{Steps: 200, Seed: 8, ViolationRate: 0.05}),
+		"hr":      workload.HR(workload.HRConfig{Steps: 200, Seed: 9, ViolationRate: 0.05}),
+		"library": workload.Library(workload.LibraryConfig{Steps: 200, Seed: 10, ViolationRate: 0.05}),
+		"alarms":  workload.Alarms(workload.AlarmsConfig{Steps: 200, Seed: 11, ViolationRate: 0.05}),
+	}
+}
+
+func lintCanon(vs []Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Constraint + "|" + v.Binding.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func newLintChecker(t *testing.T, h workload.History, opts ...Option) *Checker {
+	t.Helper()
+	c, err := NewChecker(h.Schema, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range h.Constraints {
+		if err := c.AddConstraint(cs.Name, cs.Source); err != nil {
+			t.Fatalf("constraint %s: %v", cs.Name, err)
+		}
+	}
+	return c
+}
+
+// TestLintWarnNeverChangesCheckingResults replays every workload trace
+// on a WithLint(LintWarn) checker and a WithLint(LintOff) checker and
+// demands identical violations at every step — linting observes, it
+// never interferes.
+func TestLintWarnNeverChangesCheckingResults(t *testing.T) {
+	for name, h := range lintTraces() {
+		t.Run(name, func(t *testing.T) {
+			warn := newLintChecker(t, h, WithLint(LintWarn))
+			off := newLintChecker(t, h, WithLint(LintOff))
+			if len(off.LintDiagnostics()) != 0 {
+				t.Fatalf("LintOff recorded diagnostics: %v", off.LintDiagnostics())
+			}
+			for i, s := range h.Steps {
+				want, err := off.eng.Step(s.Time, s.Tx)
+				if err != nil {
+					t.Fatalf("step %d: lint-off: %v", i, err)
+				}
+				got, err := warn.eng.Step(s.Time, s.Tx)
+				if err != nil {
+					t.Fatalf("step %d: lint-warn: %v", i, err)
+				}
+				if g, w := lintCanon(got), lintCanon(want); strings.Join(g, ";") != strings.Join(w, ";") {
+					t.Fatalf("step %d (t=%d): violations diverged\nlint-warn: %v\nlint-off:  %v", i, s.Time, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestLintStrictRejects pins strict-mode semantics: warning-or-worse
+// findings make AddConstraint fail, clean constraints still install.
+func TestLintStrictRejects(t *testing.T) {
+	s, err := NewSchema().Relation("p", 1).Relation("q", 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(s, WithLint(LintStrict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddConstraint("ok", "p(x) -> not once[0,30] q(x)"); err != nil {
+		t.Fatalf("clean constraint rejected: %v", err)
+	}
+	err = c.AddConstraint("vacuous", "p(x) or not p(x)")
+	if err == nil {
+		t.Fatal("vacuous constraint installed under strict lint")
+	}
+	if !strings.Contains(err.Error(), "vacuous-constraint") {
+		t.Errorf("error = %v, want rule named", err)
+	}
+	if got := c.Constraints(); len(got) != 1 || got[0] != "ok" {
+		t.Errorf("Constraints() = %v", got)
+	}
+	// Findings for the rejected constraint stay inspectable.
+	found := false
+	for _, d := range c.LintDiagnostics() {
+		if d.Constraint == "vacuous" && d.Rule == "vacuous-constraint" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics = %v, want vacuous-constraint recorded", c.LintDiagnostics())
+	}
+}
+
+// TestLintWarnRecordsButInstalls: the default mode records findings
+// without rejecting.
+func TestLintWarnRecordsButInstalls(t *testing.T) {
+	s, err := NewSchema().Relation("p", 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(s) // LintWarn is the default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddConstraint("dead_prev", "p(x) -> prev[0,0] p(x)"); err != nil {
+		t.Fatalf("LintWarn rejected: %v", err)
+	}
+	diags := c.LintDiagnostics()
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics recorded")
+	}
+	if diags[0].Rule != "interval-unsatisfiable" {
+		t.Errorf("rule = %s", diags[0].Rule)
+	}
+	if got := c.Constraints(); len(got) != 1 {
+		t.Errorf("constraint not installed: %v", got)
+	}
+}
