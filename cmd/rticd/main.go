@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rticd -spec constraints.rtic [-listen 127.0.0.1:7411]
-//	      [-mode incremental] [-parallelism N]
+//	      [-mode incremental] [-parallelism N] [-shards N]
 //	      [-snapshot state.snap] [-restore]
 //	      [-wal state.wal] [-wal-sync always|batch]
 //	      [-checkpoint-interval 30s]
@@ -38,6 +38,13 @@
 // journal tail (tolerating a torn final record), continue. Periodic
 // checkpoints truncate the replayed journal prefix. See
 // docs/DURABILITY.md for the format and recovery semantics.
+//
+// With -shards N the monitor hash-partitions its state across N shard
+// engines behind a router (see docs/ARCHITECTURE.md): per-shard commits
+// run concurrently and results stay exact. Sharded daemons journal to
+// one WAL per shard at <path>.0 .. <path>.N-1 and recover the journals'
+// common prefix on startup; -snapshot and -restore are rejected (the
+// sharded engine does not checkpoint).
 //
 // With -metrics the daemon serves HTTP on the given address:
 //
@@ -89,6 +96,7 @@ type options struct {
 	listen       string
 	mode         string
 	parallelism  int
+	shards       int
 	snapPath     string
 	restore      bool
 	walPath      string
@@ -108,6 +116,8 @@ func main() {
 		"checking engine ("+strings.Join(rtic.ModeNames(), ", ")+")")
 	flag.IntVar(&opts.parallelism, "parallelism", 0,
 		"commit-pipeline worker-pool width (1 = sequential, <=0 = GOMAXPROCS; incremental engine only)")
+	flag.IntVar(&opts.shards, "shards", 1,
+		"hash-partition state across N shard engines checked concurrently (1 = unsharded; journals to one -wal file per shard)")
 	flag.StringVar(&opts.snapPath, "snapshot", "", "checkpoint file, written atomically on shutdown (and periodically with -checkpoint-interval)")
 	flag.BoolVar(&opts.restore, "restore", false, "start from the -snapshot checkpoint")
 	flag.StringVar(&opts.walPath, "wal", "", "write-ahead log journaling every commit; startup recovers checkpoint + WAL tail automatically")
@@ -150,8 +160,10 @@ type daemon struct {
 	opts  options
 	m     *monitor.Monitor
 	srv   *monitor.Server
-	dur   *monitor.Durable // nil without -wal or -checkpoint-interval
-	wlog  *wal.Log         // nil without -wal
+	dur   *monitor.Durable        // nil without -wal or -checkpoint-interval
+	sdur  *monitor.ShardedDurable // nil unless -shards with -wal
+	wlog  *wal.Log                // nil without -wal
+	wlogs []*wal.Log              // per-shard journals, nil unless -shards with -wal
 	l     net.Listener
 	hl    net.Listener // nil without -metrics
 	hsrv  *http.Server
@@ -227,6 +239,9 @@ func start(opts options) (*daemon, error) {
 	if opts.ckptInterval > 0 && opts.snapPath == "" {
 		return nil, fmt.Errorf("-checkpoint-interval requires -snapshot")
 	}
+	if opts.shards > 1 && (opts.snapPath != "" || opts.restore) {
+		return nil, fmt.Errorf("-snapshot and -restore are not available with -shards (sharded durability is per-shard WALs; use -wal)")
+	}
 
 	// -wal implies recovery: load the newest valid checkpoint if one
 	// exists, then replay the journal tail. Plain -restore keeps its
@@ -260,11 +275,22 @@ func start(opts options) (*daemon, error) {
 		return nil, err
 	default:
 		m, err = monitor.New(sp.Schema, sp.Constraints,
-			monitor.WithMode(mode), monitor.WithParallelism(opts.parallelism))
+			monitor.WithMode(mode), monitor.WithParallelism(opts.parallelism),
+			monitor.WithShards(opts.shards))
 		if err != nil {
 			return nil, err
 		}
 		m.SetObserver(o)
+	}
+	if rtr := m.Router(); rtr != nil {
+		global := 0
+		for _, cp := range rtr.Plan().Cons {
+			if !cp.Partitioned {
+				global++
+			}
+		}
+		fmt.Printf("sharding across %d engines (%d of %d constraints on the global shard)\n",
+			rtr.Shards(), global, len(sp.Constraints))
 	}
 
 	// Lint the spec at startup: log every finding and feed the lint
@@ -284,8 +310,52 @@ func start(opts options) (*daemon, error) {
 	}
 
 	var wlog *wal.Log
+	var wlogs []*wal.Log
 	var dur *monitor.Durable
-	if opts.walPath != "" {
+	var sdur *monitor.ShardedDurable
+	switch {
+	case opts.walPath != "" && opts.shards > 1:
+		// One journal per shard: <path>.0 .. <path>.N-1. Recovery replays
+		// the journals' common prefix and truncates torn tails, so a crash
+		// that journaled a commit on only some shards loses exactly that
+		// commit and nothing else.
+		pol, err := wal.ParseSyncPolicy(opts.walSync)
+		if err != nil {
+			return nil, err
+		}
+		closeAll := func() {
+			for _, l := range wlogs {
+				l.Close()
+			}
+		}
+		for i := 0; i < opts.shards; i++ {
+			path := fmt.Sprintf("%s.%d", opts.walPath, i)
+			l, err := wal.Open(path, wal.WithSyncPolicy(pol), wal.WithMetrics(o.Metrics))
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			if off, torn := l.TornTail(); torn {
+				fmt.Printf("wal: truncated torn final record at byte %d of %s\n", off, path)
+			}
+			wlogs = append(wlogs, l)
+		}
+		sdur, err = monitor.NewShardedDurable(m, wlogs)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		n, err := sdur.Recover()
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("wal recovery: %w", err)
+		}
+		if n > 0 {
+			fmt.Printf("replayed %d transactions from %d shard journals (now %d states, t=%d)\n",
+				n, opts.shards, m.Len(), m.Now())
+		}
+		sdur.Attach()
+	case opts.walPath != "":
 		pol, err := wal.ParseSyncPolicy(opts.walSync)
 		if err != nil {
 			return nil, err
@@ -312,7 +382,7 @@ func start(opts options) (*daemon, error) {
 				n, opts.walPath, m.Len(), m.Now())
 		}
 		dur.Attach()
-	} else if opts.ckptInterval > 0 {
+	case opts.ckptInterval > 0:
 		dur, err = monitor.NewDurable(m, nil, opts.snapPath)
 		if err != nil {
 			return nil, err
@@ -327,11 +397,14 @@ func start(opts options) (*daemon, error) {
 		if wlog != nil {
 			wlog.Close()
 		}
+		for _, sl := range wlogs {
+			sl.Close()
+		}
 		return nil, err
 	}
 	srv := monitor.NewServer(m,
 		monitor.WithMaxConns(opts.maxConns), monitor.WithIdleTimeout(opts.idleTimeout))
-	d := &daemon{opts: opts, m: m, l: l, srv: srv, dur: dur, wlog: wlog, diags: diags, done: make(chan error, 1)}
+	d := &daemon{opts: opts, m: m, l: l, srv: srv, dur: dur, sdur: sdur, wlog: wlog, wlogs: wlogs, diags: diags, done: make(chan error, 1)}
 
 	if opts.metricsAddr != "" {
 		hl, err := net.Listen("tcp", opts.metricsAddr)
@@ -353,10 +426,21 @@ func start(opts options) (*daemon, error) {
 				"now":    m.Now(),
 				"lint":   lintSummary(d.diags),
 			}
-			if d.dur != nil {
+			if s := m.Shards(); s > 1 {
+				resp["shards"] = s
+			}
+			var dh *monitor.DurabilityHealth
+			switch {
+			case d.dur != nil:
 				h := d.dur.Health()
-				resp["durability"] = h
-				if h.Status != "ok" {
+				dh = &h
+			case d.sdur != nil:
+				h := d.sdur.Health()
+				dh = &h
+			}
+			if dh != nil {
+				resp["durability"] = *dh
+				if dh.Status != "ok" {
 					// Orchestrators watch the top-level status: commits
 					// still serve, but they are no longer durable.
 					resp["status"] = "degraded"
@@ -401,6 +485,11 @@ func (d *daemon) shutdown() error {
 	}
 	if d.wlog != nil {
 		if cerr := d.wlog.Close(); err == nil {
+			err = cerr
+		}
+	}
+	for _, l := range d.wlogs {
+		if cerr := l.Close(); err == nil {
 			err = cerr
 		}
 	}

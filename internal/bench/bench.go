@@ -15,7 +15,9 @@ import (
 	"rtic/internal/active"
 	"rtic/internal/check"
 	"rtic/internal/core"
+	"rtic/internal/engine"
 	"rtic/internal/naive"
+	"rtic/internal/shard"
 	"rtic/internal/workload"
 )
 
@@ -168,6 +170,51 @@ func runIncremental(h workload.History, opts ...core.Option) (replayResult, core
 		return c.Step(t, s.Tx)
 	})
 	return res, c.Stats(), err
+}
+
+// newSharded builds a shard router over h's schema (incremental
+// engines inside, each sequential) with h's constraints installed.
+func newSharded(h workload.History, shards int) (*shard.Router, error) {
+	r, err := shard.NewMode(h.Schema, shards, engine.Incremental, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, cs := range h.Constraints {
+		con, err := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.AddConstraint(con); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func runSharded(h workload.History, shards int) (replayResult, error) {
+	r, err := newSharded(h, shards)
+	if err != nil {
+		return replayResult{}, err
+	}
+	return replay(h, func(t uint64, s workload.Step) ([]check.Violation, error) {
+		return r.Step(t, s.Tx)
+	})
+}
+
+// bestSharded replays n times on fresh routers and keeps the fastest
+// run.
+func bestSharded(h workload.History, n, shards int) (replayResult, error) {
+	var best replayResult
+	for i := 0; i < n; i++ {
+		res, err := runSharded(h, shards)
+		if err != nil {
+			return res, err
+		}
+		if i == 0 || res.totalNs < best.totalNs {
+			best = res
+		}
+	}
+	return best, nil
 }
 
 // bestIncremental replays n times on fresh checkers and keeps the

@@ -1,0 +1,186 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"rtic/internal/storage"
+	"rtic/internal/wal"
+)
+
+// ShardedDurable is the durability manager for a sharded monitor: one
+// write-ahead log per shard, each receiving that shard's slice of every
+// accepted transaction. There are no checkpoints — sharded engines do
+// not snapshot — so recovery replays the journals from the start.
+//
+// Crash-safety argument: every accepted commit appends exactly one
+// record to every journal (empty sub-transactions included), all under
+// the commit lock, so healthy journals hold the same record count and
+// record j of every journal carries the same timestamp. A crash can
+// tear that alignment — some journals got commit j, others did not —
+// but only at the tail, because commits are serialized. Recovery
+// therefore replays the common prefix (the minimum record count across
+// journals), verifies the timestamps agree record by record, and
+// truncates the longer journals back to the prefix, discarding at most
+// the final partially journaled commit.
+type ShardedDurable struct {
+	m    *Monitor
+	logs []*wal.Log // one per shard, index == shard id
+
+	mu       sync.Mutex
+	lastErr  error // latest append failure, nil when healthy
+	replayed int
+}
+
+// NewShardedDurable builds the manager. logs must hold exactly one
+// journal per shard of m, in shard order — record i of a commit goes to
+// logs[i], so the order is load-bearing across restarts.
+func NewShardedDurable(m *Monitor, logs []*wal.Log) (*ShardedDurable, error) {
+	rtr := m.Router()
+	if rtr == nil {
+		return nil, fmt.Errorf("monitor: sharded durability requires a sharded monitor (use WithShards)")
+	}
+	if len(logs) != rtr.Shards() {
+		return nil, fmt.Errorf("monitor: sharded durability wants %d journals (one per shard), got %d", rtr.Shards(), len(logs))
+	}
+	for i, l := range logs {
+		if l == nil {
+			return nil, fmt.Errorf("monitor: journal for shard %d is nil", i)
+		}
+	}
+	return &ShardedDurable{m: m, logs: logs}, nil
+}
+
+// shardRecord is one journal record: a timestamp plus that shard's
+// slice of the commit.
+type shardRecord struct {
+	t  uint64
+	tx *storage.Transaction
+}
+
+// Recover replays the journals' common prefix into the monitor and
+// returns how many commits were applied. Call it on the freshly built
+// monitor, before Attach and before serving traffic. Journals torn by
+// a crash — fewer records on some shards, or a torn tail frame the WAL
+// layer already dropped — are truncated back to the common prefix so
+// the next run appends from an aligned state.
+//
+// Replay routes each reassembled transaction through the monitor's own
+// commit path, not through the individual shards, so the router's
+// current partition plan decides placement afresh: a plan change
+// between runs (new constraint set) re-routes old data correctly
+// instead of resurrecting a stale layout.
+func (d *ShardedDurable) Recover() (int, error) {
+	records := make([][]shardRecord, len(d.logs))
+	for i, l := range d.logs {
+		var recs []shardRecord
+		if _, err := l.Replay(func(payload []byte) error {
+			t, tx, err := wal.DecodeTx(payload)
+			if err != nil {
+				return err
+			}
+			recs = append(recs, shardRecord{t: t, tx: tx})
+			return nil
+		}); err != nil {
+			return 0, fmt.Errorf("monitor: replaying shard %d journal: %w", i, err)
+		}
+		records[i] = recs
+	}
+
+	// The common prefix is the shortest journal; a longer journal's tail
+	// belongs to commits that never reached every shard.
+	k := len(records[0])
+	for _, recs := range records[1:] {
+		if len(recs) < k {
+			k = len(recs)
+		}
+	}
+
+	applied := 0
+	for j := 0; j < k; j++ {
+		t := records[0][j].t
+		merged := storage.NewTransaction()
+		for i, recs := range records {
+			if recs[j].t != t {
+				return applied, fmt.Errorf(
+					"monitor: shard journals disagree at record %d: shard 0 has t=%d, shard %d has t=%d (journals swapped or mixed across runs?)",
+					j, t, i, recs[j].t)
+			}
+			// Concatenating the shard slices in shard order is safe: ops on
+			// the same tuple always hash to the same shard, so no
+			// cross-shard reorder can change the merged transaction's
+			// meaning.
+			for _, op := range recs[j].tx.Ops() {
+				if op.Insert {
+					merged.Insert(op.Rel, op.Tuple)
+				} else {
+					merged.Delete(op.Rel, op.Tuple)
+				}
+			}
+		}
+		if d.m.Len() > 0 && t <= d.m.Now() {
+			continue // already applied (double Recover, or pre-seeded monitor)
+		}
+		if _, err := d.m.Apply(t, merged); err != nil {
+			return applied, fmt.Errorf("monitor: replaying sharded record at t=%d: %w", t, err)
+		}
+		applied++
+	}
+
+	// Drop the torn tails so every journal restarts aligned at k records.
+	for i, l := range d.logs {
+		if l.Records() > k {
+			if err := l.Truncate(k); err != nil {
+				return applied, fmt.Errorf("monitor: truncating shard %d journal to %d records: %w", i, k, err)
+			}
+		}
+	}
+
+	d.mu.Lock()
+	d.replayed = applied
+	d.mu.Unlock()
+	if mm, _ := d.m.Observer().Parts(); mm != nil {
+		mm.ReplayedRecords.Add(uint64(applied))
+	}
+	return applied, nil
+}
+
+// Attach starts journaling: every subsequently accepted transaction is
+// split by the router's partition plan and appended to the per-shard
+// journals under the commit lock, one record per shard per commit.
+// Append failures mark the manager degraded (see Health) — the
+// in-memory commit has already happened and keeps serving.
+func (d *ShardedDurable) Attach() {
+	rtr := d.m.Router()
+	d.m.SetJournal(func(t uint64, tx *storage.Transaction) {
+		parts := rtr.Split(tx)
+		for i, part := range parts {
+			if err := d.logs[i].AppendTx(t, part); err != nil {
+				d.noteError(fmt.Errorf("shard %d journal: %w", i, err))
+			}
+		}
+	})
+}
+
+func (d *ShardedDurable) noteError(err error) {
+	d.mu.Lock()
+	d.lastErr = err
+	d.mu.Unlock()
+}
+
+// Health reports the durability state for /healthz. WALBytes sums the
+// per-shard journals; LastCheckpointAgeSeconds is always -1 (sharded
+// monitors do not checkpoint).
+func (d *ShardedDurable) Health() DurabilityHealth {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := DurabilityHealth{Status: "ok", LastCheckpointAgeSeconds: -1, ReplayedRecords: d.replayed}
+	for _, l := range d.logs {
+		h.WALBytes += l.Size()
+	}
+	if d.lastErr != nil {
+		h.Status = "degraded"
+		h.LastError = d.lastErr.Error()
+	}
+	return h
+}

@@ -1,0 +1,343 @@
+package monitor
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rtic/internal/check"
+	"rtic/internal/obs"
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+	"rtic/internal/wal"
+	"rtic/internal/workload"
+)
+
+func shardedMonitor(t *testing.T, shards int) *Monitor {
+	t.Helper()
+	s := schema.NewBuilder().Relation("hire", 1).Relation("fire", 1).MustBuild()
+	m, err := New(s, []workload.ConstraintSpec{
+		{Name: "no_quick_rehire", Source: "hire(e) -> not once[0,365] fire(e)"},
+	}, WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetObserver(&obs.Observer{Metrics: obs.NewMetrics(obs.NewRegistry())})
+	return m
+}
+
+func openShardLogs(t *testing.T, dir string, n int) []*wal.Log {
+	t.Helper()
+	logs := make([]*wal.Log, n)
+	for i := range logs {
+		l, err := wal.Open(filepath.Join(dir, fmt.Sprintf("state.wal.%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs[i] = l
+	}
+	return logs
+}
+
+func closeShardLogs(t *testing.T, logs []*wal.Log) {
+	t.Helper()
+	for _, l := range logs {
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardedKillAndRecoverMatchesUninterrupted drives half a trace
+// into a sharded durable monitor, "crashes" (abandons the monitor and
+// its journals without any shutdown), recovers a fresh sharded monitor
+// by replaying the per-shard journals, and finishes the trace. The
+// recovered half's violations and the final stats must match one
+// uninterrupted sharded run.
+func TestShardedKillAndRecoverMatchesUninterrupted(t *testing.T) {
+	const shards = 3
+	trace := hrTrace(30)
+	half := len(trace) / 2
+
+	// Reference: uninterrupted sharded run.
+	ref := shardedMonitor(t, shards)
+	var refVs [][]check.Violation
+	for _, st := range trace {
+		vs, err := ref.Apply(st.t, st.tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refVs = append(refVs, vs)
+	}
+
+	// Durable run, killed after half the trace.
+	dir := t.TempDir()
+	m1 := shardedMonitor(t, shards)
+	logs1 := openShardLogs(t, dir, shards)
+	d1, err := NewShardedDurable(m1, logs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d1.Recover(); err != nil || n != 0 {
+		t.Fatalf("Recover on empty journals = (%d, %v), want (0, nil)", n, err)
+	}
+	d1.Attach()
+	for _, st := range trace[:half] {
+		if _, err := m1.Apply(st.t, st.tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range logs1 {
+		if l.Records() != half {
+			t.Fatalf("journal %s holds %d records, want %d", l.Path(), l.Records(), half)
+		}
+	}
+	closeShardLogs(t, logs1) // flush only; the monitor is abandoned un-shut-down
+
+	// Recover into a fresh monitor and finish the trace.
+	m2 := shardedMonitor(t, shards)
+	logs2 := openShardLogs(t, dir, shards)
+	defer closeShardLogs(t, logs2)
+	d2, err := NewShardedDurable(m2, logs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := d2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != half {
+		t.Fatalf("Recover applied %d commits, want %d", applied, half)
+	}
+	if m2.Len() != half || m2.Now() != trace[half-1].t {
+		t.Fatalf("recovered monitor at (len=%d, now=%d), want (%d, %d)",
+			m2.Len(), m2.Now(), half, trace[half-1].t)
+	}
+	d2.Attach()
+	var gotVs [][]check.Violation
+	for _, st := range trace[half:] {
+		vs, err := m2.Apply(st.t, st.tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotVs = append(gotVs, vs)
+	}
+	if got, want := violationKeys(gotVs), violationKeys(refVs[half:]); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-recovery violations diverge:\n got %v\nwant %v", got, want)
+	}
+	if got, want := m2.Stats(), ref.Stats(); got.Entries != want.Entries || got.Timestamps != want.Timestamps {
+		t.Fatalf("recovered stats = %+v, want entries/timestamps of %+v", got, want)
+	}
+	if h := d2.Health(); h.Status != "ok" || h.ReplayedRecords != half {
+		t.Fatalf("Health() = %+v, want ok with %d replayed", h, half)
+	}
+}
+
+// TestShardedRecoverTruncatesTornJournals simulates a crash that
+// journaled a commit on only some shards: the extra records must be
+// discarded (not replayed), and the longer journals truncated back to
+// the common prefix so the next run appends aligned.
+func TestShardedRecoverTruncatesTornJournals(t *testing.T) {
+	const shards = 3
+	dir := t.TempDir()
+	trace := hrTrace(12)
+
+	m1 := shardedMonitor(t, shards)
+	logs1 := openShardLogs(t, dir, shards)
+	d1, err := NewShardedDurable(m1, logs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Attach()
+	for _, st := range trace {
+		if _, err := m1.Apply(st.t, st.tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the tail: shards 0 and 2 journal one more commit, shard 1
+	// crashes before its append.
+	torn := storage.NewTransaction().Insert("fire", tuple.Ints(1))
+	for _, i := range []int{0, 2} {
+		if err := logs1[i].AppendTx(uint64(len(trace)*10), torn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closeShardLogs(t, logs1)
+
+	m2 := shardedMonitor(t, shards)
+	logs2 := openShardLogs(t, dir, shards)
+	d2, err := NewShardedDurable(m2, logs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := d2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(trace) {
+		t.Fatalf("Recover applied %d commits, want %d (torn tail discarded)", applied, len(trace))
+	}
+	if m2.Now() != trace[len(trace)-1].t {
+		t.Fatalf("recovered to t=%d, want %d", m2.Now(), trace[len(trace)-1].t)
+	}
+	for i, l := range logs2 {
+		if l.Records() != len(trace) {
+			t.Fatalf("journal %d holds %d records after recovery, want %d", i, l.Records(), len(trace))
+		}
+	}
+	// The truncation must hold on disk, not only in memory.
+	closeShardLogs(t, logs2)
+	logs3 := openShardLogs(t, dir, shards)
+	defer closeShardLogs(t, logs3)
+	for i, l := range logs3 {
+		if l.Records() != len(trace) {
+			t.Fatalf("journal %d holds %d records after reopen, want %d", i, l.Records(), len(trace))
+		}
+	}
+}
+
+// TestShardedRecoverEveryTornSubset crashes a run at every (shard
+// subset, prefix length) combination the torn-tail model allows and
+// proves recovery always lands on a consistent global state: the
+// common prefix replayed, the tail gone, and the run completable.
+func TestShardedRecoverEveryTornSubset(t *testing.T) {
+	const shards = 3
+	trace := hrTrace(8)
+	full := len(trace)
+
+	for prefix := 0; prefix < full; prefix++ {
+		for mask := 1; mask < 1<<shards-1; mask++ { // proper nonempty subsets got the extra commit
+			dir := t.TempDir()
+			m1 := shardedMonitor(t, shards)
+			logs1 := openShardLogs(t, dir, shards)
+			d1, err := NewShardedDurable(m1, logs1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d1.Attach()
+			for _, st := range trace[:prefix] {
+				if _, err := m1.Apply(st.t, st.tx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// The crash commit reaches only the journals in mask.
+			crashStep := trace[prefix]
+			parts := m1.Router().Split(crashStep.tx)
+			for i := 0; i < shards; i++ {
+				if mask&(1<<i) != 0 {
+					if err := logs1[i].AppendTx(crashStep.t, parts[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			closeShardLogs(t, logs1)
+
+			m2 := shardedMonitor(t, shards)
+			logs2 := openShardLogs(t, dir, shards)
+			d2, err := NewShardedDurable(m2, logs2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			applied, err := d2.Recover()
+			if err != nil {
+				t.Fatalf("prefix=%d mask=%b: Recover: %v", prefix, mask, err)
+			}
+			if applied != prefix {
+				t.Fatalf("prefix=%d mask=%b: applied %d, want %d", prefix, mask, applied, prefix)
+			}
+			d2.Attach()
+			// The run must be completable from the recovered state,
+			// re-committing the commit whose journaling tore.
+			for _, st := range trace[prefix:] {
+				if _, err := m2.Apply(st.t, st.tx); err != nil {
+					t.Fatalf("prefix=%d mask=%b: resume at t=%d: %v", prefix, mask, st.t, err)
+				}
+			}
+			if m2.Len() != full {
+				t.Fatalf("prefix=%d mask=%b: finished at len=%d, want %d", prefix, mask, m2.Len(), full)
+			}
+			closeShardLogs(t, logs2)
+		}
+	}
+}
+
+// TestShardedDurableValidation covers the constructor's error paths.
+func TestShardedDurableValidation(t *testing.T) {
+	s := schema.NewBuilder().Relation("hire", 1).Relation("fire", 1).MustBuild()
+	unsharded, err := New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedDurable(unsharded, nil); err == nil {
+		t.Fatal("NewShardedDurable accepted an unsharded monitor")
+	}
+
+	m := shardedMonitor(t, 3)
+	if _, err := NewShardedDurable(m, make([]*wal.Log, 2)); err == nil || !strings.Contains(err.Error(), "3 journals") {
+		t.Fatalf("wrong journal count: err = %v, want a 3-journals complaint", err)
+	}
+	if _, err := NewShardedDurable(m, make([]*wal.Log, 3)); err == nil || !strings.Contains(err.Error(), "nil") {
+		t.Fatalf("nil journal: err = %v, want a nil complaint", err)
+	}
+}
+
+// TestShardedRecoverRejectsDisagreeingTimestamps feeds Recover journals
+// whose records carry different timestamps at the same index — the
+// signature of swapped or cross-run journal files — and expects a
+// loud error instead of a silently wrong merge.
+func TestShardedRecoverRejectsDisagreeingTimestamps(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	logs := openShardLogs(t, dir, shards)
+	tx := storage.NewTransaction().Insert("hire", tuple.Ints(1))
+	if err := logs[0].AppendTx(10, tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := logs[1].AppendTx(20, tx); err != nil {
+		t.Fatal(err)
+	}
+	closeShardLogs(t, logs)
+
+	m := shardedMonitor(t, shards)
+	logs2 := openShardLogs(t, dir, shards)
+	defer closeShardLogs(t, logs2)
+	d, err := NewShardedDurable(m, logs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Recover(); err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Fatalf("Recover on disagreeing journals: err = %v, want a disagreement error", err)
+	}
+}
+
+// TestShardedJournalDegradesNotFails closes a journal out from under
+// the hook: the commit still succeeds (the engine already applied it)
+// and Health turns degraded.
+func TestShardedJournalDegradesNotFails(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	m := shardedMonitor(t, shards)
+	logs := openShardLogs(t, dir, shards)
+	d, err := NewShardedDurable(m, logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Attach()
+	if _, err := m.Apply(10, storage.NewTransaction().Insert("hire", tuple.Ints(1))); err != nil {
+		t.Fatal(err)
+	}
+	if h := d.Health(); h.Status != "ok" {
+		t.Fatalf("healthy journaling reported %+v", h)
+	}
+	logs[1].Close()
+	if _, err := m.Apply(20, storage.NewTransaction().Insert("hire", tuple.Ints(2))); err != nil {
+		t.Fatalf("commit failed on journal error (should degrade, not fail): %v", err)
+	}
+	if h := d.Health(); h.Status != "degraded" || h.LastError == "" {
+		t.Fatalf("Health() = %+v, want degraded with an error", h)
+	}
+	logs[0].Close()
+}

@@ -19,6 +19,7 @@ import (
 	"rtic/internal/naive"
 	"rtic/internal/obs"
 	"rtic/internal/schema"
+	"rtic/internal/shard"
 	"rtic/internal/storage"
 	"rtic/internal/workload"
 )
@@ -28,7 +29,8 @@ import (
 type Monitor struct {
 	mu     sync.Mutex
 	eng    engine.Engine
-	inc    *core.Checker // non-nil in Incremental mode: snapshots, stats
+	inc    *core.Checker // non-nil in unsharded Incremental mode: snapshots, stats
+	rtr    *shard.Router // non-nil when sharded
 	mode   engine.Mode
 	states int
 	now    uint64
@@ -61,8 +63,9 @@ const recentCapacity = 128
 type Option func(*options)
 
 type options struct {
-	mode engine.Mode
-	par  int
+	mode   engine.Mode
+	par    int
+	shards int
 }
 
 // WithMode selects the checking engine (default Incremental). Snapshot
@@ -78,6 +81,16 @@ func WithParallelism(n int) Option {
 	return func(o *options) { o.par = n }
 }
 
+// WithShards partitions the engine's state across n shard engines
+// behind a router (see internal/shard): transactions split by the
+// inferred per-relation partition columns, per-shard commits run
+// concurrently, results stay exact. n<=1 selects the plain unsharded
+// engine. Sharded monitors journal through per-shard WALs (see
+// ShardedDurable) and do not support snapshots.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
 // New builds a monitor over the schema with the given constraints.
 func New(s *schema.Schema, constraints []workload.ConstraintSpec, opts ...Option) (*Monitor, error) {
 	var o options
@@ -85,13 +98,20 @@ func New(s *schema.Schema, constraints []workload.ConstraintSpec, opts ...Option
 		opt(&o)
 	}
 	m := &Monitor{mode: o.mode, schema: s, subs: make(map[int]chan check.Violation)}
-	switch o.mode {
-	case engine.Incremental:
+	switch {
+	case o.shards > 1:
+		rtr, err := shard.NewMode(s, o.shards, o.mode, o.par)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: %w", err)
+		}
+		m.rtr = rtr
+		m.eng = rtr
+	case o.mode == engine.Incremental:
 		m.inc = core.New(s, core.WithParallelism(o.par))
 		m.eng = m.inc
-	case engine.Naive:
+	case o.mode == engine.Naive:
 		m.eng = naive.New(s)
-	case engine.ActiveRules:
+	case o.mode == engine.ActiveRules:
 		m.eng = active.New(s)
 	default:
 		return nil, fmt.Errorf("monitor: unknown mode %v", o.mode)
@@ -115,10 +135,10 @@ func New(s *schema.Schema, constraints []workload.ConstraintSpec, opts ...Option
 
 // Diagnostics returns the linter findings recorded when the monitor's
 // constraints were installed (nil for restored monitors). The slice is
-// a copy; callers may reorder it.
+// a copy; callers may reorder it. diags is immutable after New, so
+// this never takes the commit lock — a slow lint reader cannot stall
+// commits.
 func (m *Monitor) Diagnostics() []lint.Diagnostic {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return append([]lint.Diagnostic(nil), m.diags...)
 }
 
@@ -176,6 +196,18 @@ func (m *Monitor) SetJournal(j func(t uint64, tx *storage.Transaction)) {
 
 // Mode reports the engine the monitor runs.
 func (m *Monitor) Mode() engine.Mode { return m.mode }
+
+// Shards reports the shard count of the routing layer (1 = unsharded).
+func (m *Monitor) Shards() int {
+	if m.rtr != nil {
+		return m.rtr.Shards()
+	}
+	return 1
+}
+
+// Router exposes the shard router (nil when unsharded); the sharded
+// durability layer uses it to split journal records by shard.
+func (m *Monitor) Router() *shard.Router { return m.rtr }
 
 // Observer returns the attached observer (nil when uninstrumented).
 func (m *Monitor) Observer() *obs.Observer {
@@ -289,6 +321,9 @@ func (m *Monitor) Dropped() int {
 func (m *Monitor) Snapshot(w io.Writer) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.rtr != nil {
+		return fmt.Errorf("monitor: snapshots are not available on a sharded monitor; durability is per-shard WAL journals")
+	}
 	if m.inc == nil {
 		return fmt.Errorf("monitor: snapshots are only available in incremental mode (current: %v)", m.mode)
 	}
@@ -300,10 +335,14 @@ func (m *Monitor) Snapshot(w io.Writer) error {
 func (m *Monitor) Stats() core.Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.inc == nil {
+	switch {
+	case m.inc != nil:
+		return m.inc.Stats()
+	case m.rtr != nil:
+		return m.rtr.Stats()
+	default:
 		return core.Stats{}
 	}
-	return m.inc.Stats()
 }
 
 // Len reports the number of committed transactions.

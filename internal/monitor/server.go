@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -197,7 +198,15 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
-			if err := m.Registry().WritePrometheus(w); err != nil {
+			// Render the full exposition to memory first: the conn write
+			// below can stall on a slow reader for as long as the idle
+			// timeout allows, and nothing shared with the commit path may
+			// be held while it does.
+			var expo bytes.Buffer
+			if err := m.Registry().WritePrometheus(&expo); err != nil {
+				return
+			}
+			if _, err := w.Write(expo.Bytes()); err != nil {
 				return
 			}
 			if !reply("# EOF") {

@@ -1,0 +1,97 @@
+package monitor
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCommitsProceedDuringStalledMetricsRead pins the lock discipline
+// of the read-only protocol commands: a client that requests "metrics"
+// and then stops reading leaves the handler blocked mid-write on the
+// connection, and commits must keep flowing while it is. net.Pipe has
+// no buffering, so the handler is genuinely wedged on the stalled
+// reader for the whole middle of the test.
+func TestCommitsProceedDuringStalledMetricsRead(t *testing.T) {
+	m, _ := observedMonitor(t)
+	if _, err := m.Apply(0, ins("fire", 7)); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(m)
+
+	client, server := net.Pipe()
+	defer client.Close()
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		srv.handle(server)
+	}()
+
+	if _, err := client.Write([]byte("metrics\n")); err != nil {
+		t.Fatal(err)
+	}
+	// One byte proves the handler is mid-exposition; not reading further
+	// wedges it there.
+	one := make([]byte, 1)
+	if _, err := client.Read(one); err != nil {
+		t.Fatal(err)
+	}
+
+	committed := make(chan error, 1)
+	go func() {
+		_, err := m.Apply(100, ins("hire", 7))
+		committed <- err
+	}()
+	select {
+	case err := <-committed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("commit stalled behind a mid-stream metrics read")
+	}
+
+	// Unwedge the handler and check the exposition completed intact.
+	r := bufio.NewReader(client)
+	var saw bool
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		client.SetReadDeadline(deadline)
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("draining exposition: %v", err)
+		}
+		line = string(one) + line // splice the probe byte back onto the first line
+		one = one[:0]
+		if strings.TrimSpace(line) == "# EOF" {
+			saw = true
+			break
+		}
+	}
+	if !saw {
+		t.Fatal("exposition never terminated with # EOF")
+	}
+	if _, err := client.Write([]byte("quit\n")); err != nil {
+		t.Fatal(err)
+	}
+	<-handlerDone
+}
+
+// TestLintServedWithoutCommitLock holds the commit lock and calls
+// Diagnostics — the lint command's backing read — which must return
+// anyway: diagnostics are immutable after New, so a slow lint reader
+// can never stall commits.
+func TestLintServedWithoutCommitLock(t *testing.T) {
+	m, _ := observedMonitor(t)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	done := make(chan int, 1)
+	go func() { done <- len(m.Diagnostics()) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Diagnostics blocked on the commit lock")
+	}
+}

@@ -21,6 +21,13 @@ type Metrics struct {
 	AuxBytes          *Gauge        // estimated auxiliary footprint
 	ParallelWorkers   *Gauge        // commit-pipeline worker-pool width
 
+	// Shard section (updated by the shard router when sharding is on).
+	Shards                 *Gauge        // configured shard count (0 = unsharded)
+	ShardCommits           *CounterVec   // per-shard sub-transaction commits, by shard
+	ShardCommitSeconds     *HistogramVec // per-shard sub-commit latency, by shard
+	ShardOpsRouted         *CounterVec   // tuple operations routed, by shard
+	ShardGlobalConstraints *Gauge        // constraints demoted to the global shard
+
 	// Monitor section (updated by the line-protocol server).
 	Connections         *Counter // accepted connections
 	ConnectionsActive   *Gauge   // currently open connections
@@ -72,6 +79,17 @@ func NewMetrics(r *Registry) *Metrics {
 			"Estimated auxiliary storage footprint in bytes."),
 		ParallelWorkers: r.Gauge("rtic_parallel_workers",
 			"Worker-pool width of the engine's commit pipeline (1 = sequential)."),
+
+		Shards: r.Gauge("rtic_shards",
+			"Configured shard count of the routing layer (0 = unsharded)."),
+		ShardCommits: r.CounterVec("rtic_shard_commits_total",
+			"Sub-transaction commits applied, by shard.", "shard"),
+		ShardCommitSeconds: r.HistogramVec("rtic_shard_commit_duration_seconds",
+			"Latency of one shard's sub-transaction commit, by shard.", nil, "shard"),
+		ShardOpsRouted: r.CounterVec("rtic_shard_ops_routed_total",
+			"Tuple operations routed to each shard by the partition plan.", "shard"),
+		ShardGlobalConstraints: r.Gauge("rtic_shard_global_fallback_constraints",
+			"Constraints the partitionability analysis demoted to the global shard."),
 
 		Connections: r.Counter("rtic_monitor_connections_total",
 			"Connections accepted by the line-protocol server."),

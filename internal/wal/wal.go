@@ -401,6 +401,51 @@ func (l *Log) Reset() error {
 	return nil
 }
 
+// Truncate discards every record after the first keep, leaving the
+// header and that record prefix intact. Sharded recovery uses it to cut
+// per-shard journals back to the shortest common record count when a
+// crash left some journals one commit ahead of the others; keep at or
+// above the current record count is a no-op.
+func (l *Log) Truncate(keep int) error {
+	if keep < 0 {
+		return fmt.Errorf("wal: truncate to negative record count %d", keep)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return fmt.Errorf("wal: log unusable after earlier write failure: %w", l.broken)
+	}
+	if keep >= l.records {
+		return nil
+	}
+	off := int64(headerSize)
+	for i := 0; i < keep; i++ {
+		_, next, err := l.frameAt(off, l.size)
+		if err != nil {
+			return fmt.Errorf("wal: truncate scan at record %d: %w", i, err)
+		}
+		off = next
+	}
+	if err := l.f.Truncate(off); err != nil {
+		l.broken = err
+		l.countError()
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.broken = err
+		l.countError()
+		return fmt.Errorf("wal: truncate sync: %w", err)
+	}
+	l.size = off
+	l.records = keep
+	l.dirty = false
+	l.countFsync()
+	if m := l.metrics; m != nil {
+		m.WALSizeBytes.Set(l.size)
+	}
+	return nil
+}
+
 // Replay calls fn for every valid record payload in order and returns
 // how many were delivered. It stops with the callback's error, or with
 // *CorruptError on damage; a torn final record never reaches fn (Open

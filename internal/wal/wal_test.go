@@ -246,3 +246,50 @@ func TestWriteFileAtomic(t *testing.T) {
 		t.Fatalf("temp files left behind: %v", ents)
 	}
 }
+
+func TestTruncateKeepsRecordPrefix(t *testing.T) {
+	l, path := tmpLog(t)
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 3 {
+		t.Fatalf("Records() = %d, want 3", l.Records())
+	}
+	got := payloads(t, l)
+	if len(got) != 3 || string(got[2]) != "record-2" {
+		t.Fatalf("replay after truncate = %q", got)
+	}
+	// Appends extend the cut prefix, and the file reopens cleanly.
+	if err := l.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := payloads(t, l2); len(got) != 4 || string(got[3]) != "after" {
+		t.Fatalf("replay after reopen = %q", got)
+	}
+	// Keeping at or above the record count is a no-op; negatives error.
+	if err := l2.Truncate(10); err != nil || l2.Records() != 4 {
+		t.Fatalf("Truncate(10) = %v, records %d", err, l2.Records())
+	}
+	if err := l2.Truncate(-1); err == nil {
+		t.Fatal("Truncate(-1) succeeded")
+	}
+	if err := l2.Truncate(0); err != nil || l2.Records() != 0 {
+		t.Fatalf("Truncate(0) = %v, records %d", err, l2.Records())
+	}
+	if got := payloads(t, l2); len(got) != 0 {
+		t.Fatalf("replay after Truncate(0) = %q", got)
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"rtic/internal/naive"
 	"rtic/internal/obs"
 	"rtic/internal/schema"
+	"rtic/internal/shard"
 	"rtic/internal/storage"
 	"rtic/internal/tuple"
 	"rtic/internal/value"
@@ -121,10 +122,11 @@ func ModeNames() []string { return engine.ModeNames() }
 type Option func(*config)
 
 type config struct {
-	mode Mode
-	par  int
-	obs  *obs.Observer
-	lint LintMode
+	mode   Mode
+	par    int
+	shards int
+	obs    *obs.Observer
+	lint   LintMode
 }
 
 // Diagnostic is one static-analysis finding of the constraint linter;
@@ -177,6 +179,20 @@ func WithParallelism(n int) Option {
 	return func(c *config) { c.par = n }
 }
 
+// WithShards partitions the checker's state across n independent shard
+// engines fronted by a router: each relation is hash-partitioned by a
+// column inferred from the constraints' join keys, transactions split
+// by ownership, and the per-shard commits run concurrently. Results
+// stay exact — a constraint whose witnesses the static analysis cannot
+// pin to one shard falls back to a designated global shard (see
+// internal/shard). n<=1 selects the plain unsharded engine. Sharding
+// composes with WithMode; WithParallelism then sets each shard
+// engine's internal pipeline width (default 1 when sharded — shard
+// concurrency replaces pipeline concurrency).
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
 // Observer bundles the instrumentation sinks a checker can carry: a
 // metric set (counters, gauges, latency histograms behind a
 // Prometheus-format registry) and a trace hook. See NewRegistry,
@@ -220,7 +236,8 @@ type Checker struct {
 	schema   *Schema
 	mode     Mode
 	eng      engine.Engine
-	inc      *core.Checker // non-nil in Incremental mode, for Stats
+	inc      *core.Checker // non-nil in unsharded Incremental mode, for Stats
+	rtr      *shard.Router // non-nil when sharded
 	obs      *obs.Observer
 	started  bool
 	names    []string
@@ -238,13 +255,19 @@ func NewChecker(s *Schema, opts ...Option) (*Checker, error) {
 		o(&cfg)
 	}
 	c := &Checker{schema: s, mode: cfg.mode, obs: cfg.obs, lintMode: cfg.lint}
-	switch cfg.mode {
-	case Incremental:
+	switch {
+	case cfg.shards > 1:
+		rtr, err := shard.NewMode(s, cfg.shards, cfg.mode, cfg.par)
+		if err != nil {
+			return nil, fmt.Errorf("rtic: %w", err)
+		}
+		c.eng, c.rtr = rtr, rtr
+	case cfg.mode == Incremental:
 		inc := core.New(s, core.WithParallelism(cfg.par))
 		c.eng, c.inc = inc, inc
-	case Naive:
+	case cfg.mode == Naive:
 		c.eng = naive.New(s)
-	case ActiveRules:
+	case cfg.mode == ActiveRules:
 		c.eng = active.New(s)
 	default:
 		return nil, fmt.Errorf("rtic: unknown mode %v", cfg.mode)
@@ -257,6 +280,14 @@ func NewChecker(s *Schema, opts ...Option) (*Checker, error) {
 
 // Mode reports the engine in use.
 func (c *Checker) Mode() Mode { return c.mode }
+
+// Shards reports the shard count of the routing layer (1 = unsharded).
+func (c *Checker) Shards() int {
+	if c.rtr != nil {
+		return c.rtr.Shards()
+	}
+	return 1
+}
 
 // Parallelism reports the worker-pool width of the commit pipeline: the
 // incremental engine's configured width, or 1 for the other engines,
@@ -362,12 +393,21 @@ type Stats struct {
 }
 
 // Stats reports the incremental engine's auxiliary storage; it returns
-// zeros for other modes.
+// zeros for other modes. For a sharded incremental checker the figures
+// are summed across shards: Entries and Timestamps match the unsharded
+// engine exactly (each tracked binding lives on one shard), while Nodes
+// and Bytes count the per-shard copies of partitionable constraints'
+// node structures.
 func (c *Checker) Stats() Stats {
-	if c.inc == nil {
+	var s core.Stats
+	switch {
+	case c.inc != nil:
+		s = c.inc.Stats()
+	case c.rtr != nil && c.mode == Incremental:
+		s = c.rtr.Stats()
+	default:
 		return Stats{}
 	}
-	s := c.inc.Stats()
 	return Stats{Nodes: s.Nodes, Entries: s.Entries, Timestamps: s.Timestamps, Bytes: s.Bytes}
 }
 
@@ -381,6 +421,9 @@ type Explanation = core.Explanation
 // violations of the most recent commit (the encoding answers for the
 // current state only).
 func (c *Checker) Explain(v Violation) (*Explanation, error) {
+	if c.rtr != nil {
+		return nil, fmt.Errorf("rtic: Explain is not available on a sharded checker")
+	}
 	if c.inc == nil {
 		return nil, fmt.Errorf("rtic: Explain is only available in Incremental mode (current: %v)", c.mode)
 	}
@@ -477,6 +520,9 @@ func (b *Batch) Commit() ([][]Violation, error) {
 // restart without replaying its history. Only the Incremental engine
 // supports snapshots.
 func (c *Checker) SaveSnapshot(w io.Writer) error {
+	if c.rtr != nil {
+		return fmt.Errorf("rtic: snapshots are not available on a sharded checker; use per-shard WAL journals for durability")
+	}
 	if c.inc == nil {
 		return fmt.Errorf("rtic: snapshots are only available in Incremental mode (current: %v)", c.mode)
 	}
@@ -558,6 +604,8 @@ func (c *Checker) currentState() (*storage.State, error) {
 	case *naive.Checker:
 		return eng.State(), nil
 	case *active.Checker:
+		return eng.State()
+	case *shard.Router:
 		return eng.State()
 	default:
 		return nil, fmt.Errorf("rtic: unknown engine %T", c.eng)
