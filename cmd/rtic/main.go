@@ -7,6 +7,9 @@
 //	     [-parallelism N] [-trace] [log...]
 //	rtic lint -spec constraints.rtic [-json] [-strict]
 //	     [-cost-threshold N] [log...]
+//	rtic trace -spec constraints.rtic [-out trace.json]
+//	     [-parallelism N] [-shards N]
+//	     [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [log...]
 //
 // The spec file declares relations and constraints (see package
 // internal/spec). Transaction logs are read from the given files, or
@@ -45,6 +48,13 @@ func main() {
 			if err == errLintFindings {
 				os.Exit(2)
 			}
+			fmt.Fprintln(os.Stderr, "rtic:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTrace(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "rtic:", err)
 			os.Exit(1)
 		}

@@ -3,47 +3,168 @@
 //
 // Usage:
 //
-//	rticbench [-quick] [-only "Table 1"]
+//	rticbench [-quick] [-only "Table 1"] [-json out.json] [-trace-out trace.json]
+//	rticbench -compare old.json new.json [-regress-factor 3]
+//	rticbench -validate result.json
 //
 // -quick runs smaller sweeps (seconds instead of minutes); -only runs a
-// single experiment by its id.
+// single experiment by its id. -json additionally writes the run as a
+// schema'd BENCH_<date>.json (see docs/OBSERVABILITY.md). -trace-out
+// records every commit's span tree and writes a Chrome trace-event file
+// loadable in chrome://tracing or Perfetto. -compare matches the
+// duration cells of two result files and exits nonzero when any got
+// more than -regress-factor times slower. -validate checks a result
+// file against the schema and exits.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rtic/internal/bench"
+	"rtic/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced sweeps")
 	only := flag.String("only", "", "run a single experiment by id (e.g. \"Table 1\")")
+	jsonOut := flag.String("json", "", "also write results as schema'd JSON to this file")
+	traceOut := flag.String("trace-out", "", "write commit span trees as Chrome trace-event JSON to this file")
+	compare := flag.Bool("compare", false, "compare two result files: rticbench -compare old.json new.json")
+	factor := flag.Float64("regress-factor", 3, "with -compare, flag duration cells more than this many times slower")
+	validate := flag.String("validate", "", "validate a result file against the schema and exit")
 	flag.Parse()
 
+	if *validate != "" {
+		runValidate(*validate)
+		return
+	}
+	if *compare {
+		runCompare(flag.Args(), *factor)
+		return
+	}
+
+	var rec *obs.SpanRecorder
+	if *traceOut != "" {
+		rec = obs.NewSpanRecorder(0)
+		bench.SetTraceSink(rec)
+		defer bench.SetTraceSink(nil)
+	}
+
+	var tables []bench.Table
 	if *only != "" {
+		found := false
 		for _, e := range bench.Experiments() {
 			if e.ID != *only {
 				continue
 			}
+			found = true
 			tbl, err := e.Run(*quick)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "rticbench:", err)
-				os.Exit(1)
+				fatal(err)
 			}
-			tbl.Render(os.Stdout)
-			return
+			tables = append(tables, tbl)
 		}
-		fmt.Fprintf(os.Stderr, "rticbench: unknown experiment %q\n", *only)
-		os.Exit(1)
-	}
-	tables, err := bench.All(*quick)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rticbench:", err)
-		os.Exit(1)
+		if !found {
+			fmt.Fprintf(os.Stderr, "rticbench: unknown experiment %q\n", *only)
+			os.Exit(1)
+		}
+	} else {
+		var err error
+		tables, err = bench.All(*quick)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	for i := range tables {
 		tables[i].Render(os.Stdout)
 	}
+
+	if *jsonOut != "" {
+		res := bench.NewResult(tables, *quick, time.Now().Unix())
+		if err := writeJSON(*jsonOut, res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rticbench: wrote %s (%d tables, rev %s)\n", *jsonOut, len(res.Tables), res.GitRev)
+	}
+	if rec != nil {
+		if err := writeTrace(*traceOut, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rticbench: wrote %s (%d commit spans)\n", *traceOut, rec.Len())
+	}
+}
+
+func runValidate(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	res, err := bench.ReadResult(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: schema %d, %d tables, rev %s, %s %s/%s\n",
+		path, res.Schema, len(res.Tables), res.GitRev, res.GoVersion, res.GOOS, res.GOARCH)
+}
+
+func runCompare(args []string, factor float64) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "rticbench: -compare needs exactly two files: old.json new.json")
+		os.Exit(2)
+	}
+	old, err := readResult(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := readResult(args[1])
+	if err != nil {
+		fatal(err)
+	}
+	rep := bench.Compare(old, cur, factor)
+	rep.Render(os.Stdout)
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func readResult(path string) (bench.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return bench.Result{}, err
+	}
+	defer f.Close()
+	return bench.ReadResult(f)
+}
+
+func writeJSON(path string, res bench.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteResult(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrace(path string, rec *obs.SpanRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, rec.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rticbench:", err)
+	os.Exit(1)
 }

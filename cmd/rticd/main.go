@@ -10,6 +10,7 @@
 //	      [-checkpoint-interval 30s]
 //	      [-max-conns N] [-idle-timeout 5m]
 //	      [-metrics 127.0.0.1:9411] [-trace]
+//	      [-pprof] [-slow-commit 5ms] [-trace-out trace.json]
 //
 // Protocol (one line per transaction, shared global clock):
 //
@@ -67,6 +68,14 @@
 // controls the HTTP endpoint. With -trace every engine operation
 // (parse, step, per-node update, constraint check, snapshot
 // save/restore) is logged as a structured line on stderr.
+//
+// Three commit-path attribution switches (see docs/OBSERVABILITY.md):
+// -pprof mounts net/http/pprof under /debug/pprof/ on the -metrics
+// listener (block and mutex profiling enabled); -slow-commit logs the
+// full span tree of every commit slower than the threshold to stderr;
+// -trace-out records every commit's span tree and writes a Chrome
+// trace-event file at shutdown, loadable in chrome://tracing or
+// Perfetto.
 package main
 
 import (
@@ -76,8 +85,11 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -106,6 +118,9 @@ type options struct {
 	idleTimeout  time.Duration
 	metricsAddr  string
 	trace        bool
+	pprof        bool
+	slowCommit   time.Duration
+	traceOut     string
 }
 
 func main() {
@@ -127,6 +142,9 @@ func main() {
 	flag.DurationVar(&opts.idleTimeout, "idle-timeout", 0, "close line-protocol connections idle for this long (0 = never)")
 	flag.StringVar(&opts.metricsAddr, "metrics", "", "HTTP listen address for /metrics and /healthz (empty: disabled)")
 	flag.BoolVar(&opts.trace, "trace", false, "log engine trace events (structured, stderr)")
+	flag.BoolVar(&opts.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/ on the -metrics listener (enables block and mutex profiling)")
+	flag.DurationVar(&opts.slowCommit, "slow-commit", 0, "log the span tree of commits slower than this (0 = disabled)")
+	flag.StringVar(&opts.traceOut, "trace-out", "", "record commit span trees and write Chrome trace-event JSON here at shutdown")
 	flag.Parse()
 
 	d, err := start(opts)
@@ -168,6 +186,7 @@ type daemon struct {
 	hl    net.Listener // nil without -metrics
 	hsrv  *http.Server
 	diags []lint.Diagnostic // startup lint findings over the spec
+	rec   *obs.SpanRecorder // nil without -trace-out
 	done  chan error
 }
 
@@ -216,11 +235,28 @@ func start(opts options) (*daemon, error) {
 	// command and the snapshot path use them — the HTTP listener is the
 	// only optional part.
 	o := &obs.Observer{Metrics: obs.NewMetrics(obs.NewRegistry())}
+	o.Metrics.BuildInfo.With(runtime.Version(), buildRev()).Set(1)
 	if opts.trace {
 		o.Tracer = obs.NewSlogTracer(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
 			Level: slog.LevelDebug,
 		})))
 	}
+
+	// Span sinks: an in-memory ring for -trace-out (exported as a Chrome
+	// trace at shutdown) and a slow-commit logger. Both see every commit
+	// span the engine, monitor, and WAL emit.
+	var rec *obs.SpanRecorder
+	var sinks []obs.SpanSink
+	if opts.traceOut != "" {
+		rec = obs.NewSpanRecorder(0)
+		sinks = append(sinks, rec)
+	}
+	if opts.slowCommit > 0 {
+		sinks = append(sinks, obs.NewSlowSpanLogger(opts.slowCommit, func(s string) {
+			fmt.Fprintln(os.Stderr, s)
+		}))
+	}
+	o.Spans = obs.MultiSpanSink(sinks...)
 
 	if opts.mode == "" {
 		opts.mode = "incremental"
@@ -238,6 +274,9 @@ func start(opts options) (*daemon, error) {
 	}
 	if opts.ckptInterval > 0 && opts.snapPath == "" {
 		return nil, fmt.Errorf("-checkpoint-interval requires -snapshot")
+	}
+	if opts.pprof && opts.metricsAddr == "" {
+		return nil, fmt.Errorf("-pprof requires -metrics (pprof serves on the metrics listener)")
 	}
 	if opts.shards > 1 && (opts.snapPath != "" || opts.restore) {
 		return nil, fmt.Errorf("-snapshot and -restore are not available with -shards (sharded durability is per-shard WALs; use -wal)")
@@ -330,7 +369,7 @@ func start(opts options) (*daemon, error) {
 		}
 		for i := 0; i < opts.shards; i++ {
 			path := fmt.Sprintf("%s.%d", opts.walPath, i)
-			l, err := wal.Open(path, wal.WithSyncPolicy(pol), wal.WithMetrics(o.Metrics))
+			l, err := wal.Open(path, wal.WithSyncPolicy(pol), wal.WithMetrics(o.Metrics), wal.WithSpans(o.Spans))
 			if err != nil {
 				closeAll()
 				return nil, err
@@ -360,7 +399,7 @@ func start(opts options) (*daemon, error) {
 		if err != nil {
 			return nil, err
 		}
-		wlog, err = wal.Open(opts.walPath, wal.WithSyncPolicy(pol), wal.WithMetrics(o.Metrics))
+		wlog, err = wal.Open(opts.walPath, wal.WithSyncPolicy(pol), wal.WithMetrics(o.Metrics), wal.WithSpans(o.Spans))
 		if err != nil {
 			return nil, err
 		}
@@ -404,7 +443,7 @@ func start(opts options) (*daemon, error) {
 	}
 	srv := monitor.NewServer(m,
 		monitor.WithMaxConns(opts.maxConns), monitor.WithIdleTimeout(opts.idleTimeout))
-	d := &daemon{opts: opts, m: m, l: l, srv: srv, dur: dur, sdur: sdur, wlog: wlog, wlogs: wlogs, diags: diags, done: make(chan error, 1)}
+	d := &daemon{opts: opts, m: m, l: l, srv: srv, dur: dur, sdur: sdur, wlog: wlog, wlogs: wlogs, diags: diags, rec: rec, done: make(chan error, 1)}
 
 	if opts.metricsAddr != "" {
 		hl, err := net.Listen("tcp", opts.metricsAddr)
@@ -448,6 +487,19 @@ func start(opts options) (*daemon, error) {
 			}
 			_ = json.NewEncoder(w).Encode(resp)
 		})
+		if opts.pprof {
+			// Block and mutex profiles are empty unless sampling is on;
+			// these rates are cheap enough to leave running (one block
+			// event per millisecond blocked, 1-in-5 mutex contentions).
+			runtime.SetBlockProfileRate(1_000_000)
+			runtime.SetMutexProfileFraction(5)
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			fmt.Printf("rticd pprof on http://%s/debug/pprof/\n", hl.Addr())
+		}
 		d.hl = hl
 		d.hsrv = &http.Server{Handler: mux}
 		go d.hsrv.Serve(hl) //nolint:errcheck — returns on Close
@@ -493,5 +545,41 @@ func (d *daemon) shutdown() error {
 			err = cerr
 		}
 	}
+	if d.rec != nil {
+		if terr := writeChromeTrace(d.opts.traceOut, d.rec); terr != nil {
+			if err == nil {
+				err = terr
+			}
+		} else {
+			fmt.Printf("trace written to %s (%d commit spans)\n", d.opts.traceOut, d.rec.Len())
+		}
+	}
 	return err
+}
+
+// writeChromeTrace dumps the recorded span trees as a Chrome
+// trace-event file.
+func writeChromeTrace(path string, rec *obs.SpanRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, rec.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// buildRev is the VCS revision stamped into the binary by go build, or
+// "unknown" under plain `go run` / test binaries.
+func buildRev() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
 }

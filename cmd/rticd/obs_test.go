@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// commitN drives n commits over the line protocol.
+func commitN(t *testing.T, d *daemon, n int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", d.l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	r := bufio.NewReader(conn)
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(conn, "@%d +p(%d)\n", i+1, i); err != nil {
+			t.Fatal(err)
+		}
+		// Drain any violation lines until the commit's "ok" ack, so the
+		// caller knows every commit has been processed.
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.HasPrefix(line, "ok ") {
+				break
+			}
+		}
+	}
+}
+
+func TestMetricsContentTypeAndBuildInfo(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, "s.rtic", "relation p/1\nconstraint c: p(x) -> not once p(x)\n")
+	d, err := start(options{specPath: spec, listen: "127.0.0.1:0", metricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.shutdown()
+
+	resp, err := http.Get("http://" + d.hl.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got, want := resp.Header.Get("Content-Type"), "text/plain; version=0.0.4; charset=utf-8"; got != want {
+		t.Errorf("Content-Type = %q, want %q", got, want)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "# TYPE rtic_build_info gauge") {
+		t.Error("/metrics missing rtic_build_info family")
+	}
+	if !strings.Contains(string(body), `rtic_build_info{go_version="go1.`) {
+		t.Errorf("rtic_build_info sample missing go_version label:\n%s", body)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, "s.rtic", "relation p/1\nconstraint c: p(x) -> not once p(x)\n")
+
+	// -pprof without -metrics has nowhere to serve.
+	if _, err := start(options{specPath: spec, listen: "127.0.0.1:0", pprof: true}); err == nil ||
+		!strings.Contains(err.Error(), "-metrics") {
+		t.Fatalf("start without -metrics: err = %v, want mention of -metrics", err)
+	}
+
+	d, err := start(options{specPath: spec, listen: "127.0.0.1:0", metricsAddr: "127.0.0.1:0", pprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.shutdown()
+	base := "http://" + d.hl.Addr().String()
+	if body := httpGet(t, base+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index unexpected:\n%.200s", body)
+	}
+	// The profile endpoints stream protobuf; status 200 is the contract.
+	for _, p := range []string{"goroutine", "heap", "block", "mutex"} {
+		resp, err := http.Get(base + "/debug/pprof/" + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("/debug/pprof/%s: status %d", p, resp.StatusCode)
+		}
+	}
+
+	// Without -pprof the endpoints must not exist.
+	d2, err := start(options{specPath: spec, listen: "127.0.0.1:0", metricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.shutdown()
+	resp, err := http.Get("http://" + d2.hl.Addr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof served without -pprof: status %d", resp.StatusCode)
+	}
+}
+
+func TestSlowCommitLog(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, "s.rtic", "relation p/1\nconstraint c: p(x) -> not once p(x)\n")
+	// A 1ns threshold makes every commit slow.
+	d, err := start(options{specPath: spec, listen: "127.0.0.1:0", slowCommit: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.shutdown()
+	if d.m.Observer().SpanSink() == nil {
+		t.Fatal("slow-commit logger not wired into the observer")
+	}
+
+	// The logger writes to stderr; capture through a pipe.
+	oldStderr := os.Stderr
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = pw
+	commitN(t, d, 3)
+	os.Stderr = oldStderr
+	pw.Close()
+	var buf bytes.Buffer
+	io.Copy(&buf, pr)
+	pr.Close()
+
+	out := buf.String()
+	if !strings.Contains(out, "slow commit t=") || !strings.Contains(out, "threshold 1ns") {
+		t.Fatalf("slow-commit log missing:\n%s", out)
+	}
+	// The dump is the span tree: the monitor's apply section with the
+	// engine's commit and phases beneath it.
+	for _, want := range []string{"monitor.apply", "commit", "phase.check"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow-commit dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceOutWritesChromeTrace(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, "s.rtic", "relation p/1\nconstraint c: p(x) -> not once p(x)\n")
+	tracePath := filepath.Join(dir, "trace.json")
+	d, err := start(options{specPath: spec, listen: "127.0.0.1:0", traceOut: tracePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, d, 5)
+	if err := d.shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" || ev.Pid != 1 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		names[ev.Name]++
+	}
+	// 5 commits from the engine, each under a monitor.apply section,
+	// each decomposed into the four phases.
+	for _, want := range []string{"monitor.apply", "commit", "phase.apply", "phase.update", "phase.check", "phase.carry"} {
+		if names[want] != 5 {
+			t.Errorf("trace has %d %q events, want 5 (all: %v)", names[want], want, names)
+		}
+	}
+}

@@ -17,9 +17,27 @@ import (
 	"rtic/internal/core"
 	"rtic/internal/engine"
 	"rtic/internal/naive"
+	"rtic/internal/obs"
 	"rtic/internal/shard"
 	"rtic/internal/workload"
 )
+
+// traceSink, when set, is attached to every incremental and sharded
+// engine the experiments build, so a bench run can export its commit
+// spans (rticbench -trace-out). Span building adds measurable overhead
+// to the hot path; leave it unset for runs whose numbers are recorded.
+var traceSink obs.SpanSink
+
+// SetTraceSink installs (or, with nil, removes) the span sink bench
+// engines are built with. Not safe to call concurrently with a run.
+func SetTraceSink(s obs.SpanSink) { traceSink = s }
+
+// observeEngine attaches the trace sink to a freshly built engine.
+func observeEngine(e interface{ SetObserver(*obs.Observer) }) {
+	if traceSink != nil {
+		e.SetObserver(&obs.Observer{Spans: traceSink})
+	}
+}
 
 // Table is one experiment's result.
 type Table struct {
@@ -121,6 +139,7 @@ func newIncremental(h workload.History, opts ...core.Option) (*core.Checker, err
 			return nil, err
 		}
 	}
+	observeEngine(c)
 	return c, nil
 }
 
@@ -188,6 +207,7 @@ func newSharded(h workload.History, shards int) (*shard.Router, error) {
 			return nil, err
 		}
 	}
+	observeEngine(r)
 	return r, nil
 }
 

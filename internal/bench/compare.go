@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Delta is one matched duration cell across two benchmark runs.
+type Delta struct {
+	Table  string  `json:"table"`
+	Row    string  `json:"row"`
+	Column string  `json:"column"`
+	OldRaw string  `json:"old_raw"`
+	NewRaw string  `json:"new_raw"`
+	Old    float64 `json:"old_ns"`
+	New    float64 `json:"new_ns"`
+	Ratio  float64 `json:"ratio"` // new/old; >1 is slower
+}
+
+// Report is the outcome of comparing two benchmark runs.
+type Report struct {
+	Factor      float64  `json:"factor"`
+	Deltas      []Delta  `json:"deltas"`            // every matched ns cell
+	Regressions []Delta  `json:"regressions"`       // subset with Ratio > Factor
+	Missing     []string `json:"missing,omitempty"` // tables/rows present before, gone now
+}
+
+// Compare matches the two runs' duration cells — tables by ID, rows by
+// key, columns by header — and flags every cell that got more than
+// factor times slower. Only cells with unit "ns" participate: ratios,
+// counts and byte sizes move for legitimate reasons (different host,
+// different GOMAXPROCS) and host-to-host noise would drown the signal.
+func Compare(old, new Result, factor float64) Report {
+	if factor <= 1 {
+		factor = 3
+	}
+	rep := Report{Factor: factor}
+	newTables := map[string]ResultTable{}
+	for _, t := range new.Tables {
+		newTables[t.ID] = t
+	}
+	for _, ot := range old.Tables {
+		nt, ok := newTables[ot.ID]
+		if !ok {
+			rep.Missing = append(rep.Missing, ot.ID)
+			continue
+		}
+		newRows := map[string]ResultRow{}
+		for _, r := range nt.Rows {
+			newRows[r.Key] = r
+		}
+		newCol := map[string]int{}
+		for i, c := range nt.Columns {
+			newCol[c] = i
+		}
+		for _, orow := range ot.Rows {
+			nrow, ok := newRows[orow.Key]
+			if !ok {
+				rep.Missing = append(rep.Missing, fmt.Sprintf("%s row %q", ot.ID, orow.Key))
+				continue
+			}
+			for i, oc := range orow.Cells {
+				if oc.Unit != "ns" || oc.Value <= 0 || i >= len(ot.Columns) {
+					continue
+				}
+				j, ok := newCol[ot.Columns[i]]
+				if !ok || j >= len(nrow.Cells) {
+					continue
+				}
+				nc := nrow.Cells[j]
+				if nc.Unit != "ns" || nc.Value <= 0 {
+					continue
+				}
+				d := Delta{
+					Table: ot.ID, Row: orow.Key, Column: ot.Columns[i],
+					OldRaw: oc.Raw, NewRaw: nc.Raw,
+					Old: oc.Value, New: nc.Value, Ratio: nc.Value / oc.Value,
+				}
+				rep.Deltas = append(rep.Deltas, d)
+				if d.Ratio > factor {
+					rep.Regressions = append(rep.Regressions, d)
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// OK reports whether the comparison found no regressions.
+func (r Report) OK() bool { return len(r.Regressions) == 0 }
+
+// Render writes the report as a human-readable summary: regressions
+// first, then every matched cell.
+func (r Report) Render(w io.Writer) {
+	if len(r.Regressions) > 0 {
+		fmt.Fprintf(w, "REGRESSIONS (> %.1fx slower):\n", r.Factor)
+		for _, d := range r.Regressions {
+			fmt.Fprintf(w, "  %s / %s / %s: %s -> %s (%.2fx)\n", d.Table, d.Row, d.Column, d.OldRaw, d.NewRaw, d.Ratio)
+		}
+	} else {
+		fmt.Fprintf(w, "no regressions beyond %.1fx\n", r.Factor)
+	}
+	for _, m := range r.Missing {
+		fmt.Fprintf(w, "  missing in new run: %s\n", m)
+	}
+	fmt.Fprintf(w, "%d duration cells compared:\n", len(r.Deltas))
+	for _, d := range r.Deltas {
+		fmt.Fprintf(w, "  %s / %s / %s: %s -> %s (%.2fx)\n", d.Table, d.Row, d.Column, d.OldRaw, d.NewRaw, d.Ratio)
+	}
+}

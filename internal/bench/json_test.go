@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		raw   string
+		value float64
+		unit  string
+	}{
+		{"", 0, ""},
+		{"-", 0, ""},
+		{"seq", 0, ""},
+		{"14.4 µs", 14400, "ns"},
+		{"14.4 μs", 14400, "ns"}, // U+03BC mu, the other micro sign
+		{"250 ns", 250, "ns"},
+		{"2.49 ms", 2.49e6, "ns"},
+		{"1.5 s", 1.5e9, "ns"},
+		{"93 B", 93, "bytes"},
+		{"1.2 KiB", 1228.8, "bytes"},
+		{"3.5 MiB", 3.5 * (1 << 20), "bytes"},
+		{"59.1x", 59.1, "ratio"},
+		{"0.1%", 0.1, "percent"},
+		{"1000", 1000, "count"},
+		{"12 parsecs", 0, ""}, // unknown unit stays a text cell
+	}
+	for _, c := range cases {
+		got := ParseCell(c.raw)
+		if got.Raw != c.raw || got.Unit != c.unit {
+			t.Errorf("ParseCell(%q) = %+v, want unit %q", c.raw, got, c.unit)
+			continue
+		}
+		if diff := got.Value - c.value; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("ParseCell(%q).Value = %v, want %v", c.raw, got.Value, c.value)
+		}
+	}
+}
+
+func sampleTables() []Table {
+	return []Table{{
+		ID:      "Table 1",
+		Title:   "steady-state cost",
+		Columns: []string{"domain", "incremental ns/tx", "naive ns/tx", "speedup"},
+		Rows: [][]string{
+			{"250", "20.0 µs", "100.0 µs", "5.0x"},
+			{"500", "21.0 µs", "210.0 µs", "10.0x"},
+		},
+		Notes: "synthetic",
+	}}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res := NewResult(sampleTables(), true, 1754500000)
+	if err := Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.GitRev == "" || res.GoVersion == "" || res.GOMAXPROCS < 1 {
+		t.Fatalf("environment not captured: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CreatedUnix != 1754500000 || !back.Quick {
+		t.Errorf("round-trip lost run fields: %+v", back)
+	}
+	if len(back.Tables) != 1 || back.Tables[0].ID != "Table 1" {
+		t.Fatalf("round-trip lost tables: %+v", back.Tables)
+	}
+	row := back.Tables[0].Rows[0]
+	if row.Key != "250" {
+		t.Errorf("row key %q, want %q", row.Key, "250")
+	}
+	if c := row.Cells[1]; c.Unit != "ns" || c.Value != 20000 {
+		t.Errorf("cell not parsed through round-trip: %+v", c)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	base := func() Result { return NewResult(sampleTables(), false, 1) }
+	cases := []struct {
+		name   string
+		mutate func(*Result)
+		want   string
+	}{
+		{"schema", func(r *Result) { r.Schema = 99 }, "schema"},
+		{"go_version", func(r *Result) { r.GoVersion = "" }, "go_version"},
+		{"git_rev", func(r *Result) { r.GitRev = "" }, "git_rev"},
+		{"gomaxprocs", func(r *Result) { r.GOMAXPROCS = 0 }, "gomaxprocs"},
+		{"no tables", func(r *Result) { r.Tables = nil }, "no tables"},
+		{"table id", func(r *Result) { r.Tables[0].ID = "" }, "missing id"},
+		{"row key", func(r *Result) { r.Tables[0].Rows[0].Key = "" }, "missing key"},
+		{"row width", func(r *Result) { r.Tables[0].Rows[0].Cells = r.Tables[0].Rows[0].Cells[:2] }, "cells for"},
+		{"unit", func(r *Result) { r.Tables[0].Rows[0].Cells[0].Unit = "furlongs" }, "unknown unit"},
+	}
+	for _, c := range cases {
+		r := base()
+		c.mutate(&r)
+		err := Validate(r)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := NewResult(sampleTables(), false, 1)
+	same := NewResult(sampleTables(), false, 2)
+	rep := Compare(old, same, 3)
+	if !rep.OK() {
+		t.Fatalf("identical runs flagged: %+v", rep.Regressions)
+	}
+	if len(rep.Deltas) != 4 { // 2 rows x 2 ns columns; ratio column excluded
+		t.Fatalf("compared %d cells, want 4", len(rep.Deltas))
+	}
+
+	slow := sampleTables()
+	slow[0].Rows[0][1] = "90.0 µs" // 4.5x the old 20 µs
+	rep = Compare(old, NewResult(slow, false, 3), 3)
+	if rep.OK() || len(rep.Regressions) != 1 {
+		t.Fatalf("4.5x slowdown not flagged: %+v", rep.Regressions)
+	}
+	d := rep.Regressions[0]
+	if d.Table != "Table 1" || d.Row != "250" || d.Column != "incremental ns/tx" {
+		t.Errorf("regression located at %s/%s/%s", d.Table, d.Row, d.Column)
+	}
+	if d.Ratio < 4.49 || d.Ratio > 4.51 {
+		t.Errorf("regression ratio %v, want ~4.5", d.Ratio)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "REGRESSIONS") || !strings.Contains(buf.String(), "4.50x") {
+		t.Errorf("render missing regression:\n%s", buf.String())
+	}
+
+	// A 4.5x speedup is not a regression.
+	fast := sampleTables()
+	fast[0].Rows[0][1] = "4.4 µs"
+	if rep := Compare(old, NewResult(fast, false, 4), 3); !rep.OK() {
+		t.Errorf("speedup flagged as regression: %+v", rep.Regressions)
+	}
+
+	// Disappearing tables and rows are reported, not silently skipped.
+	shrunk := NewResult(sampleTables(), false, 5)
+	shrunk.Tables[0].Rows = shrunk.Tables[0].Rows[:1]
+	rep = Compare(old, shrunk, 3)
+	if len(rep.Missing) != 1 || !strings.Contains(rep.Missing[0], `row "500"`) {
+		t.Errorf("missing row not reported: %v", rep.Missing)
+	}
+}

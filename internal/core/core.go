@@ -76,7 +76,25 @@ type Checker struct {
 	// counter, check-latency histogram), parallel to constraints, so the
 	// commit path never does a labelled lookup.
 	conMetrics []conMetrics
+	// phaseHist caches the per-phase commit histograms
+	// (rtic_step_phase_seconds) and poolWait/poolUtil the worker-pool
+	// attribution handles, so phase accounting never does a labelled
+	// lookup either. All nil when no metrics are attached.
+	phaseHist [numPhases]*obs.Histogram
+	poolWait  *obs.Histogram
+	poolUtil  *obs.FloatGauge
 }
+
+// Pipeline phase indices and their metric label values.
+const (
+	phaseApply = iota
+	phaseUpdate
+	phaseCheck
+	phaseCarry
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"apply", "update", "check", "carry"}
 
 type conMetrics struct {
 	violations *obs.Counter
@@ -153,8 +171,15 @@ func (c *Checker) SetObserver(o *obs.Observer) {
 	c.obs = o
 	c.conMetrics = nil
 	c.syncConMetrics()
+	c.phaseHist = [numPhases]*obs.Histogram{}
+	c.poolWait, c.poolUtil = nil, nil
 	if m, _ := o.Parts(); m != nil {
 		m.ParallelWorkers.Set(int64(c.par))
+		for i, name := range phaseNames {
+			c.phaseHist[i] = m.StepPhaseSeconds.With(name)
+		}
+		c.poolWait = m.PoolQueueWaitSeconds
+		c.poolUtil = m.PoolUtilization
 	}
 }
 
@@ -249,29 +274,161 @@ func (c *Checker) register(f mtl.Formula, node auxNode) {
 	c.schedule(f, node)
 }
 
+// stepInstr carries one commit's instrumentation through the pipeline
+// phases: the metric and trace sinks plus the commit span under
+// construction. A nil *stepInstr is the fully disabled path.
+type stepInstr struct {
+	c    *Checker
+	m    *obs.Metrics
+	tr   obs.Tracer
+	span *obs.Span // commit span; phases append children. May be nil.
+}
+
+func (si *stepInstr) tracer() obs.Tracer {
+	if si == nil {
+		return nil
+	}
+	return si.tr
+}
+
+// phaseScope times one pipeline phase: a histogram observation plus a
+// child span. The zero scope (from a nil or metric-less stepInstr) is
+// a no-op.
+type phaseScope struct {
+	si    *stepInstr
+	idx   int
+	span  *obs.Span
+	start time.Time
+}
+
+// phase opens a scope for the given pipeline phase.
+func (si *stepInstr) phase(idx int, name string) phaseScope {
+	if si == nil || (si.c.phaseHist[idx] == nil && si.span == nil) {
+		return phaseScope{}
+	}
+	ps := phaseScope{si: si, idx: idx, start: time.Now()}
+	if si.span != nil {
+		ps.span = si.span.Child(name, "")
+	}
+	return ps
+}
+
+// done closes the scope, attributing the elapsed time to the phase.
+func (ps phaseScope) done(ops int, err error) {
+	if ps.si == nil {
+		return
+	}
+	d := time.Since(ps.start)
+	if h := ps.si.c.phaseHist[ps.idx]; h != nil {
+		h.Observe(d.Seconds())
+	}
+	if ps.span != nil {
+		ps.span.Dur = d
+		ps.span.Ops = ops
+		ps.span.Err = err
+	}
+}
+
+// attributePool digests one parallel batch's task timings into the
+// worker-pool attribution: queue-wait observations, the utilization
+// gauge, and per-worker child spans under the phase span (one lane per
+// worker, carrying busy time, task count and idle wait).
+func (si *stepInstr) attributePool(parent *obs.Span, batchStart time.Time, label string, timings []taskTiming) {
+	if si == nil || len(timings) == 0 {
+		return
+	}
+	if si.c.poolWait != nil {
+		for _, tt := range timings {
+			si.c.poolWait.Observe(tt.start.Seconds())
+		}
+	}
+	type workerAgg struct {
+		busy        time.Duration
+		tasks       int
+		first, last time.Duration // active window offsets from batch start
+	}
+	agg := map[int]*workerAgg{}
+	var wall time.Duration
+	for _, tt := range timings {
+		end := tt.start + tt.dur
+		if end > wall {
+			wall = end
+		}
+		a := agg[tt.worker]
+		if a == nil {
+			a = &workerAgg{first: tt.start}
+			agg[tt.worker] = a
+		}
+		a.busy += tt.dur
+		a.tasks++
+		if tt.start < a.first {
+			a.first = tt.start
+		}
+		if end > a.last {
+			a.last = end
+		}
+	}
+	if si.c.poolUtil != nil && wall > 0 {
+		workers := si.c.par
+		if workers > len(timings) {
+			workers = len(timings)
+		}
+		var busy time.Duration
+		for _, a := range agg {
+			busy += a.busy
+		}
+		si.c.poolUtil.Set(float64(busy) / (float64(workers) * float64(wall)))
+	}
+	if parent == nil {
+		return
+	}
+	for w := 0; w < si.c.par; w++ {
+		a := agg[w]
+		if a == nil {
+			continue
+		}
+		parent.Children = append(parent.Children, &obs.Span{
+			Name:   obs.SpanWorker,
+			Detail: fmt.Sprintf("%sw%d", label, w),
+			Time:   parent.Time,
+			Track:  w + 1,
+			Start:  batchStart.Add(a.first),
+			Dur:    a.last - a.first,
+			Ops:    a.tasks,
+			Wait:   a.last - a.first - a.busy,
+		})
+	}
+}
+
 // Step commits a transaction at time t, updates every auxiliary node,
 // and checks every constraint in the resulting state. With an observer
-// attached it also records commit/constraint timing, violation counts
-// and auxiliary-storage gauges, and emits step/node-update trace
-// events; without one the instrumentation path is two nil checks.
+// attached it also records commit/phase/constraint timing, violation
+// counts and auxiliary-storage gauges, emits step/node-update trace
+// events, and hands a completed commit span tree to the span sink;
+// without one the instrumentation path is a few nil checks.
 func (c *Checker) Step(t uint64, tx *storage.Transaction) ([]check.Violation, error) {
 	m, tr := c.obs.Parts()
-	if m == nil && tr == nil {
-		return c.step(t, tx, nil, nil)
+	sink := c.obs.SpanSink()
+	if m == nil && tr == nil && sink == nil {
+		return c.step(t, tx, nil)
 	}
-	vs, err := c.observedStep(t, tx, m, tr)
+	vs, err := c.observedStep(t, tx, m, tr, sink)
 	if m != nil && err == nil {
 		c.refreshAuxGauges(m)
 	}
 	return vs, err
 }
 
-// observedStep is one instrumented commit: counters, latency histogram
-// and the step trace event — everything per-step except the
-// auxiliary-storage gauge refresh, which batch commits amortize.
-func (c *Checker) observedStep(t uint64, tx *storage.Transaction, m *obs.Metrics, tr obs.Tracer) ([]check.Violation, error) {
+// observedStep is one instrumented commit: counters, latency histogram,
+// the step trace event and the commit span — everything per-step except
+// the auxiliary-storage gauge refresh, which batch commits amortize.
+func (c *Checker) observedStep(t uint64, tx *storage.Transaction, m *obs.Metrics, tr obs.Tracer, sink obs.SpanSink) ([]check.Violation, error) {
+	si := &stepInstr{c: c, m: m, tr: tr}
+	if sink != nil {
+		si.span = &obs.Span{Name: obs.SpanCommit, Time: t, Start: time.Now(), Ops: tx.Len()}
+	}
 	start := time.Now()
-	vs, err := c.step(t, tx, m, tr)
+	vs, err := c.step(t, tx, si)
 	d := time.Since(start)
 	if m != nil {
 		if err != nil {
@@ -283,6 +440,11 @@ func (c *Checker) observedStep(t uint64, tx *storage.Transaction, m *obs.Metrics
 	}
 	if tr != nil {
 		tr.Trace(obs.TraceEvent{Op: obs.OpStep, Time: t, Duration: d, Err: err})
+	}
+	if sink != nil {
+		si.span.Dur = d
+		si.span.Err = err
+		sink.ObserveSpan(si.span)
 	}
 	return vs, err
 }
@@ -305,6 +467,7 @@ func (c *Checker) refreshAuxGauges(m *obs.Metrics) {
 // returned alongside the error.
 func (c *Checker) StepBatch(steps []engine.Step) ([][]check.Violation, error) {
 	m, tr := c.obs.Parts()
+	sink := c.obs.SpanSink()
 	if m != nil {
 		defer c.refreshAuxGauges(m)
 	}
@@ -312,10 +475,10 @@ func (c *Checker) StepBatch(steps []engine.Step) ([][]check.Violation, error) {
 	for i, s := range steps {
 		var vs []check.Violation
 		var err error
-		if m == nil && tr == nil {
-			vs, err = c.step(s.Time, s.Tx, nil, nil)
+		if m == nil && tr == nil && sink == nil {
+			vs, err = c.step(s.Time, s.Tx, nil)
 		} else {
-			vs, err = c.observedStep(s.Time, s.Tx, m, tr)
+			vs, err = c.observedStep(s.Time, s.Tx, m, tr, sink)
 		}
 		if err != nil {
 			return out, fmt.Errorf("core: batch step %d (t=%d): %w", i, s.Time, err)
@@ -338,12 +501,16 @@ func (d *domainCache) get() []value.Value {
 	return d.dom
 }
 
-// step runs the four-phase commit pipeline for one transaction.
-func (c *Checker) step(t uint64, tx *storage.Transaction, m *obs.Metrics, tr obs.Tracer) ([]check.Violation, error) {
+// step runs the four-phase commit pipeline for one transaction,
+// attributing each phase's time through si (nil = uninstrumented).
+func (c *Checker) step(t uint64, tx *storage.Transaction, si *stepInstr) ([]check.Violation, error) {
 	if c.started && t <= c.now {
 		return nil, fmt.Errorf("core: non-increasing timestamp %d after %d", t, c.now)
 	}
-	if err := c.applyPhase(tx); err != nil {
+	ps := si.phase(phaseApply, obs.SpanApply)
+	err := c.applyPhase(tx)
+	ps.done(tx.Len(), err)
+	if err != nil {
 		return nil, err
 	}
 
@@ -355,14 +522,22 @@ func (c *Checker) step(t uint64, tx *storage.Transaction, m *obs.Metrics, tr obs
 		return fol.NewEvaluatorShared(c.cur, &oracle{c: c, now: t}, dc.get)
 	}
 
-	if err := c.updatePhase(t, newEval, tr); err != nil {
-		return nil, err
-	}
-	out, err := c.checkPhase(t, newEval, m, tr)
+	ps = si.phase(phaseUpdate, obs.SpanUpdate)
+	err = c.updatePhase(t, newEval, si, ps.span)
+	ps.done(len(c.nodes), err)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.carryPhase(t, newEval); err != nil {
+	ps = si.phase(phaseCheck, obs.SpanCheck)
+	out, err := c.checkPhase(t, newEval, si, ps.span)
+	ps.done(len(c.constraints), err)
+	if err != nil {
+		return nil, err
+	}
+	ps = si.phase(phaseCarry, obs.SpanCarry)
+	err = c.carryPhase(t, newEval, si, ps.span)
+	ps.done(len(c.nodes), err)
+	if err != nil {
 		return nil, err
 	}
 
@@ -383,10 +558,11 @@ func (c *Checker) applyPhase(tx *storage.Transaction) error {
 
 // updatePhase brings every auxiliary node's answer up to the new state:
 // levels run in order (children before parents), nodes within a level
-// concurrently.
-func (c *Checker) updatePhase(t uint64, newEval func() *fol.Evaluator, tr obs.Tracer) error {
-	for _, level := range c.levels {
-		if err := c.runNodePhase(level, t, newEval, tr, func(n auxNode, ev *fol.Evaluator) error {
+// concurrently. span (the update phase span, may be nil) collects
+// per-worker attribution children, one batch per level.
+func (c *Checker) updatePhase(t uint64, newEval func() *fol.Evaluator, si *stepInstr, span *obs.Span) error {
+	for lvl, level := range c.levels {
+		if err := c.runNodePhase(level, t, newEval, si, span, fmt.Sprintf("L%d.", lvl), true, func(n auxNode, ev *fol.Evaluator) error {
 			return n.phaseA(ev, t)
 		}); err != nil {
 			return err
@@ -400,8 +576,8 @@ func (c *Checker) updatePhase(t uint64, newEval func() *fol.Evaluator, tr obs.Tr
 // then commits it. Computations only read this-state answers and write
 // the node's own pending slot, so they run concurrently; commits are a
 // cheap sequential sweep.
-func (c *Checker) carryPhase(t uint64, newEval func() *fol.Evaluator) error {
-	if err := c.runNodePhase(c.nodes, t, newEval, nil, func(n auxNode, ev *fol.Evaluator) error {
+func (c *Checker) carryPhase(t uint64, newEval func() *fol.Evaluator, si *stepInstr, span *obs.Span) error {
+	if err := c.runNodePhase(c.nodes, t, newEval, si, span, "", false, func(n auxNode, ev *fol.Evaluator) error {
 		return n.phaseBCompute(ev, t)
 	}); err != nil {
 		return err
@@ -417,11 +593,19 @@ func (c *Checker) carryPhase(t uint64, newEval func() *fol.Evaluator) error {
 // runs record per-node durations and errors in per-index slots and
 // emit trace events afterwards in schedule order, so output and the
 // returned error (the first node's, in schedule order) are
-// deterministic regardless of interleaving.
-func (c *Checker) runNodePhase(nodes []auxNode, t uint64, newEval func() *fol.Evaluator, tr obs.Tracer, f func(auxNode, *fol.Evaluator) error) error {
+// deterministic regardless of interleaving. Per-node trace events fire
+// only when traceNodes is set AND the tracer wants OpNodeUpdate — the
+// Enabled gate keeps formula rendering off the hot path when the sink
+// would discard DEBUG events anyway. span/label feed the worker-pool
+// attribution of parallel batches.
+func (c *Checker) runNodePhase(nodes []auxNode, t uint64, newEval func() *fol.Evaluator, si *stepInstr, span *obs.Span, label string, traceNodes bool, f func(auxNode, *fol.Evaluator) error) error {
 	n := len(nodes)
 	if n == 0 {
 		return nil
+	}
+	tr := si.tracer()
+	if !traceNodes || !obs.TraceEnabled(tr, obs.OpNodeUpdate) {
+		tr = nil
 	}
 	if c.par <= 1 || n == 1 {
 		ev := newEval()
@@ -446,7 +630,8 @@ func (c *Checker) runNodePhase(nodes []auxNode, t uint64, newEval func() *fol.Ev
 	}
 	errs := make([]error, n)
 	durs := make([]time.Duration, n)
-	c.runTasks(n, func(i int) {
+	batchStart := time.Now()
+	timings := c.runTasksTimed(n, si != nil, func(i int) {
 		ev := newEval()
 		if tr == nil {
 			errs[i] = f(nodes[i], ev)
@@ -456,6 +641,7 @@ func (c *Checker) runNodePhase(nodes []auxNode, t uint64, newEval func() *fol.Ev
 		errs[i] = f(nodes[i], ev)
 		durs[i] = time.Since(n0)
 	})
+	si.attributePool(span, batchStart, label, timings)
 	for i, node := range nodes {
 		if tr != nil {
 			tr.Trace(obs.TraceEvent{
@@ -476,11 +662,21 @@ func (c *Checker) runNodePhase(nodes []auxNode, t uint64, newEval func() *fol.Ev
 // concurrently when the pipeline is parallel. Violations are collected
 // per constraint and flattened in installation order, and per-
 // constraint metrics and trace events are emitted in that same order,
-// so results are identical to the sequential pipeline's.
-func (c *Checker) checkPhase(t uint64, newEval func() *fol.Evaluator, m *obs.Metrics, tr obs.Tracer) ([]check.Violation, error) {
+// so results are identical to the sequential pipeline's. Per-check
+// trace events are gated on the tracer wanting OpConstraintCheck (the
+// DEBUG-frequency op); metrics are recorded regardless.
+func (c *Checker) checkPhase(t uint64, newEval func() *fol.Evaluator, si *stepInstr, span *obs.Span) ([]check.Violation, error) {
 	n := len(c.constraints)
 	if n == 0 {
 		return nil, nil
+	}
+	var m *obs.Metrics
+	if si != nil {
+		m = si.m
+	}
+	tr := si.tracer()
+	if !obs.TraceEnabled(tr, obs.OpConstraintCheck) {
+		tr = nil
 	}
 	instrumented := m != nil || tr != nil
 	if c.par <= 1 || n == 1 {
@@ -512,7 +708,8 @@ func (c *Checker) checkPhase(t uint64, newEval func() *fol.Evaluator, m *obs.Met
 	results := make([][]check.Violation, n)
 	errs := make([]error, n)
 	durs := make([]time.Duration, n)
-	c.runTasks(n, func(i int) {
+	batchStart := time.Now()
+	timings := c.runTasksTimed(n, si != nil, func(i int) {
 		ev := newEval()
 		var c0 time.Time
 		if instrumented {
@@ -523,6 +720,7 @@ func (c *Checker) checkPhase(t uint64, newEval func() *fol.Evaluator, m *obs.Met
 			durs[i] = time.Since(c0)
 		}
 	})
+	si.attributePool(span, batchStart, "", timings)
 	var out []check.Violation
 	for i, con := range c.constraints {
 		if m != nil && i < len(c.conMetrics) {

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rtic/internal/obs"
+	"rtic/internal/workload"
+)
+
+// phaseNamesAll mirrors the phase labels the checker exports.
+var phaseNamesAll = []string{"apply", "update", "check", "carry"}
+
+// TestPhaseSecondsSumToCommitSeconds is the attribution acceptance
+// criterion: the per-phase histograms must account for the commit
+// histogram — what rtic_step_phase_seconds{phase} sums to has to land
+// within 10% of rtic_commit_duration_seconds, or the decomposition is
+// lying about where commit time goes.
+func TestPhaseSecondsSumToCommitSeconds(t *testing.T) {
+	h := workload.Uniform(workload.UniformConfig{Steps: 400, Seed: 53, OpsPerTx: 4, Domain: 16})
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+			c := newFromHistory(t, h, WithParallelism(par))
+			m := obs.NewMetrics(obs.NewRegistry())
+			c.SetObserver(&obs.Observer{Metrics: m})
+			for _, s := range h.Steps {
+				if _, err := c.Step(s.Time, s.Tx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			commit := m.CommitSeconds.Sum()
+			if commit <= 0 {
+				t.Fatal("commit histogram saw nothing")
+			}
+			var phases float64
+			for _, name := range phaseNamesAll {
+				ph := m.StepPhaseSeconds.With(name)
+				if ph.Count() != uint64(len(h.Steps)) {
+					t.Errorf("phase %q observed %d commits, want %d", name, ph.Count(), len(h.Steps))
+				}
+				phases += ph.Sum()
+			}
+			if ratio := phases / commit; ratio < 0.9 || ratio > 1.1 {
+				t.Errorf("phase sum %.6fs vs commit %.6fs: ratio %.3f outside [0.9, 1.1]",
+					phases, commit, ratio)
+			}
+		})
+	}
+}
+
+// TestCommitSpanDecomposition checks the span tree a commit emits: a
+// commit root with the four phase children in pipeline order, and, on
+// the parallel path, worker children under the parallel phases.
+func TestCommitSpanDecomposition(t *testing.T) {
+	h := workload.Uniform(workload.UniformConfig{Steps: 50, Seed: 7, OpsPerTx: 3, Domain: 8})
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+			c := newFromHistory(t, h, WithParallelism(par))
+			rec := obs.NewSpanRecorder(len(h.Steps))
+			c.SetObserver(&obs.Observer{Spans: rec})
+			for _, s := range h.Steps {
+				if _, err := c.Step(s.Time, s.Tx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			roots := rec.Snapshot()
+			if len(roots) != len(h.Steps) {
+				t.Fatalf("recorded %d commit spans, want %d", len(roots), len(h.Steps))
+			}
+			workers := 0
+			for i, root := range roots {
+				if root.Name != obs.SpanCommit {
+					t.Fatalf("root %d is %q, want %q", i, root.Name, obs.SpanCommit)
+				}
+				if root.Time != h.Steps[i].Time {
+					t.Errorf("root %d at t=%d, want %d", i, root.Time, h.Steps[i].Time)
+				}
+				if root.Dur <= 0 {
+					t.Errorf("root %d has no duration", i)
+				}
+				var phaseNames []string
+				var phaseSum float64
+				for _, ch := range root.Children {
+					phaseNames = append(phaseNames, ch.Name)
+					phaseSum += ch.Dur.Seconds()
+					for _, g := range ch.Children {
+						if g.Name != obs.SpanWorker {
+							t.Errorf("unexpected grandchild %q under %q", g.Name, ch.Name)
+						}
+						if g.Track < 1 {
+							t.Errorf("worker span on track %d, want >= 1", g.Track)
+						}
+						workers++
+					}
+				}
+				want := []string{obs.SpanApply, obs.SpanUpdate, obs.SpanCheck, obs.SpanCarry}
+				if len(phaseNames) != len(want) {
+					t.Fatalf("commit %d decomposes into %v, want %v", i, phaseNames, want)
+				}
+				for j := range want {
+					if phaseNames[j] != want[j] {
+						t.Errorf("commit %d phase[%d] = %q, want %q", i, j, phaseNames[j], want[j])
+					}
+				}
+				if phaseSum > root.Dur.Seconds()*1.05 {
+					t.Errorf("commit %d phases sum to %.6fs > commit %.6fs", i, phaseSum, root.Dur.Seconds())
+				}
+			}
+			if par > 1 && workers == 0 {
+				t.Error("parallel run emitted no worker spans")
+			}
+			if par == 1 && workers != 0 {
+				t.Errorf("sequential run emitted %d worker spans", workers)
+			}
+		})
+	}
+}
+
+// TestPoolMetrics checks the queue-wait histogram and utilization gauge
+// move on the parallel path and stay untouched on the sequential one.
+func TestPoolMetrics(t *testing.T) {
+	h := workload.Uniform(workload.UniformConfig{Steps: 100, Seed: 11, OpsPerTx: 3, Domain: 8})
+	seqM := obs.NewMetrics(obs.NewRegistry())
+	seq := newFromHistory(t, h, WithParallelism(1))
+	seq.SetObserver(&obs.Observer{Metrics: seqM})
+	parM := obs.NewMetrics(obs.NewRegistry())
+	par := newFromHistory(t, h, WithParallelism(4))
+	par.SetObserver(&obs.Observer{Metrics: parM})
+	for _, s := range h.Steps {
+		if _, err := seq.Step(s.Time, s.Tx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := par.Step(s.Time, s.Tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := parM.PoolQueueWaitSeconds.Count(); got == 0 {
+		t.Error("parallel run observed no queue waits")
+	}
+	if u := parM.PoolUtilization.Value(); u <= 0 || u > 1 {
+		t.Errorf("pool utilization %v outside (0, 1]", u)
+	}
+	if got := seqM.PoolQueueWaitSeconds.Count(); got != 0 {
+		t.Errorf("sequential run observed %d queue waits", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rtic/internal/mtl"
 )
@@ -198,6 +199,59 @@ func resolveParallelism(n int) int {
 // parallelism. With one worker (or one task) it degenerates to the
 // plain sequential loop. f must confine its writes to per-index slots;
 // error collection is the caller's business for exactly that reason.
+// taskTiming attributes one pool task: which worker ran it, how long
+// it waited after the batch opened (queue wait), and how long it ran.
+type taskTiming struct {
+	worker int
+	start  time.Duration // offset from batch start when the task began
+	dur    time.Duration
+}
+
+// runTasksTimed is runTasks plus per-task attribution: when timed is
+// set it returns one taskTiming per index, feeding the worker-pool
+// queue-wait/utilization metrics and the per-worker spans. With timed
+// off it degenerates to runTasks and returns nil, so the
+// uninstrumented path allocates nothing.
+func (c *Checker) runTasksTimed(n int, timed bool, f func(i int)) []taskTiming {
+	if !timed {
+		c.runTasks(n, f)
+		return nil
+	}
+	timings := make([]taskTiming, n)
+	workers := c.par
+	if workers > n {
+		workers = n
+	}
+	t0 := time.Now()
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			s := time.Since(t0)
+			f(i)
+			timings[i] = taskTiming{worker: 0, start: s, dur: time.Since(t0) - s}
+		}
+		return timings
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				s := time.Since(t0)
+				f(i)
+				timings[i] = taskTiming{worker: w, start: s, dur: time.Since(t0) - s}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return timings
+}
+
 func (c *Checker) runTasks(n int, f func(i int)) {
 	workers := c.par
 	if workers > n {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"rtic/internal/active"
 	"rtic/internal/check"
@@ -218,9 +219,29 @@ func (m *Monitor) Observer() *obs.Observer {
 
 // Apply commits a transaction at time t and returns its violations.
 // Calls are serialized; timestamps must be strictly increasing across
-// all callers.
+// all callers. With an observer attached, the wait for the commit lock
+// is recorded (rtic_commit_lock_wait_seconds) and a monitor.apply span
+// — enclosing the engine's commit span and the journal hook, carrying
+// the lock wait — goes to the span sink.
 func (m *Monitor) Apply(t uint64, tx *storage.Transaction) ([]check.Violation, error) {
+	obsv := m.Observer()
+	mm, _ := obsv.Parts()
+	sink := obsv.SpanSink()
+	var sp *obs.Span
+	var lockStart time.Time
+	if mm != nil || sink != nil {
+		lockStart = time.Now()
+	}
 	m.mu.Lock()
+	if mm != nil || sink != nil {
+		wait := time.Since(lockStart)
+		if mm != nil {
+			mm.LockWaitSeconds.Observe(wait.Seconds())
+		}
+		if sink != nil {
+			sp = &obs.Span{Name: obs.SpanMonitorApply, Time: t, Start: lockStart, Wait: wait}
+		}
+	}
 	vs, err := m.eng.Step(t, tx)
 	if err == nil {
 		m.states++
@@ -230,6 +251,11 @@ func (m *Monitor) Apply(t uint64, tx *storage.Transaction) ([]check.Violation, e
 		}
 	}
 	m.mu.Unlock()
+	if sp != nil {
+		sp.Dur = time.Since(sp.Start)
+		sp.Err = err
+		sink.ObserveSpan(sp)
+	}
 	if err != nil {
 		return nil, err
 	}

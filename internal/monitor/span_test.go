@@ -1,0 +1,73 @@
+package monitor
+
+import (
+	"testing"
+
+	"rtic/internal/obs"
+	"rtic/internal/workload"
+
+	rschema "rtic/internal/schema"
+)
+
+// TestApplySpansAndLockWait checks the monitor's commit section: each
+// Apply emits a monitor.apply span carrying the serialization wait,
+// the engine's own commit span reaches the same sink, and the
+// lock-wait histogram advances alongside.
+func TestApplySpansAndLockWait(t *testing.T) {
+	s := rschema.NewBuilder().Relation("hire", 1).Relation("fire", 1).MustBuild()
+	m, err := New(s, []workload.ConstraintSpec{
+		{Name: "no_quick_rehire", Source: "hire(e) -> not once[0,365] fire(e)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewSpanRecorder(16)
+	metrics := obs.NewMetrics(obs.NewRegistry())
+	m.SetObserver(&obs.Observer{Metrics: metrics, Spans: rec})
+
+	if _, err := m.Apply(1, ins("fire", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(2, ins("hire", 7)); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := rec.Snapshot()
+	var applies, commits int
+	for _, sp := range roots {
+		switch sp.Name {
+		case obs.SpanMonitorApply:
+			applies++
+			if sp.Dur <= 0 {
+				t.Errorf("apply span t=%d has no duration", sp.Time)
+			}
+			if sp.Wait < 0 || sp.Wait > sp.Dur {
+				t.Errorf("apply span t=%d wait %v outside [0, %v]", sp.Time, sp.Wait, sp.Dur)
+			}
+		case obs.SpanCommit:
+			commits++
+		}
+	}
+	if applies != 2 {
+		t.Errorf("recorded %d monitor.apply spans, want 2", applies)
+	}
+	if commits != 2 {
+		t.Errorf("engine emitted %d commit spans through the monitor's sink, want 2", commits)
+	}
+	if got := metrics.LockWaitSeconds.Count(); got != 2 {
+		t.Errorf("lock-wait observations = %d, want 2", got)
+	}
+	// A rejected commit still emits the span, carrying the error.
+	if _, err := m.Apply(1, ins("fire", 1)); err == nil {
+		t.Fatal("stale timestamp accepted")
+	}
+	var sawErr bool
+	for _, sp := range rec.Snapshot() {
+		if sp.Name == obs.SpanMonitorApply && sp.Err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Error("failed Apply did not surface its error on the span")
+	}
+}

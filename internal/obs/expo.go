@@ -29,7 +29,11 @@ func (f *family) write(w *bufio.Writer) {
 	w.WriteString("\n# TYPE ")
 	w.WriteString(f.name)
 	w.WriteByte(' ')
-	w.WriteString(f.typ)
+	typ := f.typ
+	if typ == "floatgauge" {
+		typ = "gauge" // exposition has one gauge type
+	}
+	w.WriteString(typ)
 	w.WriteByte('\n')
 
 	f.mu.Lock()
@@ -45,6 +49,8 @@ func (f *family) write(w *bufio.Writer) {
 			writeSample(w, f.name, "", f.labels, s.labelValues, "", formatUint(m.Value()))
 		case *Gauge:
 			writeSample(w, f.name, "", f.labels, s.labelValues, "", strconv.FormatInt(m.Value(), 10))
+		case *FloatGauge:
+			writeSample(w, f.name, "", f.labels, s.labelValues, "", formatFloat(m.Value()))
 		case *Histogram:
 			cum := uint64(0)
 			for i, b := range m.bounds {

@@ -21,19 +21,28 @@ type Metrics struct {
 	AuxBytes          *Gauge        // estimated auxiliary footprint
 	ParallelWorkers   *Gauge        // commit-pipeline worker-pool width
 
+	// Attribution section (updated by the incremental engine's phased
+	// commit pipeline; see docs/OBSERVABILITY.md).
+	StepPhaseSeconds     *HistogramVec // per-phase commit time, by phase (apply/update/check/carry)
+	PoolQueueWaitSeconds *Histogram    // task wait before a pool worker picked it up
+	PoolUtilization      *FloatGauge   // busy fraction of the pool in the last parallel phase
+
 	// Shard section (updated by the shard router when sharding is on).
 	Shards                 *Gauge        // configured shard count (0 = unsharded)
 	ShardCommits           *CounterVec   // per-shard sub-transaction commits, by shard
 	ShardCommitSeconds     *HistogramVec // per-shard sub-commit latency, by shard
 	ShardOpsRouted         *CounterVec   // tuple operations routed, by shard
 	ShardGlobalConstraints *Gauge        // constraints demoted to the global shard
+	ShardSkew              *FloatGauge   // max/min shard sub-commit time of the last step
 
 	// Monitor section (updated by the line-protocol server).
-	Connections         *Counter // accepted connections
-	ConnectionsActive   *Gauge   // currently open connections
-	ConnectionsRejected *Counter // refused at the max-connections cap
-	ProtocolErrors      *Counter // "error ..." replies sent
-	DroppedViolations   *Counter // subscriber-overflow drops
+	Connections         *Counter   // accepted connections
+	ConnectionsActive   *Gauge     // currently open connections
+	ConnectionsRejected *Counter   // refused at the max-connections cap
+	ProtocolErrors      *Counter   // "error ..." replies sent
+	DroppedViolations   *Counter   // subscriber-overflow drops
+	LockWaitSeconds     *Histogram // wait for the monitor's commit lock
+	BuildInfo           *GaugeVec  // constant 1, by go_version and rev
 
 	// Lint section (updated by daemons that lint their spec at startup).
 	LintWarnings *Counter    // Warning-or-worse findings
@@ -80,6 +89,13 @@ func NewMetrics(r *Registry) *Metrics {
 		ParallelWorkers: r.Gauge("rtic_parallel_workers",
 			"Worker-pool width of the engine's commit pipeline (1 = sequential)."),
 
+		StepPhaseSeconds: r.HistogramVec("rtic_step_phase_seconds",
+			"Commit time attributed to one pipeline phase, by phase (apply, update, check, carry).", nil, "phase"),
+		PoolQueueWaitSeconds: r.Histogram("rtic_pool_queue_wait_seconds",
+			"Wait between a parallel phase starting and a pool worker picking each task up.", nil),
+		PoolUtilization: r.FloatGauge("rtic_pool_utilization",
+			"Busy fraction of the commit pipeline's worker pool over the last parallel phase (1 = no idle workers)."),
+
 		Shards: r.Gauge("rtic_shards",
 			"Configured shard count of the routing layer (0 = unsharded)."),
 		ShardCommits: r.CounterVec("rtic_shard_commits_total",
@@ -90,6 +106,8 @@ func NewMetrics(r *Registry) *Metrics {
 			"Tuple operations routed to each shard by the partition plan.", "shard"),
 		ShardGlobalConstraints: r.Gauge("rtic_shard_global_fallback_constraints",
 			"Constraints the partitionability analysis demoted to the global shard."),
+		ShardSkew: r.FloatGauge("rtic_shard_commit_skew",
+			"Max/min per-shard sub-commit time of the last sharded step (1 = perfectly balanced)."),
 
 		Connections: r.Counter("rtic_monitor_connections_total",
 			"Connections accepted by the line-protocol server."),
@@ -101,6 +119,10 @@ func NewMetrics(r *Registry) *Metrics {
 			"Error replies sent over the line protocol."),
 		DroppedViolations: r.Counter("rtic_monitor_dropped_violations_total",
 			"Violations dropped because a subscriber lagged."),
+		LockWaitSeconds: r.Histogram("rtic_commit_lock_wait_seconds",
+			"Wait to acquire the monitor's commit lock before a transaction could enter the engine.", nil),
+		BuildInfo: r.GaugeVec("rtic_build_info",
+			"Build information of the running binary; constant 1.", "go_version", "rev"),
 
 		LintWarnings: r.Counter("rtic_lint_warnings_total",
 			"Warning-or-worse constraint-linter findings at spec load."),

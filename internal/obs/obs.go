@@ -51,6 +51,18 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a gauge holding a float64 — for ratios like pool
+// utilization and shard skew, where an int64 gauge would truncate.
+type FloatGauge struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram is a fixed-bucket histogram of float64 observations
 // (typically seconds). Buckets are cumulative in the exposition, as
 // Prometheus expects; internally each bucket stores its own count so
@@ -139,6 +151,8 @@ func (f *family) get(values []string) metric {
 		m = &Counter{}
 	case "gauge":
 		m = &Gauge{}
+	case "floatgauge":
+		m = &FloatGauge{}
 	case "histogram":
 		m = newHistogram(f.bounds)
 	}
@@ -238,6 +252,12 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // GaugeVec registers a gauge family with the given label names.
 func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 	return &GaugeVec{f: r.register(name, help, "gauge", labels, nil)}
+}
+
+// FloatGauge registers (or retrieves) a float-valued gauge; it exposes
+// as TYPE gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	return r.register(name, help, "floatgauge", nil, nil).get(nil).(*FloatGauge)
 }
 
 // Histogram registers (or retrieves) a plain histogram with the given

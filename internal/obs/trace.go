@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"log/slog"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,6 +55,10 @@ func NewSlogTracer(l *slog.Logger) Tracer {
 }
 
 func (t *slogTracer) Trace(ev TraceEvent) {
+	level := traceLevel(ev)
+	if !t.l.Enabled(context.Background(), level) {
+		return
+	}
 	attrs := make([]any, 0, 8)
 	if ev.Detail != "" {
 		attrs = append(attrs, "detail", ev.Detail)
@@ -62,27 +67,103 @@ func (t *slogTracer) Trace(ev TraceEvent) {
 		attrs = append(attrs, "t", ev.Time)
 	}
 	attrs = append(attrs, "dur", ev.Duration)
-	level := slog.LevelInfo
-	switch {
-	case ev.Err != nil:
-		level = slog.LevelError
+	if ev.Err != nil {
 		attrs = append(attrs, "err", ev.Err)
-	case ev.Op == OpNodeUpdate || ev.Op == OpConstraintCheck:
-		level = slog.LevelDebug
 	}
 	t.l.Log(context.Background(), level, ev.Op, attrs...)
 }
 
-// Observer bundles the two instrumentation sinks an engine can carry:
-// a metrics set and a tracer. Either (or both, or the Observer itself)
-// may be nil; engines guard every hook with the nil-safe accessors
-// below, so the disabled path costs only pointer comparisons.
+// traceLevel grades an event: ERROR when it failed, DEBUG for the
+// high-frequency per-node and per-check ops, INFO for the rest.
+func traceLevel(ev TraceEvent) slog.Level {
+	switch {
+	case ev.Err != nil:
+		return slog.LevelError
+	case highFrequencyOp(ev.Op):
+		return slog.LevelDebug
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// highFrequencyOp reports whether op fires many times per commit —
+// the ops worth gating or sampling on the hot path.
+func highFrequencyOp(op string) bool {
+	return op == OpNodeUpdate || op == OpConstraintCheck
+}
+
+// Enabled reports whether the tracer currently wants events of the
+// given op; engines use it to skip building per-node and per-check
+// events (detail strings, timestamps) the sink would discard anyway.
+func (t *slogTracer) Enabled(op string) bool {
+	lvl := slog.LevelInfo
+	if highFrequencyOp(op) {
+		lvl = slog.LevelDebug
+	}
+	return t.l.Enabled(context.Background(), lvl)
+}
+
+// TraceEnabler is the optional interface a Tracer implements to let
+// engines skip assembling events the tracer would drop. Tracers
+// without it receive everything.
+type TraceEnabler interface {
+	Enabled(op string) bool
+}
+
+// TraceEnabled reports whether t wants events of the given op: false
+// for a nil tracer, the TraceEnabler answer when implemented, true
+// otherwise.
+func TraceEnabled(t Tracer, op string) bool {
+	if t == nil {
+		return false
+	}
+	if e, ok := t.(TraceEnabler); ok {
+		return e.Enabled(op)
+	}
+	return true
+}
+
+// samplingTracer forwards 1-in-n high-frequency events.
+type samplingTracer struct {
+	t Tracer
+	n uint64
+	c atomic.Uint64
+}
+
+// NewSamplingTracer wraps t so only one in every n high-frequency
+// events (per-node updates, per-constraint checks) reaches it; errors
+// and low-frequency ops always pass through. n <= 1 returns t
+// unchanged — the sampling knob for keeping a verbose tracer attached
+// to a hot commit path.
+func NewSamplingTracer(t Tracer, n int) Tracer {
+	if t == nil || n <= 1 {
+		return t
+	}
+	return &samplingTracer{t: t, n: uint64(n)}
+}
+
+func (s *samplingTracer) Trace(ev TraceEvent) {
+	if ev.Err == nil && highFrequencyOp(ev.Op) && s.c.Add(1)%s.n != 0 {
+		return
+	}
+	s.t.Trace(ev)
+}
+
+func (s *samplingTracer) Enabled(op string) bool { return TraceEnabled(s.t, op) }
+
+// Observer bundles the instrumentation sinks an engine can carry: a
+// metrics set, a tracer and a span sink. Any subset (or the Observer
+// itself) may be nil; engines guard every hook with the nil-safe
+// accessors below, so the disabled path costs only pointer
+// comparisons.
 type Observer struct {
 	Metrics *Metrics
 	Tracer  Tracer
+	Spans   SpanSink
 }
 
-// Parts returns the observer's sinks, (nil, nil) for a nil observer.
+// Parts returns the observer's metric and trace sinks, (nil, nil) for
+// a nil observer.
 func (o *Observer) Parts() (*Metrics, Tracer) {
 	if o == nil {
 		return nil, nil
@@ -90,7 +171,15 @@ func (o *Observer) Parts() (*Metrics, Tracer) {
 	return o.Metrics, o.Tracer
 }
 
+// SpanSink returns the observer's span sink, nil for a nil observer.
+func (o *Observer) SpanSink() SpanSink {
+	if o == nil {
+		return nil
+	}
+	return o.Spans
+}
+
 // Enabled reports whether any sink is attached.
 func (o *Observer) Enabled() bool {
-	return o != nil && (o.Metrics != nil || o.Tracer != nil)
+	return o != nil && (o.Metrics != nil || o.Tracer != nil || o.Spans != nil)
 }

@@ -249,11 +249,20 @@ func (r *Router) Split(tx *storage.Transaction) []*storage.Transaction {
 // latches the router broken, because the shards may have diverged.
 func (r *Router) Step(t uint64, tx *storage.Transaction) ([]check.Violation, error) {
 	m, tr := r.obs.Parts()
-	if m == nil && tr == nil {
-		return r.step(t, tx, nil)
+	sink := r.obs.SpanSink()
+	if m == nil && tr == nil && sink == nil {
+		return r.step(t, tx, nil, nil)
+	}
+	var span *obs.Span
+	if sink != nil {
+		ops := 0
+		if tx != nil {
+			ops = tx.Len()
+		}
+		span = &obs.Span{Name: obs.SpanCommit, Time: t, Start: time.Now(), Ops: ops}
 	}
 	start := time.Now()
-	vs, err := r.step(t, tx, m)
+	vs, err := r.step(t, tx, m, span)
 	d := time.Since(start)
 	if m != nil {
 		if err != nil {
@@ -270,10 +279,15 @@ func (r *Router) Step(t uint64, tx *storage.Transaction) ([]check.Violation, err
 	if tr != nil {
 		tr.Trace(obs.TraceEvent{Op: obs.OpStep, Time: t, Duration: d, Err: err})
 	}
+	if sink != nil {
+		span.Dur = d
+		span.Err = err
+		sink.ObserveSpan(span)
+	}
 	return vs, err
 }
 
-func (r *Router) step(t uint64, tx *storage.Transaction, m *obs.Metrics) ([]check.Violation, error) {
+func (r *Router) step(t uint64, tx *storage.Transaction, m *obs.Metrics, span *obs.Span) ([]check.Violation, error) {
 	if r.broken != nil {
 		return nil, fmt.Errorf("shard: router unusable after earlier shard failure: %w", r.broken)
 	}
@@ -287,7 +301,11 @@ func (r *Router) step(t uint64, tx *storage.Transaction, m *obs.Metrics) ([]chec
 		// (same op order, its own validation and error text) so a
 		// one-shard router is bit-identical to the engine it wraps.
 		var err error
-		vs, err = r.stepOne(0, t, tx, m)
+		var sp *obs.Span
+		vs, sp, _, err = r.stepOne(0, t, tx, m, span != nil)
+		if span != nil && sp != nil {
+			span.Children = append(span.Children, sp)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -316,15 +334,29 @@ func (r *Router) step(t uint64, tx *storage.Transaction, m *obs.Metrics) ([]chec
 		}
 		outs := make([][]check.Violation, r.n)
 		errs := make([]error, r.n)
+		durs := make([]time.Duration, r.n)
+		sps := make([]*obs.Span, r.n)
 		var wg sync.WaitGroup
 		for i := range r.engines {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				outs[i], errs[i] = r.stepOne(i, t, parts[i], m)
+				outs[i], sps[i], durs[i], errs[i] = r.stepOne(i, t, parts[i], m, span != nil)
 			}(i)
 		}
 		wg.Wait()
+		if span != nil {
+			for _, sp := range sps {
+				if sp != nil {
+					span.Children = append(span.Children, sp)
+				}
+			}
+		}
+		if m != nil {
+			if skew := shardSkew(durs); skew > 0 {
+				m.ShardSkew.Set(skew)
+			}
+		}
 		for i, err := range errs {
 			if err != nil {
 				r.broken = fmt.Errorf("shard %d: %w", i, err)
@@ -340,18 +372,53 @@ func (r *Router) step(t uint64, tx *storage.Transaction, m *obs.Metrics) ([]chec
 }
 
 // stepOne commits one shard's sub-transaction, timing it when observed.
-func (r *Router) stepOne(i int, t uint64, tx *storage.Transaction, m *obs.Metrics) ([]check.Violation, error) {
-	if m == nil {
-		return r.engines[i].Step(t, tx)
+// With wantSpan set it also returns a completed shard.commit span on
+// lane i+1; the caller attaches children after the fan-in, so
+// concurrent shard commits never touch the shared commit span.
+func (r *Router) stepOne(i int, t uint64, tx *storage.Transaction, m *obs.Metrics, wantSpan bool) ([]check.Violation, *obs.Span, time.Duration, error) {
+	if m == nil && !wantSpan {
+		vs, err := r.engines[i].Step(t, tx)
+		return vs, nil, 0, err
 	}
-	label := strconv.Itoa(i)
 	start := time.Now()
 	vs, err := r.engines[i].Step(t, tx)
-	if err == nil {
+	d := time.Since(start)
+	if m != nil && err == nil {
+		label := strconv.Itoa(i)
 		m.ShardCommits.With(label).Inc()
-		m.ShardCommitSeconds.With(label).Observe(time.Since(start).Seconds())
+		m.ShardCommitSeconds.With(label).Observe(d.Seconds())
 	}
-	return vs, err
+	var sp *obs.Span
+	if wantSpan {
+		ops := 0
+		if tx != nil {
+			ops = tx.Len()
+		}
+		sp = &obs.Span{
+			Name: obs.SpanShardCommit, Detail: strconv.Itoa(i),
+			Time: t, Track: i + 1, Start: start, Dur: d, Ops: ops, Err: err,
+		}
+	}
+	return vs, sp, d, err
+}
+
+// shardSkew is the max/min ratio of per-shard sub-commit times — the
+// load-balance figure behind rtic_shard_commit_skew. Zero (unset) when
+// a duration rounded to zero.
+func shardSkew(durs []time.Duration) float64 {
+	min, max := time.Duration(-1), time.Duration(0)
+	for _, d := range durs {
+		if min < 0 || d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if min <= 0 {
+		return 0
+	}
+	return float64(max) / float64(min)
 }
 
 // merge flattens per-shard violation reports into one deterministic

@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"rtic/internal/obs"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+)
+
+// TestRouterCommitSpans checks the sharded span shape: one commit root
+// per Step with a shard.commit child per shard, each on its own track
+// and carrying its shard index.
+func TestRouterCommitSpans(t *testing.T) {
+	s := testSchema(t)
+	r, err := New(s, 3, coreFactory(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddConstraint(parse(t, s, "part", "p(x) -> not once[0,3] q(x)")); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewSpanRecorder(16)
+	r.SetObserver(&obs.Observer{Spans: rec})
+
+	tx := storage.NewTransaction().
+		Insert("p", tuple.Ints(1)).Insert("p", tuple.Ints(2)).Insert("q", tuple.Ints(3))
+	if _, err := r.Step(1, tx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Step(2, storage.NewTransaction().Insert("p", tuple.Ints(4))); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := rec.Snapshot()
+	if len(roots) != 2 {
+		t.Fatalf("recorded %d commit spans, want 2", len(roots))
+	}
+	for i, root := range roots {
+		if root.Name != obs.SpanCommit {
+			t.Fatalf("root %d is %q, want %q", i, root.Name, obs.SpanCommit)
+		}
+		if root.Time != uint64(i+1) {
+			t.Errorf("root %d at t=%d, want %d", i, root.Time, i+1)
+		}
+		if len(root.Children) != 3 {
+			t.Fatalf("root %d has %d shard children, want 3", i, len(root.Children))
+		}
+		seen := map[string]bool{}
+		for _, ch := range root.Children {
+			if ch.Name != obs.SpanShardCommit {
+				t.Errorf("child %q, want %q", ch.Name, obs.SpanShardCommit)
+			}
+			idx, err := strconv.Atoi(ch.Detail)
+			if err != nil || idx < 0 || idx > 2 {
+				t.Errorf("shard child detail %q is not a shard index", ch.Detail)
+			}
+			seen[ch.Detail] = true
+			if ch.Track != idx+1 {
+				t.Errorf("shard %s on track %d, want %d", ch.Detail, ch.Track, idx+1)
+			}
+			if ch.Dur <= 0 {
+				t.Errorf("shard %s span has no duration", ch.Detail)
+			}
+			if ch.Start.Before(root.Start) || ch.Start.Add(ch.Dur).After(root.Start.Add(root.Dur).Add(time.Millisecond)) {
+				t.Errorf("shard %s span escapes its commit", ch.Detail)
+			}
+		}
+		if len(seen) != 3 {
+			t.Errorf("root %d covers shards %v, want all of 0..2", i, seen)
+		}
+	}
+}
+
+// TestRouterShardSkewGauge checks the skew gauge moves after a
+// multi-shard commit: max/min shard duration is >= 1 by construction.
+func TestRouterShardSkewGauge(t *testing.T) {
+	s := testSchema(t)
+	r, err := New(s, 2, coreFactory(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddConstraint(parse(t, s, "part", "p(x) -> not once[0,3] q(x)")); err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewMetrics(obs.NewRegistry())
+	r.SetObserver(&obs.Observer{Metrics: m})
+	for i := 0; i < 8; i++ {
+		tx := storage.NewTransaction().Insert("p", tuple.Ints(int64(i))).Insert("q", tuple.Ints(int64(i+1)))
+		if _, err := r.Step(uint64(i+1), tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if skew := m.ShardSkew.Value(); skew < 1 {
+		t.Errorf("shard skew %v, want >= 1 after multi-shard commits", skew)
+	}
+}
+
+func TestShardSkew(t *testing.T) {
+	cases := []struct {
+		durs []time.Duration
+		want float64
+	}{
+		{nil, 0},
+		{[]time.Duration{time.Millisecond}, 1},
+		{[]time.Duration{time.Millisecond, 4 * time.Millisecond}, 4},
+		{[]time.Duration{0, time.Millisecond}, 0}, // zero min: undefined, reported as 0
+	}
+	for _, c := range cases {
+		if got := shardSkew(c.durs); got != c.want {
+			t.Errorf("shardSkew(%v) = %v, want %v", c.durs, got, c.want)
+		}
+	}
+}

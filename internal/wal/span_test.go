@@ -1,0 +1,71 @@
+package wal
+
+import (
+	"testing"
+
+	"rtic/internal/obs"
+)
+
+// TestAppendEmitsSpans checks the WithSpans hook: every Append emits
+// one wal.append root sized by the frame, and the always-sync policy
+// nests a wal.fsync child inside it.
+func TestAppendEmitsSpans(t *testing.T) {
+	rec := obs.NewSpanRecorder(16)
+	l, _ := tmpLog(t, WithSyncPolicy(SyncAlways), WithSpans(rec))
+	payload := []byte("hello wal")
+	if err := l.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	roots := rec.Snapshot()
+	if len(roots) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(roots))
+	}
+	for i, sp := range roots {
+		if sp.Name != obs.SpanWALAppend {
+			t.Fatalf("span %d is %q, want %q", i, sp.Name, obs.SpanWALAppend)
+		}
+		if sp.Ops != frameHeaderSize+len(payload) {
+			t.Errorf("span %d ops = %d, want frame size %d", i, sp.Ops, frameHeaderSize+len(payload))
+		}
+		if sp.Err != nil {
+			t.Errorf("span %d carries error %v", i, sp.Err)
+		}
+		if sp.Dur <= 0 {
+			t.Errorf("span %d has no duration", i)
+		}
+		if len(sp.Children) != 1 || sp.Children[0].Name != obs.SpanWALFsync {
+			t.Fatalf("span %d children = %+v, want one %q", i, sp.Children, obs.SpanWALFsync)
+		}
+		if fs := sp.Children[0]; fs.Dur <= 0 {
+			t.Errorf("fsync span has no duration")
+		}
+	}
+}
+
+// TestAppendBatchPolicyHasNoFsyncSpan: under batched syncing the
+// append itself does not fsync, so the span has no fsync child.
+func TestAppendBatchPolicyHasNoFsyncSpan(t *testing.T) {
+	rec := obs.NewSpanRecorder(16)
+	l, _ := tmpLog(t, WithSyncPolicy(SyncBatch), WithSpans(rec))
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	roots := rec.Snapshot()
+	if len(roots) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(roots))
+	}
+	if len(roots[0].Children) != 0 {
+		t.Errorf("batch-policy append grew children: %+v", roots[0].Children)
+	}
+}
+
+// TestAppendWithoutSpansIsSilent: no sink, no spans, no panic.
+func TestAppendWithoutSpansIsSilent(t *testing.T) {
+	l, _ := tmpLog(t)
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}

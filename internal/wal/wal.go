@@ -122,6 +122,7 @@ type logOptions struct {
 	policy   SyncPolicy
 	interval time.Duration
 	metrics  *obs.Metrics
+	spans    obs.SpanSink
 }
 
 // WithSyncPolicy selects the sync policy (default SyncAlways).
@@ -140,12 +141,21 @@ func WithMetrics(m *obs.Metrics) Option {
 	return func(o *logOptions) { o.metrics = m }
 }
 
+// WithSpans attaches a span sink: every Append emits a wal.append span
+// (Ops = framed bytes) with a wal.fsync child under SyncAlways, so the
+// durability cost of a commit shows up in the same trace as its
+// engine phases.
+func WithSpans(s obs.SpanSink) Option {
+	return func(o *logOptions) { o.spans = s }
+}
+
 // Log is an append-only, checksummed record log. All methods are safe
 // for concurrent use.
 type Log struct {
 	path    string
 	policy  SyncPolicy
 	metrics *obs.Metrics
+	spans   obs.SpanSink
 
 	mu      sync.Mutex
 	f       file
@@ -193,7 +203,7 @@ func newLog(f file, path string, size int64, o logOptions) (*Log, error) {
 	if o.interval <= 0 {
 		o.interval = 100 * time.Millisecond
 	}
-	l := &Log{path: path, policy: o.policy, metrics: o.metrics, f: f, size: size}
+	l := &Log{path: path, policy: o.policy, metrics: o.metrics, spans: o.spans, f: f, size: size}
 	if size == 0 {
 		if _, err := f.Write(magic[:]); err != nil {
 			return nil, fmt.Errorf("wal: writing header: %w", err)
@@ -309,6 +319,22 @@ func (l *Log) Append(payload []byte) error {
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
 	copy(frame[frameHeaderSize:], payload)
 
+	var sp *obs.Span
+	if l.spans != nil {
+		sp = &obs.Span{Name: obs.SpanWALAppend, Start: time.Now(), Ops: len(frame)}
+	}
+	err := l.appendFrame(frame, sp)
+	if sp != nil {
+		sp.End()
+		sp.Err = err
+		l.spans.ObserveSpan(sp)
+	}
+	return err
+}
+
+// appendFrame writes one framed record under the log lock; sp (may be
+// nil) collects the fsync child under SyncAlways.
+func (l *Log) appendFrame(frame []byte, sp *obs.Span) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.broken != nil {
@@ -337,6 +363,13 @@ func (l *Log) Append(payload []byte) error {
 		m.WALSizeBytes.Set(l.size)
 	}
 	if l.policy == SyncAlways {
+		if sp != nil {
+			fs := sp.Child(obs.SpanWALFsync, "")
+			err := l.syncLocked()
+			fs.End()
+			fs.Err = err
+			return err
+		}
 		return l.syncLocked()
 	}
 	return nil

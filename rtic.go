@@ -223,6 +223,33 @@ func NewMetrics(r *Registry) *Metrics { return obs.NewMetrics(r) }
 // through l (nil means slog.Default()).
 func NewSlogTracer(l *slog.Logger) Tracer { return obs.NewSlogTracer(l) }
 
+// NewSamplingTracer wraps t so only one in every n high-frequency
+// events (per-node updates, per-constraint checks) reaches it; errors
+// and low-frequency events always pass through.
+func NewSamplingTracer(t Tracer, n int) Tracer { return obs.NewSamplingTracer(t, n) }
+
+// Span is one timed section of the commit path. Spans form a tree
+// rooted at a commit: per-phase children (apply, update, check,
+// carry), per-worker and per-shard sub-spans, WAL append/fsync spans.
+type Span = obs.Span
+
+// SpanSink receives completed commit span trees; set it on
+// Observer.Spans. See NewSpanRecorder and WriteChromeTrace.
+type SpanSink = obs.SpanSink
+
+// SpanRecorder is a SpanSink keeping the last N commit span trees in a
+// ring buffer.
+type SpanRecorder = obs.SpanRecorder
+
+// NewSpanRecorder returns a recorder keeping the last capacity commit
+// span trees (capacity <= 0 selects 4096).
+func NewSpanRecorder(capacity int) *SpanRecorder { return obs.NewSpanRecorder(capacity) }
+
+// WriteChromeTrace writes recorded span trees as Chrome trace_event
+// JSON — the format chrome://tracing and ui.perfetto.dev open
+// directly.
+func WriteChromeTrace(w io.Writer, roots []*Span) error { return obs.WriteChromeTrace(w, roots) }
+
 // WithObserver attaches instrumentation to the checker: metric updates
 // and trace events from the engine's hot paths. A nil observer (or one
 // with nil sinks) costs nothing beyond pointer checks per commit.
