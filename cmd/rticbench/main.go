@@ -11,10 +11,11 @@
 // single experiment by its id. -json additionally writes the run as a
 // schema'd BENCH_<date>.json (see docs/OBSERVABILITY.md). -trace-out
 // records every commit's span tree and writes a Chrome trace-event file
-// loadable in chrome://tracing or Perfetto. -compare matches the
-// duration cells of two result files and exits nonzero when any got
-// more than -regress-factor times slower. -validate checks a result
-// file against the schema and exits.
+// loadable in chrome://tracing or Perfetto. -compare matches the cells
+// of two result files and exits nonzero when any duration cell got more
+// than -regress-factor times slower or any allocation-count cell more
+// than doubled (bench.AllocFactor). -validate checks a result file
+// against the schema and exits.
 package main
 
 import (

@@ -21,6 +21,7 @@ import (
 
 	"rtic/internal/fol"
 	"rtic/internal/mtl"
+	"rtic/internal/plan"
 	"rtic/internal/schema"
 	"rtic/internal/storage"
 	"rtic/internal/tuple"
@@ -53,6 +54,16 @@ type Rule struct {
 	// previous commit exists). May be nil for parameterless rules.
 	BindParams func(now, last uint64, started bool) map[string]value.Value
 	Actions    []Action
+
+	// Compiled-condition state, built lazily at the first firing (the
+	// parameter names are only known then). Conditions whose shape
+	// defeats plan compilation, or whose parameter set varies across
+	// firings, evaluate through Substitute plus the tree-walking
+	// evaluator instead.
+	planTried bool
+	plan      *plan.Plan
+	planIn    []string
+	envBuf    fol.Env
 }
 
 // Engine is the active database: a state over base+managed relations and
@@ -144,14 +155,37 @@ func (nullOracle) Test(f mtl.Formula, _ fol.Env) (bool, error) {
 
 func (e *Engine) fire(r *Rule, now uint64) error {
 	e.firings++
-	cond := r.Condition
 	var params map[string]value.Value
 	if r.BindParams != nil {
 		params = r.BindParams(now, e.now, e.started)
-		cond = mtl.Substitute(cond, params)
 	}
-	ev := fol.NewEvaluator(e.st, nullOracle{})
-	b, err := ev.Eval(cond)
+	if !r.planTried {
+		r.planTried = true
+		in := paramNames(params)
+		if p, err := plan.Compile(r.Condition, e.st, in); err == nil {
+			r.plan, r.planIn = p, in
+		}
+	}
+	var b *fol.Bindings
+	var err error
+	if r.plan != nil && sameParamNames(params, r.planIn) {
+		// Compiled path: the parameters are the plan's inputs, so the
+		// same plan serves every firing without re-substitution.
+		if r.envBuf == nil {
+			r.envBuf = make(fol.Env, len(params))
+		}
+		for k, v := range params {
+			r.envBuf[k] = v
+		}
+		b, err = r.plan.Eval(e.st, nullOracle{}, r.envBuf)
+	} else {
+		cond := r.Condition
+		if params != nil {
+			cond = mtl.Substitute(cond, params)
+		}
+		ev := fol.NewEvaluator(e.st, nullOracle{})
+		b, err = ev.Eval(cond)
+	}
 	if err != nil {
 		return err
 	}
@@ -194,6 +228,33 @@ func (e *Engine) fire(r *Rule, now uint64) error {
 		return err
 	}
 	return e.st.Apply(apply)
+}
+
+// paramNames returns the sorted parameter names of one firing.
+func paramNames(params map[string]value.Value) []string {
+	if len(params) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(params))
+	for k := range params {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sameParamNames reports whether params covers exactly the names the
+// rule's plan was compiled with.
+func sameParamNames(params map[string]value.Value, in []string) bool {
+	if len(params) != len(in) {
+		return false
+	}
+	for _, k := range in {
+		if _, ok := params[k]; !ok {
+			return false
+		}
+	}
+	return true
 }
 
 func resolveActionTerm(t mtl.Term, env fol.Env, params map[string]value.Value) (value.Value, error) {

@@ -85,10 +85,11 @@ func (t *Table) Render(w io.Writer) {
 
 // replayResult carries the measurements of one replay.
 type replayResult struct {
-	nsPerStepAll  float64 // average over all steps
-	nsPerStepTail float64 // average over the final 10% (steady state)
-	violations    int
-	totalNs       int64
+	nsPerStepAll      float64 // average over all steps
+	nsPerStepTail     float64 // average over the final 10% (steady state)
+	allocsPerStepTail float64 // heap allocations per step over the tail
+	violations        int
+	totalNs           int64
 }
 
 type stepFn func(t uint64, s workload.Step) ([]check.Violation, error)
@@ -105,7 +106,13 @@ func replay(h workload.History, step stepFn) (replayResult, error) {
 	}
 	var tailNs int64
 	tailCount := 0
+	var m0, m1 runtime.MemStats
 	for i, s := range h.Steps {
+		if i == tailStart {
+			// Snapshot the malloc counter outside the timed region; the
+			// delta over the tail is the steady-state allocs/tx.
+			runtime.ReadMemStats(&m0)
+		}
 		t0 := time.Now()
 		vs, err := step(s.Time, s)
 		d := time.Since(t0).Nanoseconds()
@@ -123,7 +130,9 @@ func replay(h workload.History, step stepFn) (replayResult, error) {
 		res.nsPerStepAll = float64(res.totalNs) / float64(n)
 	}
 	if tailCount > 0 {
+		runtime.ReadMemStats(&m1)
 		res.nsPerStepTail = float64(tailNs) / float64(tailCount)
+		res.allocsPerStepTail = float64(m1.Mallocs-m0.Mallocs) / float64(tailCount)
 	}
 	return res, nil
 }

@@ -3,9 +3,17 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 )
 
-// Delta is one matched duration cell across two benchmark runs.
+// AllocFactor is the regression threshold for allocation-count cells
+// (unit "count" in a column whose header mentions "alloc"). Allocation
+// counts are near-deterministic — they do not move with host speed or
+// scheduler noise the way durations do — so the gate is much tighter
+// than the duration factor.
+const AllocFactor = 2.0
+
+// Delta is one matched cell across two benchmark runs.
 type Delta struct {
 	Table  string  `json:"table"`
 	Row    string  `json:"row"`
@@ -15,21 +23,24 @@ type Delta struct {
 	Old    float64 `json:"old_ns"`
 	New    float64 `json:"new_ns"`
 	Ratio  float64 `json:"ratio"` // new/old; >1 is slower
+	Limit  float64 `json:"limit"` // threshold this cell was held to
 }
 
 // Report is the outcome of comparing two benchmark runs.
 type Report struct {
 	Factor      float64  `json:"factor"`
-	Deltas      []Delta  `json:"deltas"`            // every matched ns cell
-	Regressions []Delta  `json:"regressions"`       // subset with Ratio > Factor
+	Deltas      []Delta  `json:"deltas"`            // every matched cell
+	Regressions []Delta  `json:"regressions"`       // subset with Ratio > Limit
 	Missing     []string `json:"missing,omitempty"` // tables/rows present before, gone now
 }
 
-// Compare matches the two runs' duration cells — tables by ID, rows by
-// key, columns by header — and flags every cell that got more than
-// factor times slower. Only cells with unit "ns" participate: ratios,
-// counts and byte sizes move for legitimate reasons (different host,
-// different GOMAXPROCS) and host-to-host noise would drown the signal.
+// Compare matches the two runs' cells — tables by ID, rows by key,
+// columns by header — and flags regressions. Two kinds of cell
+// participate: durations (unit "ns"), held to the given factor, and
+// allocation counts (unit "count" in an "alloc" column), held to the
+// fixed AllocFactor. Other ratios, counts and byte sizes move for
+// legitimate reasons (different host, different GOMAXPROCS) and
+// host-to-host noise would drown the signal.
 func Compare(old, new Result, factor float64) Report {
 	if factor <= 1 {
 		factor = 3
@@ -60,7 +71,16 @@ func Compare(old, new Result, factor float64) Report {
 				continue
 			}
 			for i, oc := range orow.Cells {
-				if oc.Unit != "ns" || oc.Value <= 0 || i >= len(ot.Columns) {
+				if oc.Value <= 0 || i >= len(ot.Columns) {
+					continue
+				}
+				var limit float64
+				switch {
+				case oc.Unit == "ns":
+					limit = factor
+				case oc.Unit == "count" && strings.Contains(ot.Columns[i], "alloc"):
+					limit = AllocFactor
+				default:
 					continue
 				}
 				j, ok := newCol[ot.Columns[i]]
@@ -68,16 +88,17 @@ func Compare(old, new Result, factor float64) Report {
 					continue
 				}
 				nc := nrow.Cells[j]
-				if nc.Unit != "ns" || nc.Value <= 0 {
+				if nc.Unit != oc.Unit || nc.Value <= 0 {
 					continue
 				}
 				d := Delta{
 					Table: ot.ID, Row: orow.Key, Column: ot.Columns[i],
 					OldRaw: oc.Raw, NewRaw: nc.Raw,
 					Old: oc.Value, New: nc.Value, Ratio: nc.Value / oc.Value,
+					Limit: limit,
 				}
 				rep.Deltas = append(rep.Deltas, d)
-				if d.Ratio > factor {
+				if d.Ratio > limit {
 					rep.Regressions = append(rep.Regressions, d)
 				}
 			}
@@ -93,17 +114,17 @@ func (r Report) OK() bool { return len(r.Regressions) == 0 }
 // first, then every matched cell.
 func (r Report) Render(w io.Writer) {
 	if len(r.Regressions) > 0 {
-		fmt.Fprintf(w, "REGRESSIONS (> %.1fx slower):\n", r.Factor)
+		fmt.Fprintf(w, "REGRESSIONS:\n")
 		for _, d := range r.Regressions {
-			fmt.Fprintf(w, "  %s / %s / %s: %s -> %s (%.2fx)\n", d.Table, d.Row, d.Column, d.OldRaw, d.NewRaw, d.Ratio)
+			fmt.Fprintf(w, "  %s / %s / %s: %s -> %s (%.2fx, limit %.1fx)\n", d.Table, d.Row, d.Column, d.OldRaw, d.NewRaw, d.Ratio, d.Limit)
 		}
 	} else {
-		fmt.Fprintf(w, "no regressions beyond %.1fx\n", r.Factor)
+		fmt.Fprintf(w, "no regressions beyond %.1fx (durations) / %.1fx (allocs)\n", r.Factor, AllocFactor)
 	}
 	for _, m := range r.Missing {
 		fmt.Fprintf(w, "  missing in new run: %s\n", m)
 	}
-	fmt.Fprintf(w, "%d duration cells compared:\n", len(r.Deltas))
+	fmt.Fprintf(w, "%d cells compared:\n", len(r.Deltas))
 	for _, d := range r.Deltas {
 		fmt.Fprintf(w, "  %s / %s / %s: %s -> %s (%.2fx)\n", d.Table, d.Row, d.Column, d.OldRaw, d.NewRaw, d.Ratio)
 	}

@@ -25,8 +25,8 @@ func Table1HistoryLength(quick bool) (Table, error) {
 	t := Table{
 		ID:      "Table 1",
 		Title:   "per-transaction check cost vs history length (unbounded window)",
-		Columns: []string{"history n", "incremental ns/tx", "naive ns/tx", "naive/incremental"},
-		Notes:   "constraint: p(x) -> not once q(x); steady-state cost over the final 10% of transactions",
+		Columns: []string{"history n", "incremental ns/tx", "naive ns/tx", "naive/incremental", "incremental allocs/tx", "naive allocs/tx"},
+		Notes:   "constraint: p(x) -> not once q(x); steady-state cost and heap allocations over the final 10% of transactions",
 	}
 	for _, n := range histLengths(quick) {
 		h := workload.Uniform(workload.UniformConfig{Steps: n, Seed: 42, OpsPerTx: 1, Domain: 8})
@@ -46,6 +46,8 @@ func Table1HistoryLength(quick bool) (Table, error) {
 			ns(inc.nsPerStepTail),
 			ns(nv.nsPerStepTail),
 			ratio(nv.nsPerStepTail, inc.nsPerStepTail),
+			fmt.Sprintf("%.0f", inc.allocsPerStepTail),
+			fmt.Sprintf("%.0f", nv.allocsPerStepTail),
 		})
 	}
 	return t, nil

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os/exec"
 	"runtime"
 	"runtime/debug"
@@ -101,7 +102,10 @@ func ParseCell(raw string) Cell {
 		}
 		return c
 	}
-	if v, err := strconv.ParseFloat(s, 64); err == nil {
+	// ParseFloat accepts "inf" and "nan" (Table 2's unbounded-window row
+	// key is "inf"), but JSON cannot encode non-finite numbers — keep
+	// those as text cells.
+	if v, err := strconv.ParseFloat(s, 64); err == nil && !math.IsInf(v, 0) && !math.IsNaN(v) {
 		c.Value, c.Unit = v, "count"
 	}
 	return c

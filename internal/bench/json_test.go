@@ -26,6 +26,7 @@ func TestParseCell(t *testing.T) {
 		{"59.1x", 59.1, "ratio"},
 		{"0.1%", 0.1, "percent"},
 		{"1000", 1000, "count"},
+		{"inf", 0, ""},        // non-finite parses stay text: JSON cannot encode them
 		{"12 parsecs", 0, ""}, // unknown unit stays a text cell
 	}
 	for _, c := range cases {
@@ -146,6 +147,29 @@ func TestCompare(t *testing.T) {
 	fast[0].Rows[0][1] = "4.4 µs"
 	if rep := Compare(old, NewResult(fast, false, 4), 3); !rep.OK() {
 		t.Errorf("speedup flagged as regression: %+v", rep.Regressions)
+	}
+
+	// Allocation-count cells are held to the tighter fixed gate: a 2.5x
+	// growth in an "alloc" column is a regression even though it is well
+	// under the duration factor, and count cells in other columns stay
+	// exempt.
+	allocTables := func(incAllocs, histN string) []Table {
+		t := sampleTables()
+		t[0].Columns = append(t[0].Columns, "incremental allocs/tx", "aux entries")
+		t[0].Rows[0] = append(t[0].Rows[0], incAllocs, histN)
+		t[0].Rows[1] = append(t[0].Rows[1], "12", "600")
+		return t
+	}
+	allocOld := NewResult(allocTables("10", "300"), false, 6)
+	rep = Compare(allocOld, NewResult(allocTables("25", "900"), false, 7), 3)
+	if rep.OK() || len(rep.Regressions) != 1 {
+		t.Fatalf("2.5x alloc growth not flagged (or non-alloc count flagged): %+v", rep.Regressions)
+	}
+	if d := rep.Regressions[0]; d.Column != "incremental allocs/tx" || d.Limit != AllocFactor {
+		t.Errorf("alloc regression at %q limit %v, want alloc column at %v", d.Column, d.Limit, AllocFactor)
+	}
+	if rep := Compare(allocOld, NewResult(allocTables("15", "300"), false, 8), 3); !rep.OK() {
+		t.Errorf("1.5x alloc growth flagged: %+v", rep.Regressions)
 	}
 
 	// Disappearing tables and rows are reported, not silently skipped.

@@ -6,6 +6,7 @@ import (
 
 	"rtic/internal/fol"
 	"rtic/internal/mtl"
+	"rtic/internal/plan"
 	"rtic/internal/tuple"
 )
 
@@ -21,13 +22,30 @@ import (
 //     state i+1 (only prev nodes defer work to phase B: their stored
 //     enumeration must keep answering for state i while other nodes —
 //     and the constraint check — still run against state i).
+//
+// Nodes additionally maintain their answer *as a set* across commits:
+// enumerate at the current time returns the maintained set without
+// rebuilding it, dirty reports whether the answer changed in the latest
+// commit, and answerDelta exposes the exact rows that entered and left
+// it — the inputs of the checker's delta-driven constraint evaluation.
 type auxNode interface {
 	formula() mtl.Formula
-	phaseA(ev *fol.Evaluator, t uint64) error
-	phaseBCompute(ev *fol.Evaluator, t uint64) error
+	phaseA(sc *stepCtx, ev *fol.Evaluator, t uint64) error
+	phaseBCompute(sc *stepCtx, ev *fol.Evaluator, t uint64) error
 	phaseBCommit(t uint64)
 	enumerate(now uint64) (*fol.Bindings, error)
 	test(env fol.Env, now uint64) (bool, error)
+	// testKey decides the node under the binding whose tuple.Key encoding
+	// (aligned with the node's sorted free variables) is key — the
+	// allocation-free probe of plan execution.
+	testKey(key []byte, now uint64) (bool, error)
+	// dirty reports whether the node's answer changed in the last commit.
+	dirty() bool
+	// answerDelta returns the rows that entered and left the answer in
+	// the last commit. exact is false when the node does not track the
+	// delta row-by-row (prev nodes); callers must then fall back to full
+	// evaluation whenever the node is dirty.
+	answerDelta() (added, removed []tuple.Tuple, exact bool)
 	stats() NodeStats
 }
 
@@ -39,12 +57,32 @@ type NodeStats struct {
 	Bytes      int // estimated footprint
 }
 
+// nodeDeps is the read-set every node derives at registration time: the
+// relations its formulas read directly, its child nodes, and whether the
+// refresh fast path is sound for it (no universal quantification — see
+// domainDependent). srcPlan holds the compiled query plan of the node's
+// update formula when its shape is plannable; nil falls back to the
+// tree-walking evaluator.
+type nodeDeps struct {
+	srcRels  []string
+	children []auxNode
+	domDep   bool
+}
+
+// clean reports whether nothing the node reads changed in this commit.
+func (d *nodeDeps) clean(sc *stepCtx) bool {
+	return sc != nil && sc.planned && !d.domDep &&
+		!sc.relsChanged(d.srcRels) && !anyDirty(d.children)
+}
+
 // prevNode implements ⊖_I φ: it stores the enumeration of φ in the
 // previous state together with the previous timestamp — one state's
 // worth of bindings, never more.
 type prevNode struct {
 	n     *mtl.Prev
 	fvars []string
+	deps  nodeDeps
+	fPlan *plan.Plan
 
 	stored     *fol.Bindings
 	storedTime uint64
@@ -52,6 +90,13 @@ type prevNode struct {
 
 	pending     *fol.Bindings
 	pendingTime uint64
+
+	// lastServed is the answer the node served in the previous commit;
+	// comparing against the current answer yields the dirty bit. Prev
+	// nodes do not track row-level answer deltas (answerDelta is
+	// inexact): the answer can swap wholesale every step.
+	lastServed *fol.Bindings
+	dirtyBit   bool
 }
 
 func newPrevNode(n *mtl.Prev) *prevNode {
@@ -60,10 +105,52 @@ func newPrevNode(n *mtl.Prev) *prevNode {
 
 func (p *prevNode) formula() mtl.Formula { return p.n }
 
-func (p *prevNode) phaseA(*fol.Evaluator, uint64) error { return nil }
+// phaseA computes the dirty bit: the answer served for this state vs the
+// previous one. The stored enumeration itself only advances in phase B.
+func (p *prevNode) phaseA(sc *stepCtx, ev *fol.Evaluator, t uint64) error {
+	cur, err := p.enumerate(t)
+	if err != nil {
+		return err
+	}
+	p.dirtyBit = !bindingsEqual(p.lastServed, cur)
+	p.lastServed = cur
+	return nil
+}
 
-func (p *prevNode) phaseBCompute(ev *fol.Evaluator, t uint64) error {
-	b, err := ev.Eval(p.n.F)
+func bindingsEqual(a, b *fol.Bindings) bool {
+	if a == b {
+		return true
+	}
+	if a == nil {
+		return b.Empty()
+	}
+	if b == nil {
+		return a.Empty()
+	}
+	return a.Equal(b)
+}
+
+func (p *prevNode) phaseBCompute(sc *stepCtx, ev *fol.Evaluator, t uint64) error {
+	// Refresh fast path: when nothing φ reads changed in this commit,
+	// φ's enumeration in the new state equals the stored one — alias it
+	// (bindings are immutable once published).
+	if p.has && p.deps.clean(sc) {
+		p.pending, p.pendingTime = p.stored, t
+		return nil
+	}
+	var b *fol.Bindings
+	var err error
+	if p.fPlan != nil && sc != nil && sc.planned {
+		b, err = p.fPlan.Eval(sc.c.cur, sc.orc, nil)
+	} else {
+		b, err = ev.Eval(p.n.F)
+		if err == nil {
+			// The evaluator may hand back a child node's maintained
+			// answer (φ a bare temporal subformula); that set mutates in
+			// place on later commits, so snapshot before retaining.
+			b = b.Clone()
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("core: prev %q: %w", p.n.String(), err)
 	}
@@ -90,6 +177,19 @@ func (p *prevNode) test(env fol.Env, now uint64) (bool, error) {
 	return p.stored.Contains(env)
 }
 
+func (p *prevNode) testKey(key []byte, now uint64) (bool, error) {
+	if !p.has || !p.n.I.Contains(now-p.storedTime) {
+		return false, nil
+	}
+	return p.stored.ContainsKeyBytes(key), nil
+}
+
+func (p *prevNode) dirty() bool { return p.dirtyBit }
+
+func (p *prevNode) answerDelta() ([]tuple.Tuple, []tuple.Tuple, bool) {
+	return nil, nil, false
+}
+
 func (p *prevNode) stats() NodeStats {
 	s := NodeStats{Formula: p.n.String()}
 	if p.has {
@@ -103,9 +203,15 @@ func (p *prevNode) stats() NodeStats {
 // of a since/once subformula: the timestamps t_j at which the anchor ψ
 // held with the chain φ unbroken since, pruned to the metric window
 // (a single timestamp suffices when the window is unbounded above).
+// inRB and keep cache the entry's last evaluated recurrence inputs
+// (row ∈ ⟦ψ⟧? and θ ⊨ φ?) so commits that touch nothing the node reads
+// can replay the recurrence without re-evaluating either formula.
 type sinceEntry struct {
 	row   tuple.Tuple
 	times []uint64 // ascending
+	inRB  bool
+	keep  bool
+	stamp uint64 // t+1 of the commit that created the entry
 }
 
 // sinceNode implements φ S_I ψ (and once_I ψ, with φ = true) via the
@@ -118,11 +224,27 @@ type sinceNode struct {
 	vars  []string // fv(node), sorted; equals fv(right) by safety
 	lvars []string
 
+	deps      nodeDeps
+	rightPlan *plan.Plan
+
 	// noPrune disables the bounded-encoding pruning rules (the space
 	// ablation); answers are unchanged, storage grows with history.
 	noPrune bool
 
 	entries map[string]*sinceEntry
+
+	// The maintained answer: ans holds exactly the rows satisfied at
+	// lastT (valid once primed), added/removed the rows that entered and
+	// left it in the last commit. envBuf and keyBuf are single-goroutine
+	// scratch (one goroutine updates a node per commit).
+	ans     *fol.Bindings
+	lastT   uint64
+	primed  bool
+	dirtied bool
+	added   []tuple.Tuple
+	removed []tuple.Tuple
+	envBuf  fol.Env
+	keyBuf  []byte
 }
 
 func newOnceNode(n *mtl.Once) (*sinceNode, error) {
@@ -154,6 +276,7 @@ func newSinceLike(node mtl.Formula, iv mtl.Interval, left, right mtl.Formula) (*
 		vars:    vars,
 		lvars:   mtl.FreeVars(left),
 		entries: make(map[string]*sinceEntry),
+		ans:     fol.NewBindings(vars),
 	}, nil
 }
 
@@ -164,54 +287,161 @@ func (s *sinceNode) isOnce() bool {
 	return ok && t.Bool
 }
 
-func (s *sinceNode) phaseA(ev *fol.Evaluator, t uint64) error {
-	rb, err := ev.Eval(s.right)
-	if err != nil {
-		return fmt.Errorf("core: %q: %w", s.node.String(), err)
-	}
-	if !sameStrings(rb.Vars(), s.vars) {
-		return fmt.Errorf("core: %q: right-hand side bound %v, node needs %v",
-			s.node.String(), rb.Vars(), s.vars)
+func (s *sinceNode) phaseA(sc *stepCtx, ev *fol.Evaluator, t uint64) error {
+	s.added = s.added[:0]
+	s.removed = s.removed[:0]
+
+	// Refresh fast path: nothing the recurrence reads changed, so each
+	// entry's cached inRB/keep inputs still hold — replay the recurrence
+	// from the cache. Aging (times entering and leaving the metric
+	// window) still runs, so answers stay exact.
+	if s.primed && s.deps.clean(sc) {
+		s.refresh(t)
+		s.finish(t)
+		return nil
 	}
 
+	for _, e := range s.entries {
+		e.inRB = false
+	}
+
+	// Enumerate ⟦ψ⟧ in the new state: mark surviving entries, create
+	// fresh anchors. The compiled plan streams rows without materializing
+	// the binding set; the tree-walking evaluator is the fallback.
+	newRow := func(row tuple.Tuple, key []byte) error {
+		if e, ok := s.entries[string(key)]; ok {
+			e.inRB = true
+			return nil
+		}
+		e := &sinceEntry{row: row.Clone(), times: []uint64{t}, inRB: true, keep: true, stamp: t + 1}
+		s.entries[string(key)] = e
+		if s.iv.Contains(0) {
+			if err := s.ans.AddRow(e.row); err != nil {
+				return err
+			}
+			s.added = append(s.added, e.row)
+		}
+		return nil
+	}
+	if s.rightPlan != nil && sc != nil && sc.planned {
+		var emitErr error
+		err := s.rightPlan.Execute(sc.c.cur, sc.orc, nil, func(row tuple.Tuple) bool {
+			s.keyBuf = row.AppendKeyTo(s.keyBuf[:0])
+			if e := newRow(row, s.keyBuf); e != nil {
+				emitErr = e
+				return false
+			}
+			return true
+		})
+		if err == nil {
+			err = emitErr
+		}
+		if err != nil {
+			return fmt.Errorf("core: %q: %w", s.node.String(), err)
+		}
+	} else {
+		rb, err := ev.Eval(s.right)
+		if err != nil {
+			return fmt.Errorf("core: %q: %w", s.node.String(), err)
+		}
+		if !sameStrings(rb.Vars(), s.vars) {
+			return fmt.Errorf("core: %q: right-hand side bound %v, node needs %v",
+				s.node.String(), rb.Vars(), s.vars)
+		}
+		var rowErr error
+		rb.EachRow(func(row tuple.Tuple) bool {
+			s.keyBuf = row.AppendKeyTo(s.keyBuf[:0])
+			if e := newRow(row, s.keyBuf); e != nil {
+				rowErr = e
+				return false
+			}
+			return true
+		})
+		if rowErr != nil {
+			return rowErr
+		}
+	}
+
+	// Update surviving entries per the recurrence, re-evaluating the
+	// chain φ, and maintain the answer set.
 	once := s.isOnce()
 	lPos := varPositions(s.vars, s.lvars)
-	env := make(fol.Env, len(s.lvars))
-
-	// Update surviving entries per the recurrence.
+	if s.envBuf == nil {
+		s.envBuf = make(fol.Env, len(s.lvars)+1)
+	}
 	for key, e := range s.entries {
 		keep := once
 		if !once {
 			for i, p := range lPos {
-				env[s.lvars[i]] = e.row[p]
+				s.envBuf[s.lvars[i]] = e.row[p]
 			}
-			ok, err := ev.Test(s.left, env)
+			ok, err := ev.Test(s.left, s.envBuf)
 			if err != nil {
 				return fmt.Errorf("core: %q: testing chain: %w", s.node.String(), err)
 			}
 			keep = ok
 		}
-		if !keep {
-			e.times = e.times[:0]
+		// Cache the chain's truth for the refresh fast path — fresh
+		// anchors included: their recurrence ignores φ this commit (times
+		// is just {t}), but the next clean commit replays from the cache.
+		e.keep = keep
+		if e.stamp == t+1 {
+			continue // created above; times already [t], answer updated
 		}
-		if rb.ContainsRow(e.row) {
-			e.times = append(e.times, t)
-		}
-		s.prune(e, t)
-		if len(e.times) == 0 {
-			delete(s.entries, key)
+		if err := s.applyRecurrence(key, e, keep, t); err != nil {
+			return err
 		}
 	}
-
-	// Fresh anchors.
-	rb.EachRow(func(row tuple.Tuple) bool {
-		key := row.Key()
-		if _, ok := s.entries[key]; !ok {
-			s.entries[key] = &sinceEntry{row: row.Clone(), times: []uint64{t}}
-		}
-		return true
-	})
+	s.finish(t)
 	return nil
+}
+
+// applyRecurrence replays one entry's recurrence step from keep/inRB,
+// prunes, deletes empty entries, and maintains the answer set.
+func (s *sinceNode) applyRecurrence(key string, e *sinceEntry, keep bool, t uint64) error {
+	before := s.ans.ContainsKey(key)
+	if !keep {
+		e.times = e.times[:0]
+	}
+	if e.inRB {
+		e.times = append(e.times, t)
+	}
+	s.prune(e, t)
+	after := len(e.times) > 0 && s.satisfied(e, t)
+	if len(e.times) == 0 {
+		delete(s.entries, key)
+	}
+	if before && !after {
+		s.ans.RemoveKey(key)
+		s.removed = append(s.removed, e.row)
+	} else if !before && after {
+		if err := s.ans.AddRow(e.row); err != nil {
+			return err
+		}
+		s.added = append(s.added, e.row)
+	}
+	return nil
+}
+
+// refresh replays the recurrence for every entry from the cached
+// inRB/keep flags — no formula evaluation, no fresh anchors (an
+// unchanged ⟦ψ⟧ cannot contain a row without an entry: every ⟦ψ⟧ row is
+// an entry with inRB set, and inRB entries always retain the current
+// timestamp and so are never deleted).
+func (s *sinceNode) refresh(t uint64) {
+	once := s.isOnce()
+	for key, e := range s.entries {
+		// applyRecurrence cannot error here: it only errors on AddRow of
+		// a stable entry row, whose arity matched when first added.
+		_ = s.applyRecurrence(key, e, once || e.keep, t)
+	}
+}
+
+// finish seals the commit: answers now served for time t.
+func (s *sinceNode) finish(t uint64) {
+	s.lastT = t
+	s.primed = true
+	s.dirtied = len(s.added)+len(s.removed) > 0
 }
 
 // prune enforces the bounded history encoding: timestamps older than the
@@ -237,8 +467,8 @@ func (s *sinceNode) prune(e *sinceEntry, now uint64) {
 	}
 }
 
-func (s *sinceNode) phaseBCompute(*fol.Evaluator, uint64) error { return nil }
-func (s *sinceNode) phaseBCommit(uint64)                        {}
+func (s *sinceNode) phaseBCompute(*stepCtx, *fol.Evaluator, uint64) error { return nil }
+func (s *sinceNode) phaseBCommit(uint64)                                  {}
 
 func (s *sinceNode) satisfied(e *sinceEntry, now uint64) bool {
 	for _, tm := range e.times {
@@ -250,6 +480,9 @@ func (s *sinceNode) satisfied(e *sinceEntry, now uint64) bool {
 }
 
 func (s *sinceNode) enumerate(now uint64) (*fol.Bindings, error) {
+	if s.primed && now == s.lastT {
+		return s.ans, nil
+	}
 	out := fol.NewBindings(s.vars)
 	for _, e := range s.entries {
 		if s.satisfied(e, now) {
@@ -286,6 +519,20 @@ func (s *sinceNode) test(env fol.Env, now uint64) (bool, error) {
 	return s.satisfied(e, now), nil
 }
 
+func (s *sinceNode) testKey(key []byte, now uint64) (bool, error) {
+	if s.primed && now == s.lastT {
+		return s.ans.ContainsKeyBytes(key), nil
+	}
+	e, ok := s.entries[string(key)]
+	return ok && s.satisfied(e, now), nil
+}
+
+func (s *sinceNode) dirty() bool { return s.dirtied }
+
+func (s *sinceNode) answerDelta() ([]tuple.Tuple, []tuple.Tuple, bool) {
+	return s.added, s.removed, true
+}
+
 func (s *sinceNode) stats() NodeStats {
 	st := NodeStats{Formula: s.node.String(), Entries: len(s.entries)}
 	for _, e := range s.entries {
@@ -298,6 +545,23 @@ func (s *sinceNode) stats() NodeStats {
 // Invariants returns an error if the node's internal invariants are
 // broken; the property tests call it after every step.
 func (s *sinceNode) invariants(now uint64) error {
+	if s.primed && now == s.lastT {
+		sat := 0
+		for key, e := range s.entries {
+			if s.satisfied(e, now) {
+				sat++
+				if !s.ans.ContainsKey(key) {
+					return fmt.Errorf("core: %q: maintained answer misses satisfied entry %s", s.node.String(), key)
+				}
+			} else if s.ans.ContainsKey(key) {
+				return fmt.Errorf("core: %q: maintained answer retains unsatisfied entry %s", s.node.String(), key)
+			}
+		}
+		if s.ans.Len() != sat {
+			return fmt.Errorf("core: %q: maintained answer has %d rows, %d entries satisfied",
+				s.node.String(), s.ans.Len(), sat)
+		}
+	}
 	if s.noPrune {
 		return nil // the ablation deliberately violates the space bounds
 	}

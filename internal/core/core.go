@@ -35,8 +35,10 @@ import (
 	"rtic/internal/fol"
 	"rtic/internal/mtl"
 	"rtic/internal/obs"
+	"rtic/internal/plan"
 	"rtic/internal/schema"
 	"rtic/internal/storage"
+	"rtic/internal/tuple"
 	"rtic/internal/value"
 )
 
@@ -64,6 +66,18 @@ type Checker struct {
 	// par is the worker-pool width of the commit pipeline (1 = run the
 	// phases inline, sequentially).
 	par int
+
+	// mode selects the check-phase evaluation strategy: EvalPlanned (the
+	// default) executes compiled query plans delta-driven, EvalTreeWalk
+	// re-evaluates every denial with the tree-walking evaluator — the
+	// reference path kept for differential testing.
+	mode EvalMode
+	// conStates holds the per-constraint planning state, parallel to
+	// constraints; delta holds the reusable per-relation net-delta slots;
+	// lastSkips records what the last planned commit did per constraint.
+	conStates []*conState
+	delta     map[string]*relDelta
+	lastSkips []SkipInfo
 
 	index   int
 	now     uint64
@@ -103,6 +117,69 @@ type conMetrics struct {
 
 // Option configures a Checker at construction time.
 type Option func(*Checker)
+
+// EvalMode selects the check-phase evaluation strategy.
+type EvalMode int
+
+const (
+	// EvalPlanned compiles denials to query plans at AddConstraint time
+	// and evaluates them delta-driven: constraints whose read set a
+	// commit did not touch reuse their previous answer, seedable plans
+	// re-derive only the answers reachable from the commit's net delta,
+	// and the rest execute their full plan. The default.
+	EvalPlanned EvalMode = iota
+	// EvalTreeWalk re-evaluates every denial and auxiliary update
+	// formula with the tree-walking evaluator on every commit — the
+	// original full-evaluation path, kept selectable for differential
+	// testing against the planned path.
+	EvalTreeWalk
+)
+
+// WithEvaluation selects the check-phase evaluation strategy.
+func WithEvaluation(m EvalMode) Option {
+	return func(c *Checker) { c.mode = m }
+}
+
+// conState is the per-constraint planning state: the compiled denial
+// plan (nil when the denial's shape is unsupported and the tree-walking
+// evaluator takes over), the read-set index the skip decision consults,
+// and the previous commit's denial answer for reuse and retesting.
+type conState struct {
+	plan    *plan.Plan
+	planErr string // why plan compilation fell back, for SkipInfo
+	// readRels are the relations of the denial's first-order skeleton;
+	// nodes the auxiliary nodes of its outermost temporal subformulas;
+	// together they form the constraint's read set.
+	readRels []string
+	nodes    []auxNode
+	// domDep marks denials with universal quantification, whose truth
+	// can change with the active domain: never skipped.
+	domDep bool
+	// sources/srcNode are the plan's seedable literal occurrences and,
+	// for temporal sources, their auxiliary nodes; canSeed gates the
+	// semi-naive path.
+	sources []plan.Source
+	srcNode []auxNode
+	canSeed bool
+	// lastB is the denial's answer at the previous commit (planned mode
+	// only); nil until the first check.
+	lastB *fol.Bindings
+}
+
+// inexactDirty reports whether any temporal source changed without an
+// exact row-level delta (prev nodes) — semi-naive seeding would miss
+// derivations, so the constraint falls back to full plan execution.
+func (cs *conState) inexactDirty() bool {
+	for _, n := range cs.srcNode {
+		if n == nil {
+			continue
+		}
+		if _, _, exact := n.answerDelta(); !exact && n.dirty() {
+			return true
+		}
+	}
+	return false
+}
 
 // WithParallelism sets the worker-pool width of the commit pipeline.
 // n=1 runs the pipeline inline (the exact sequential algorithm); n>1
@@ -160,8 +237,45 @@ func (c *Checker) AddConstraint(con *check.Constraint) error {
 	}
 	c.constraints = append(c.constraints, con)
 	c.conNames[con.Name] = struct{}{}
+	c.conStates = append(c.conStates, c.planConstraint(con))
 	c.syncConMetrics()
 	return nil
+}
+
+// planConstraint compiles the denial to a query plan and derives the
+// constraint's read-set index. Plan compilation failures are recorded,
+// not raised: the tree-walking evaluator handles every kernel shape.
+func (c *Checker) planConstraint(con *check.Constraint) *conState {
+	cs := &conState{
+		readRels: skeletonRels(con.Denial),
+		nodes:    c.directNodes(con.Denial),
+		domDep:   domainDependent(con.Denial),
+	}
+	p, err := plan.Compile(con.Denial, c.cur, nil)
+	if err != nil {
+		cs.planErr = err.Error()
+		return cs
+	}
+	cs.plan = p
+	if p.Seedable() {
+		cs.sources = p.Sources()
+		cs.srcNode = make([]auxNode, len(cs.sources))
+		cs.canSeed = true
+		for i, src := range cs.sources {
+			if src.IsRel {
+				continue
+			}
+			node, ok := c.byNode[src.Temp]
+			if !ok {
+				// Unreachable: compile registered every temporal
+				// subformula of the denial. Disable seeding, keep the plan.
+				cs.canSeed = false
+				break
+			}
+			cs.srcNode[i] = node
+		}
+	}
+	return cs
 }
 
 // SetObserver attaches (or detaches, with nil) the instrumentation
@@ -272,6 +386,29 @@ func (c *Checker) register(f mtl.Formula, node auxNode) {
 	c.byNode[f] = node
 	c.nodes = append(c.nodes, node)
 	c.schedule(f, node)
+	c.bindNode(node)
+}
+
+// bindNode derives a freshly registered node's read set and compiles
+// its update formula to a query plan. Children are registered before
+// parents, so directNodes resolves every child.
+func (c *Checker) bindNode(node auxNode) {
+	switch n := node.(type) {
+	case *prevNode:
+		n.deps = nodeDeps{
+			srcRels:  skeletonRels(n.n.F),
+			children: c.directNodes(n.n.F),
+			domDep:   domainDependent(n.n.F),
+		}
+		n.fPlan, _ = plan.Compile(n.n.F, c.cur, nil)
+	case *sinceNode:
+		n.deps = nodeDeps{
+			srcRels:  skeletonRels(n.left, n.right),
+			children: c.directNodes(n.left, n.right),
+			domDep:   domainDependent(n.left) || domainDependent(n.right),
+		}
+		n.rightPlan, _ = plan.Compile(n.right, c.cur, nil)
+	}
 }
 
 // stepInstr carries one commit's instrumentation through the pipeline
@@ -507,8 +644,10 @@ func (c *Checker) step(t uint64, tx *storage.Transaction, si *stepInstr) ([]chec
 	if c.started && t <= c.now {
 		return nil, fmt.Errorf("core: non-increasing timestamp %d after %d", t, c.now)
 	}
+	sc := &stepCtx{c: c, t: t, planned: c.mode == EvalPlanned}
+	sc.orc = &oracle{c: c, now: t}
 	ps := si.phase(phaseApply, obs.SpanApply)
-	err := c.applyPhase(tx)
+	err := c.applyPhase(sc, tx)
 	ps.done(tx.Len(), err)
 	if err != nil {
 		return nil, err
@@ -523,19 +662,19 @@ func (c *Checker) step(t uint64, tx *storage.Transaction, si *stepInstr) ([]chec
 	}
 
 	ps = si.phase(phaseUpdate, obs.SpanUpdate)
-	err = c.updatePhase(t, newEval, si, ps.span)
+	err = c.updatePhase(sc, t, newEval, si, ps.span)
 	ps.done(len(c.nodes), err)
 	if err != nil {
 		return nil, err
 	}
 	ps = si.phase(phaseCheck, obs.SpanCheck)
-	out, err := c.checkPhase(t, newEval, si, ps.span)
+	out, err := c.checkPhase(sc, t, newEval, si, ps.span)
 	ps.done(len(c.constraints), err)
 	if err != nil {
 		return nil, err
 	}
 	ps = si.phase(phaseCarry, obs.SpanCarry)
-	err = c.carryPhase(t, newEval, si, ps.span)
+	err = c.carryPhase(sc, t, newEval, si, ps.span)
 	ps.done(len(c.nodes), err)
 	if err != nil {
 		return nil, err
@@ -547,11 +686,16 @@ func (c *Checker) step(t uint64, tx *storage.Transaction, si *stepInstr) ([]chec
 	return out, nil
 }
 
-// applyPhase validates the transaction and applies it to the current
-// state.
-func (c *Checker) applyPhase(tx *storage.Transaction) error {
+// applyPhase validates the transaction, computes its net delta against
+// the pre-state (planned mode), and applies it to the current state.
+func (c *Checker) applyPhase(sc *stepCtx, tx *storage.Transaction) error {
 	if err := tx.Validate(c.schema); err != nil {
 		return err
+	}
+	if sc.planned {
+		if err := c.computeDelta(sc, tx); err != nil {
+			return err
+		}
 	}
 	return c.cur.Apply(tx)
 }
@@ -560,10 +704,10 @@ func (c *Checker) applyPhase(tx *storage.Transaction) error {
 // levels run in order (children before parents), nodes within a level
 // concurrently. span (the update phase span, may be nil) collects
 // per-worker attribution children, one batch per level.
-func (c *Checker) updatePhase(t uint64, newEval func() *fol.Evaluator, si *stepInstr, span *obs.Span) error {
+func (c *Checker) updatePhase(sc *stepCtx, t uint64, newEval func() *fol.Evaluator, si *stepInstr, span *obs.Span) error {
 	for lvl, level := range c.levels {
 		if err := c.runNodePhase(level, t, newEval, si, span, fmt.Sprintf("L%d.", lvl), true, func(n auxNode, ev *fol.Evaluator) error {
-			return n.phaseA(ev, t)
+			return n.phaseA(sc, ev, t)
 		}); err != nil {
 			return err
 		}
@@ -576,9 +720,9 @@ func (c *Checker) updatePhase(t uint64, newEval func() *fol.Evaluator, si *stepI
 // then commits it. Computations only read this-state answers and write
 // the node's own pending slot, so they run concurrently; commits are a
 // cheap sequential sweep.
-func (c *Checker) carryPhase(t uint64, newEval func() *fol.Evaluator, si *stepInstr, span *obs.Span) error {
+func (c *Checker) carryPhase(sc *stepCtx, t uint64, newEval func() *fol.Evaluator, si *stepInstr, span *obs.Span) error {
 	if err := c.runNodePhase(c.nodes, t, newEval, si, span, "", false, func(n auxNode, ev *fol.Evaluator) error {
-		return n.phaseBCompute(ev, t)
+		return n.phaseBCompute(sc, ev, t)
 	}); err != nil {
 		return err
 	}
@@ -665,10 +809,13 @@ func (c *Checker) runNodePhase(nodes []auxNode, t uint64, newEval func() *fol.Ev
 // so results are identical to the sequential pipeline's. Per-check
 // trace events are gated on the tracer wanting OpConstraintCheck (the
 // DEBUG-frequency op); metrics are recorded regardless.
-func (c *Checker) checkPhase(t uint64, newEval func() *fol.Evaluator, si *stepInstr, span *obs.Span) ([]check.Violation, error) {
+func (c *Checker) checkPhase(sc *stepCtx, t uint64, newEval func() *fol.Evaluator, si *stepInstr, span *obs.Span) ([]check.Violation, error) {
 	n := len(c.constraints)
 	if n == 0 {
 		return nil, nil
+	}
+	if sc.planned && len(c.lastSkips) != n {
+		c.lastSkips = make([]SkipInfo, n)
 	}
 	var m *obs.Metrics
 	if si != nil {
@@ -687,7 +834,7 @@ func (c *Checker) checkPhase(t uint64, newEval func() *fol.Evaluator, si *stepIn
 			if instrumented {
 				c0 = time.Now()
 			}
-			vs, err := c.checkOne(ev, con, t)
+			vs, err := c.checkCon(ev, sc, i, t)
 			if m != nil && i < len(c.conMetrics) {
 				c.conMetrics[i].seconds.Observe(time.Since(c0).Seconds())
 				c.conMetrics[i].violations.Add(uint64(len(vs)))
@@ -715,7 +862,7 @@ func (c *Checker) checkPhase(t uint64, newEval func() *fol.Evaluator, si *stepIn
 		if instrumented {
 			c0 = time.Now()
 		}
-		results[i], errs[i] = c.checkOne(ev, c.constraints[i], t)
+		results[i], errs[i] = c.checkCon(ev, sc, i, t)
 		if instrumented {
 			durs[i] = time.Since(c0)
 		}
@@ -753,6 +900,133 @@ func (c *Checker) checkOne(ev *fol.Evaluator, con *check.Constraint, t uint64) (
 		return nil, fmt.Errorf("core: constraint %s at state %d: %w", con.Name, c.index, err)
 	}
 	return check.FromBindings(con, c.index, t, b)
+}
+
+// checkCon checks constraint i at time t through the cheapest sound
+// strategy: reuse the previous answer when the commit touched nothing
+// the denial reads, re-derive semi-naively from the delta when every
+// changed source has exact row-level changes, otherwise run the
+// compiled plan in full — or the tree-walking evaluator when the
+// denial's shape defeated plan compilation.
+func (c *Checker) checkCon(ev *fol.Evaluator, sc *stepCtx, i int, t uint64) ([]check.Violation, error) {
+	con := c.constraints[i]
+	if !sc.planned {
+		return c.checkOne(ev, con, t)
+	}
+	cs := c.conStates[i]
+	clean := !cs.domDep && !sc.relsChanged(cs.readRels) && !anyDirty(cs.nodes)
+	if clean && cs.lastB != nil {
+		c.lastSkips[i] = SkipInfo{Constraint: con.Name, Action: ActionSkipped, Reason: "read set untouched"}
+		return check.FromBindings(con, c.index, t, cs.lastB)
+	}
+	if cs.canSeed && cs.lastB != nil && !cs.inexactDirty() {
+		b, err := c.seminaive(sc, cs)
+		if err != nil {
+			return nil, fmt.Errorf("core: constraint %s at state %d: %w", con.Name, c.index, err)
+		}
+		cs.lastB = b
+		c.lastSkips[i] = SkipInfo{Constraint: con.Name, Action: ActionSeeded, Reason: "re-derived from delta"}
+		return check.FromBindings(con, c.index, t, b)
+	}
+	if cs.plan != nil {
+		b, err := cs.plan.Eval(c.cur, sc.orc, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: constraint %s at state %d: %w", con.Name, c.index, err)
+		}
+		cs.lastB = b
+		c.lastSkips[i] = SkipInfo{Constraint: con.Name, Action: ActionPlanned, Reason: fullEvalReason(clean, cs)}
+		return check.FromBindings(con, c.index, t, b)
+	}
+	b, err := ev.Eval(con.Denial)
+	if err != nil {
+		return nil, fmt.Errorf("core: constraint %s at state %d: %w", con.Name, c.index, err)
+	}
+	cs.lastB = b
+	c.lastSkips[i] = SkipInfo{Constraint: con.Name, Action: ActionTreeWalk, Reason: cs.planErr}
+	return check.FromBindings(con, c.index, t, b)
+}
+
+// fullEvalReason explains why a planned constraint ran in full.
+func fullEvalReason(clean bool, cs *conState) string {
+	switch {
+	case cs.lastB == nil:
+		return "no previous answer"
+	case clean:
+		return "read set untouched but unseedable" // unreachable with lastB set
+	case cs.domDep:
+		return "domain-dependent denial"
+	case !cs.canSeed:
+		return "plan not seedable"
+	default:
+		return "inexact source delta"
+	}
+}
+
+// seminaive re-derives the denial answer from the previous one and the
+// commit's delta: surviving rows are retested under the new state
+// (changes can only invalidate them), and each changed source literal
+// seeds plan execution with its delta rows — any *new* answer needs a
+// literal that flipped this commit, and every flip appears in a
+// relation delta or an exact node answer delta.
+func (c *Checker) seminaive(sc *stepCtx, cs *conState) (*fol.Bindings, error) {
+	out := fol.NewBindings(cs.plan.Vars())
+	var rerr error
+	cs.lastB.EachRow(func(row tuple.Tuple) bool {
+		ok, err := cs.plan.RetestRow(c.cur, sc.orc, row)
+		if err != nil {
+			rerr = err
+			return false
+		}
+		if ok {
+			rerr = out.AddRow(row)
+		}
+		return rerr == nil
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	emit := func(row tuple.Tuple) bool {
+		rerr = out.AddRow(row)
+		return rerr == nil
+	}
+	for k, src := range cs.sources {
+		var seeds []tuple.Tuple
+		if src.IsRel {
+			d := sc.relDeltaOf(src.Rel)
+			if d == nil {
+				continue
+			}
+			if src.Positive {
+				seeds = d.inserted
+			} else {
+				seeds = d.deleted
+			}
+		} else {
+			node := cs.srcNode[k]
+			if node == nil || !node.dirty() {
+				continue
+			}
+			added, removed, exact := node.answerDelta()
+			if !exact {
+				return nil, fmt.Errorf("core: semi-naive check with inexact source delta for %q", src.Temp.String())
+			}
+			if src.Positive {
+				seeds = added
+			} else {
+				seeds = removed
+			}
+		}
+		if len(seeds) == 0 {
+			continue
+		}
+		if err := cs.plan.ExecuteSeeded(c.cur, sc.orc, src, seeds, emit); err != nil {
+			return nil, err
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+	}
+	return out, nil
 }
 
 // State returns the current database state; callers must not mutate it.
@@ -842,4 +1116,14 @@ func (o *oracle) Test(f mtl.Formula, env fol.Env) (bool, error) {
 		return false, err
 	}
 	return node.test(env, o.now)
+}
+
+// TestKey probes a temporal node's answer by encoded row key without
+// materializing an Env — the plan executor's fast path (plan.KeyTester).
+func (o *oracle) TestKey(f mtl.Formula, key []byte) (bool, error) {
+	node, err := o.lookup(f)
+	if err != nil {
+		return false, err
+	}
+	return node.testKey(key, o.now)
 }

@@ -17,6 +17,45 @@ import (
 // the current state's answers, a violation can be explained only while
 // the checker still sits at the state that produced it.
 
+// SkipAction names the strategy the delta-driven check path chose for
+// one constraint in one commit.
+type SkipAction string
+
+const (
+	// ActionSkipped: the commit touched nothing the denial reads; the
+	// previous answer was reused without evaluation.
+	ActionSkipped SkipAction = "skipped"
+	// ActionSeeded: the answer was re-derived semi-naively from the
+	// previous answer and the commit's delta.
+	ActionSeeded SkipAction = "seeded"
+	// ActionPlanned: the compiled query plan ran in full.
+	ActionPlanned SkipAction = "planned"
+	// ActionTreeWalk: the denial's shape defeated plan compilation; the
+	// tree-walking evaluator ran in full.
+	ActionTreeWalk SkipAction = "tree-walk"
+)
+
+// SkipInfo records what the latest planned commit did for one
+// constraint, and why — the commit-level counterpart of Explain.
+type SkipInfo struct {
+	Constraint string
+	Action     SkipAction
+	Reason     string
+}
+
+// String renders the decision for logs and CLIs.
+func (s SkipInfo) String() string {
+	if s.Reason == "" {
+		return fmt.Sprintf("%s: %s", s.Constraint, s.Action)
+	}
+	return fmt.Sprintf("%s: %s (%s)", s.Constraint, s.Action, s.Reason)
+}
+
+// LastSkips returns the per-constraint strategy record of the latest
+// commit, in constraint order. Nil until the first commit in planned
+// mode; callers must not mutate the slice.
+func (c *Checker) LastSkips() []SkipInfo { return c.lastSkips }
+
 // Evidence describes one temporal subformula under the violating binding.
 type Evidence struct {
 	// Formula is the temporal subformula as written in the denial.

@@ -42,6 +42,9 @@ func (e Env) Clone() Env {
 type Bindings struct {
 	vars []string
 	rel  *relation.Relation
+	// scratch is the reusable row buffer of Add/Contains; the relation
+	// clones on insert, so reuse is safe.
+	scratch tuple.Tuple
 }
 
 // NewBindings returns an empty binding set over vars (deduplicated and
@@ -71,16 +74,28 @@ func (b *Bindings) Empty() bool { return b.rel.Len() == 0 }
 // Add inserts the binding env restricted to b's variables; every
 // variable of b must be present in env.
 func (b *Bindings) Add(env Env) error {
-	row := make(tuple.Tuple, len(b.vars))
+	row, err := b.scratchRow(env)
+	if err != nil {
+		return err
+	}
+	_, err = b.rel.Insert(row)
+	return err
+}
+
+// scratchRow fills the reusable row buffer from env.
+func (b *Bindings) scratchRow(env Env) (tuple.Tuple, error) {
+	if cap(b.scratch) < len(b.vars) {
+		b.scratch = make(tuple.Tuple, len(b.vars))
+	}
+	row := b.scratch[:len(b.vars)]
 	for i, v := range b.vars {
 		val, ok := env[v]
 		if !ok {
-			return fmt.Errorf("fol: binding misses variable %q", v)
+			return nil, fmt.Errorf("fol: binding misses variable %q", v)
 		}
 		row[i] = val
 	}
-	_, err := b.rel.Insert(row)
-	return err
+	return row, nil
 }
 
 // AddRow inserts a tuple aligned with b's variable order.
@@ -122,6 +137,8 @@ func (b *Bindings) Size() int {
 }
 
 // Contains reports whether env (restricted to b's variables) is present.
+// Unlike Add it builds a fresh row: lookups run concurrently (shared
+// auxiliary answers), so they must not touch the scratch buffer.
 func (b *Bindings) Contains(env Env) (bool, error) {
 	row := make(tuple.Tuple, len(b.vars))
 	for i, v := range b.vars {
@@ -132,6 +149,34 @@ func (b *Bindings) Contains(env Env) (bool, error) {
 		row[i] = val
 	}
 	return b.rel.Contains(row), nil
+}
+
+// ContainsKeyBytes reports whether the binding row whose Key() encoding
+// is key is present — the allocation-free probe of plan execution.
+func (b *Bindings) ContainsKeyBytes(key []byte) bool {
+	return b.rel.ContainsKeyBytes(key)
+}
+
+// ContainsKey reports whether the binding row with the given Key()
+// string is present.
+func (b *Bindings) ContainsKey(key string) bool {
+	_, ok := b.rel.GetKey(key)
+	return ok
+}
+
+// RemoveKey deletes the binding row with the given Key() string,
+// reporting whether it was present.
+func (b *Bindings) RemoveKey(key string) bool { return b.rel.DeleteKey(key) }
+
+// Clone returns an independent copy of the binding set.
+func (b *Bindings) Clone() *Bindings {
+	return &Bindings{vars: b.vars, rel: b.rel.Clone()}
+}
+
+// Equal reports whether a and o hold the same bindings over the same
+// variables.
+func (b *Bindings) Equal(o *Bindings) bool {
+	return sameStrings(b.vars, o.vars) && b.rel.Equal(o.rel)
 }
 
 // Project returns the bindings restricted to vars (which must be a

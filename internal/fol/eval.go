@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rtic/internal/mtl"
+	"rtic/internal/relation"
 	"rtic/internal/storage"
 	"rtic/internal/tuple"
 	"rtic/internal/value"
@@ -27,15 +28,73 @@ type Oracle interface {
 // domain across calls.
 //
 // An Evaluator is not safe for concurrent use: the domain cache is
-// written lazily. Concurrent callers over the same state create one
-// Evaluator per goroutine; NewEvaluatorShared lets them share a single
-// active-domain computation so parallelism does not multiply its cost.
+// written lazily and the atom scan/test paths reuse per-evaluator
+// scratch buffers (row and environment) so the fallback path allocates
+// per result set, not per tuple. Concurrent callers over the same state
+// create one Evaluator per goroutine; NewEvaluatorShared lets them share
+// a single active-domain computation so parallelism does not multiply
+// its cost.
 type Evaluator struct {
 	st     *storage.State
 	oracle Oracle
 	domFn  func() []value.Value // optional shared domain source
 	domain []value.Value
 	hasDom bool
+	// rowBuf and envBuf are reusable scratch buffers for the tree-walk
+	// fallback path (testAtom rows, evalAtom environments); legal because
+	// an Evaluator is single-goroutine by contract.
+	rowBuf tuple.Tuple
+	envBuf Env
+	// free recycles intermediate binding sets (atom scans, join inputs)
+	// across Eval calls, keyed by arity. Only evaluator-built sets enter
+	// the pool — never oracle-owned answers, which outlive the call.
+	free map[int][]*Bindings
+}
+
+// getBindings returns a pooled binding set over vars, or a fresh one.
+func (e *Evaluator) getBindings(vars []string) *Bindings {
+	vs := dedupSorted(vars)
+	if l := e.free[len(vs)]; len(l) > 0 {
+		b := l[len(l)-1]
+		e.free[len(vs)] = l[:len(l)-1]
+		b.vars = vs
+		b.rel.Clear()
+		return b
+	}
+	return &Bindings{vars: vs, rel: relation.New(len(vs))}
+}
+
+// recycle returns an evaluator-built intermediate to the pool. Callers
+// guarantee nothing retains b.
+func (e *Evaluator) recycle(b *Bindings) {
+	if b == nil {
+		return
+	}
+	if e.free == nil {
+		e.free = make(map[int][]*Bindings)
+	}
+	n := b.rel.Arity()
+	if len(e.free[n]) < 16 {
+		e.free[n] = append(e.free[n], b)
+	}
+}
+
+// oracleOwned reports whether Eval(f) hands back a binding set owned by
+// the oracle (a temporal node's maintained answer) rather than one this
+// evaluator built — such sets must never be recycled or mutated.
+func oracleOwned(f mtl.Formula) bool {
+	switch f.(type) {
+	case *mtl.Prev, *mtl.Once, *mtl.Since:
+		return true
+	}
+	return false
+}
+
+// recycleIfOwned recycles Eval(f)'s result when this evaluator built it.
+func (e *Evaluator) recycleIfOwned(f mtl.Formula, b *Bindings) {
+	if !oracleOwned(f) {
+		e.recycle(b)
+	}
 }
 
 // NewEvaluator returns an evaluator for st with the given oracle.
@@ -90,13 +149,24 @@ func (e *Evaluator) Eval(f mtl.Formula) (*Bindings, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Union(l, r)
+		u, err := Union(l, r)
+		if err != nil {
+			return nil, err
+		}
+		e.recycleIfOwned(n.L, l)
+		e.recycleIfOwned(n.R, r)
+		return u, nil
 	case *mtl.Exists:
 		inner, err := e.Eval(n.F)
 		if err != nil {
 			return nil, err
 		}
-		return inner.Project(mtl.FreeVars(f))
+		out, err := inner.Project(mtl.FreeVars(f))
+		if err != nil {
+			return nil, err
+		}
+		e.recycleIfOwned(n.F, inner)
+		return out, nil
 	case *mtl.Prev, *mtl.Once, *mtl.Since:
 		return e.oracle.Enumerate(f)
 	case *mtl.Not:
@@ -115,8 +185,14 @@ func (e *Evaluator) evalAtom(a *mtl.Atom) (*Bindings, error) {
 		return nil, fmt.Errorf("fol: atom %q has %d arguments, relation has arity %d",
 			a.Rel, len(a.Args), rel.Arity())
 	}
-	out := NewBindings(mtl.FreeVars(a))
-	env := make(Env, len(out.Vars()))
+	out := e.getBindings(mtl.FreeVars(a))
+	if e.envBuf == nil {
+		e.envBuf = make(Env, 8)
+	}
+	env := e.envBuf
+	for k := range env {
+		delete(env, k)
+	}
 	var insertErr error
 	rel.Each(func(t tuple.Tuple) bool {
 		for k := range env {
@@ -196,10 +272,13 @@ func (e *Evaluator) evalAnd(f mtl.Formula) (*Bindings, error) {
 			filters = append(filters, c)
 			continue
 		}
-		acc, err = Join(acc, b)
+		joined, err := Join(acc, b)
 		if err != nil {
 			return nil, err
 		}
+		e.recycle(acc)
+		e.recycleIfOwned(c, b)
+		acc = joined
 	}
 	for _, c := range filters {
 		for _, v := range mtl.FreeVars(c) {
@@ -211,20 +290,24 @@ func (e *Evaluator) evalAnd(f mtl.Formula) (*Bindings, error) {
 		// antijoin instead of per-row tests.
 		if not, ok := c.(*mtl.Not); ok {
 			if inner, err := e.Eval(not.F); err == nil {
-				acc, err = AntiJoin(acc, inner)
+				next, err := AntiJoin(acc, inner)
 				if err != nil {
 					return nil, err
 				}
+				e.recycle(acc)
+				e.recycleIfOwned(not.F, inner)
+				acc = next
 				continue
 			}
 		}
-		var err error
-		acc, err = acc.Filter(func(env Env) (bool, error) {
+		next, err := acc.Filter(func(env Env) (bool, error) {
 			return e.Test(c, env)
 		})
 		if err != nil {
 			return nil, err
 		}
+		e.recycle(acc)
+		acc = next
 	}
 	return acc, nil
 }
@@ -310,7 +393,10 @@ func (e *Evaluator) testAtom(a *mtl.Atom, env Env) (bool, error) {
 		return false, fmt.Errorf("fol: atom %q has %d arguments, relation has arity %d",
 			a.Rel, len(a.Args), rel.Arity())
 	}
-	row := make(tuple.Tuple, len(a.Args))
+	if cap(e.rowBuf) < len(a.Args) {
+		e.rowBuf = make(tuple.Tuple, len(a.Args))
+	}
+	row := e.rowBuf[:len(a.Args)]
 	for i, arg := range a.Args {
 		v, err := resolve(arg, env)
 		if err != nil {

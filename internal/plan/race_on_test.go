@@ -1,0 +1,7 @@
+//go:build race
+
+package plan
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation allocates, so allocation-count tests are skipped.
+const raceEnabled = true

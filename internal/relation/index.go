@@ -38,3 +38,100 @@ func (ix *Index) Lookup(key tuple.Tuple) []tuple.Tuple {
 
 // Buckets reports the number of distinct keys.
 func (ix *Index) Buckets() int { return len(ix.buckets) }
+
+// MaintainedIndex is a hash index over a subset of a relation's columns
+// that the relation keeps current across Insert/Delete. Query plans
+// register the column sets they join on at compile time (EnsureIndex)
+// and probe buckets by key bytes at execution time, so index lookups on
+// the commit hot path neither rebuild the index nor allocate.
+type MaintainedIndex struct {
+	columns []int
+	buckets map[string][]tuple.Tuple
+}
+
+// Columns returns the indexed column positions; must not be mutated.
+func (ix *MaintainedIndex) Columns() []int { return ix.columns }
+
+// LookupKeyBytes returns the tuples whose indexed columns encode (per
+// tuple.AppendKeyTo of the projected columns) to key. The returned slice
+// must not be mutated.
+func (ix *MaintainedIndex) LookupKeyBytes(key []byte) []tuple.Tuple {
+	return ix.buckets[string(key)]
+}
+
+func (ix *MaintainedIndex) keyOf(t tuple.Tuple) string {
+	var buf [64]byte
+	k := buf[:0]
+	for _, c := range ix.columns {
+		k = tuple.AppendValueKey(k, t[c])
+	}
+	return string(k)
+}
+
+func (ix *MaintainedIndex) insert(t tuple.Tuple) {
+	k := ix.keyOf(t)
+	ix.buckets[k] = append(ix.buckets[k], t)
+}
+
+func (ix *MaintainedIndex) remove(t tuple.Tuple) {
+	k := ix.keyOf(t)
+	bucket := ix.buckets[k]
+	for i, u := range bucket {
+		if u.Equal(t) {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			if len(bucket) == 0 {
+				delete(ix.buckets, k)
+			} else {
+				ix.buckets[k] = bucket
+			}
+			return
+		}
+	}
+}
+
+// EnsureIndex registers (or returns the existing) maintained index on
+// the given column positions, building it from the current rows. Columns
+// are used in the order given; plans canonicalize to ascending order.
+func (r *Relation) EnsureIndex(columns []int) (*MaintainedIndex, error) {
+	for _, c := range columns {
+		if c < 0 || c >= r.arity {
+			return nil, fmt.Errorf("relation: index column %d out of range for arity %d", c, r.arity)
+		}
+	}
+	if ix := r.FindIndex(columns); ix != nil {
+		return ix, nil
+	}
+	ix := &MaintainedIndex{
+		columns: append([]int(nil), columns...),
+		buckets: make(map[string][]tuple.Tuple),
+	}
+	for _, t := range r.rows {
+		ix.insert(t)
+	}
+	r.indexes = append(r.indexes, ix)
+	return ix, nil
+}
+
+// FindIndex returns the maintained index on exactly the given column
+// positions, or nil when none is registered.
+func (r *Relation) FindIndex(columns []int) *MaintainedIndex {
+	for _, ix := range r.indexes {
+		if equalInts(ix.columns, columns) {
+			return ix
+		}
+	}
+	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -11,10 +11,14 @@ import (
 	"rtic/internal/tuple"
 )
 
-// Relation is a mutable set of tuples of a fixed arity.
+// Relation is a mutable set of tuples of a fixed arity. Query plans may
+// register maintained hash indexes over column subsets (EnsureIndex);
+// registered indexes are kept current by Insert/Delete and shared by
+// every plan probing the same columns.
 type Relation struct {
-	arity int
-	rows  map[string]tuple.Tuple
+	arity   int
+	rows    map[string]tuple.Tuple
+	indexes []*MaintainedIndex
 }
 
 // New creates an empty relation of the given arity. Arity zero is legal:
@@ -42,7 +46,11 @@ func (r *Relation) Insert(t tuple.Tuple) (bool, error) {
 	if _, ok := r.rows[k]; ok {
 		return false, nil
 	}
-	r.rows[k] = t.Clone()
+	c := t.Clone()
+	r.rows[k] = c
+	for _, ix := range r.indexes {
+		ix.insert(c)
+	}
 	return true, nil
 }
 
@@ -59,10 +67,14 @@ func (r *Relation) MustInsert(t tuple.Tuple) bool {
 // Delete removes t; it reports whether the tuple was present.
 func (r *Relation) Delete(t tuple.Tuple) bool {
 	k := t.Key()
-	if _, ok := r.rows[k]; !ok {
+	stored, ok := r.rows[k]
+	if !ok {
 		return false
 	}
 	delete(r.rows, k)
+	for _, ix := range r.indexes {
+		ix.remove(stored)
+	}
 	return true
 }
 
@@ -70,6 +82,34 @@ func (r *Relation) Delete(t tuple.Tuple) bool {
 func (r *Relation) Contains(t tuple.Tuple) bool {
 	_, ok := r.rows[t.Key()]
 	return ok
+}
+
+// ContainsKeyBytes reports membership of the tuple whose Key() encoding
+// is key — the allocation-free probe used by plan execution (the
+// []byte→string conversion in a map lookup does not allocate).
+func (r *Relation) ContainsKeyBytes(key []byte) bool {
+	_, ok := r.rows[string(key)]
+	return ok
+}
+
+// GetKey returns the stored tuple with the given Key() encoding, if any.
+func (r *Relation) GetKey(key string) (tuple.Tuple, bool) {
+	t, ok := r.rows[key]
+	return t, ok
+}
+
+// DeleteKey removes the tuple whose Key() encoding is key, reporting
+// whether it was present.
+func (r *Relation) DeleteKey(key string) bool {
+	stored, ok := r.rows[key]
+	if !ok {
+		return false
+	}
+	delete(r.rows, key)
+	for _, ix := range r.indexes {
+		ix.remove(stored)
+	}
+	return true
 }
 
 // Each calls f for every tuple in unspecified order; f must not mutate
@@ -93,18 +133,25 @@ func (r *Relation) Tuples() []tuple.Tuple {
 	return out
 }
 
-// Clone returns an independent deep copy.
+// Clone returns an independent deep copy, re-deriving any maintained
+// indexes over the copied rows.
 func (r *Relation) Clone() *Relation {
 	c := New(r.arity)
 	for k, t := range r.rows {
 		c.rows[k] = t.Clone()
 	}
+	for _, ix := range r.indexes {
+		c.EnsureIndex(ix.columns)
+	}
 	return c
 }
 
-// Clear removes all tuples.
+// Clear removes all tuples; maintained indexes stay registered, empty.
 func (r *Relation) Clear() {
 	r.rows = make(map[string]tuple.Tuple)
+	for _, ix := range r.indexes {
+		ix.buckets = make(map[string][]tuple.Tuple)
+	}
 }
 
 // Equal reports whether two relations hold exactly the same tuples.
@@ -127,7 +174,11 @@ func (r *Relation) UnionInPlace(s *Relation) error {
 	}
 	for k, t := range s.rows {
 		if _, ok := r.rows[k]; !ok {
-			r.rows[k] = t.Clone()
+			c := t.Clone()
+			r.rows[k] = c
+			for _, ix := range r.indexes {
+				ix.insert(c)
+			}
 		}
 	}
 	return nil
@@ -139,7 +190,12 @@ func (r *Relation) DiffInPlace(s *Relation) error {
 		return fmt.Errorf("relation: diff of arity %d with %d", r.arity, s.arity)
 	}
 	for k := range s.rows {
-		delete(r.rows, k)
+		if stored, ok := r.rows[k]; ok {
+			delete(r.rows, k)
+			for _, ix := range r.indexes {
+				ix.remove(stored)
+			}
+		}
 	}
 	return nil
 }

@@ -75,6 +75,43 @@ func (t Tuple) Key() string {
 	return b.String()
 }
 
+// AppendKeyTo appends the Key() encoding of t to dst and returns the
+// extended slice. It produces exactly the bytes of Key(), so a key built
+// in a reusable buffer can probe maps keyed by Key() strings without
+// allocating.
+func (t Tuple) AppendKeyTo(dst []byte) []byte {
+	for _, v := range t {
+		dst = AppendValueKey(dst, v)
+	}
+	return dst
+}
+
+// AppendValueKey appends one component's length-prefixed key encoding
+// ("<len>:<value key>") to dst — the per-column building block plan
+// executors use when a probe key is assembled from scattered slots
+// rather than a materialized tuple.
+func AppendValueKey(dst []byte, v value.Value) []byte {
+	dst = appendUint(dst, v.KeyLen())
+	dst = append(dst, ':')
+	return v.AppendKey(dst)
+}
+
+// appendUint appends the decimal rendering of a non-negative int,
+// byte-for-byte identical to itoa, without allocating.
+func appendUint(dst []byte, n int) []byte {
+	if n == 0 {
+		return append(dst, '0')
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(dst, buf[i:]...)
+}
+
 // String renders the tuple as "(v1, v2, …)".
 func (t Tuple) String() string {
 	var b strings.Builder

@@ -111,6 +111,41 @@ func (v Value) Key() string {
 	return "s" + v.s
 }
 
+// AppendKey appends the Key() encoding of v to dst and returns the
+// extended slice — the allocation-free form the query-plan executor uses
+// to build probe keys in reusable buffers.
+func (v Value) AppendKey(dst []byte) []byte {
+	if v.kind == KindInt {
+		dst = append(dst, 'i')
+		return strconv.AppendInt(dst, v.i, 10)
+	}
+	dst = append(dst, 's')
+	return append(dst, v.s...)
+}
+
+// KeyLen reports len(v.Key()) without building the string.
+func (v Value) KeyLen() int {
+	if v.kind == KindInt {
+		n := 1 // "i"
+		u := v.i
+		if u < 0 {
+			n++
+			if u == -9223372036854775808 {
+				return n + 19
+			}
+			u = -u
+		}
+		for {
+			n++
+			u /= 10
+			if u == 0 {
+				return n
+			}
+		}
+	}
+	return 1 + len(v.s)
+}
+
 // String renders the value as it appears in the constraint language:
 // integers bare, strings single-quoted with quote doubling.
 func (v Value) String() string {

@@ -457,6 +457,34 @@ func (c *Checker) Explain(v Violation) (*Explanation, error) {
 	return c.inc.Explain(v)
 }
 
+// SkipInfo records which checking strategy the incremental engine chose
+// for one constraint at the latest commit — skipped (previous answer
+// reused), seeded (re-derived from the delta), planned (compiled plan
+// ran in full), or tree-walk — and why.
+type SkipInfo = core.SkipInfo
+
+// SkipAction is the strategy named in a SkipInfo.
+type SkipAction = core.SkipAction
+
+// The checking strategies LastSkips can report.
+const (
+	ActionSkipped  = core.ActionSkipped
+	ActionSeeded   = core.ActionSeeded
+	ActionPlanned  = core.ActionPlanned
+	ActionTreeWalk = core.ActionTreeWalk
+)
+
+// LastSkips reports the per-constraint strategy record of the latest
+// commit, in constraint-installation order: the commit-level
+// counterpart of Explain. Only the unsharded Incremental engine records
+// it; other configurations return nil.
+func (c *Checker) LastSkips() []SkipInfo {
+	if c.inc == nil {
+		return nil
+	}
+	return c.inc.LastSkips()
+}
+
 // Tx is a transaction under construction: an ordered list of tuple
 // insertions and deletions committed atomically at one timestamp.
 type Tx struct {

@@ -206,6 +206,43 @@ func TestExplainThroughPublicAPI(t *testing.T) {
 	}
 }
 
+func TestLastSkipsThroughPublicAPI(t *testing.T) {
+	s, err := NewSchema().Relation("hire", 1).Relation("fire", 1).Relation("audit", 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewChecker(s)
+	c.MustAddConstraint("no_quick_rehire", "hire(e) -> not once[0,365] fire(e)")
+	// First commit: no previous answer to reuse, even though the
+	// constraint's read set is untouched.
+	if _, err := c.Begin().Insert("audit", Int(1)).Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	skips := c.LastSkips()
+	if len(skips) != 1 || skips[0].Constraint != "no_quick_rehire" || skips[0].Action == ActionSkipped {
+		t.Fatalf("first commit: skips = %v", skips)
+	}
+	// Second untouched commit: the previous answer is reused.
+	if _, err := c.Begin().Insert("audit", Int(2)).Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LastSkips()[0]; got.Action != ActionSkipped {
+		t.Fatalf("untouched commit not skipped: %v", got)
+	}
+	// A write into the read set forces re-evaluation.
+	if _, err := c.Begin().Insert("hire", Int(7)).Commit(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LastSkips()[0]; got.Action == ActionSkipped {
+		t.Fatalf("constraint skipped although its read set was written: %v", got)
+	}
+	// Other engines record nothing.
+	n, _ := NewChecker(hrSchema(t), WithMode(Naive))
+	if got := n.LastSkips(); got != nil {
+		t.Fatalf("naive mode reported skips: %v", got)
+	}
+}
+
 func TestQuery(t *testing.T) {
 	for _, mode := range []Mode{Incremental, Naive, ActiveRules} {
 		t.Run(mode.String(), func(t *testing.T) {
