@@ -1,0 +1,140 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rtic/internal/vfs"
+)
+
+// pollHealthz fetches /healthz until the predicate holds or the
+// deadline passes, returning the last body either way.
+func pollHealthz(t *testing.T, base string, deadline time.Duration, ok func(string) bool) string {
+	t.Helper()
+	var body string
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		body = httpGet(t, base+"/healthz")
+		if ok(body) {
+			return body
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return body
+}
+
+// TestDaemonDegradeEpisodeAndRearm drives a daemon through a transient
+// ENOSPC episode on its journal: the commit that hits the fault is
+// still acknowledged, /healthz flips to degraded, the re-arm loop
+// drains the backlog once the disk "recovers", and a kill/restart
+// afterwards proves the degraded-window commit was made durable.
+func TestDaemonDegradeEpisodeAndRearm(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, "hr.rtic", hrSpec)
+	walPath := filepath.Join(dir, "state.wal")
+	snapPath := filepath.Join(dir, "state.snap")
+	ffs := vfs.NewFaultFS(vfs.OS)
+	d, err := start(options{
+		specPath:    spec,
+		listen:      "127.0.0.1:0",
+		walPath:     walPath,
+		snapPath:    snapPath,
+		metricsAddr: "127.0.0.1:0",
+		fsys:        ffs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialLine(t, d)
+	c.commit(t, "@10 +fire(1)")
+
+	// Fail every journal write in a window wide enough that several
+	// re-arm attempts also fail before the "disk" recovers. Append
+	// rollbacks consume a truncate op between writes, so twelve ops
+	// cover roughly five failed drain attempts (~1.5s of outage).
+	base := ffs.OpCount()
+	for i := uint64(1); i <= 12; i++ {
+		ffs.Inject(vfs.Injection{AtOp: base + i, Op: vfs.OpWrite, Kind: vfs.ENOSPC})
+	}
+
+	// The commit that hits the fault must still be acknowledged.
+	replies := c.commit(t, "@20 +fire(2)")
+	if got := replies[len(replies)-1]; !strings.HasPrefix(got, "ok ") {
+		t.Fatalf("commit during fault episode not acknowledged: %v", replies)
+	}
+
+	hbase := "http://" + d.hl.Addr().String()
+	health := httpGet(t, hbase+"/healthz")
+	for _, want := range []string{`"status":"degraded"`, `"policy":"degrade"`, `"backlog_records":1`} {
+		if !strings.Contains(health, want) {
+			t.Errorf("/healthz during episode missing %q: %s", want, health)
+		}
+	}
+	if metrics := httpGet(t, hbase+"/metrics"); !strings.Contains(metrics, "rtic_durability_degraded 1") {
+		t.Errorf("metrics during episode missing degraded gauge: %s", metrics)
+	}
+
+	// The re-arm loop must restore full durability once writes succeed.
+	health = pollHealthz(t, hbase, 15*time.Second, func(b string) bool {
+		return strings.Contains(b, `"status":"ok"`) && strings.Contains(b, `"rearms":1`)
+	})
+	if !strings.Contains(health, `"status":"ok"`) || !strings.Contains(health, `"rearms":1`) {
+		t.Fatalf("/healthz never recovered after fault window: %s", health)
+	}
+	c.commit(t, "@30 +fire(3)")
+
+	// Kill without shutdown and restart on the real filesystem: the
+	// commit acknowledged during the degraded window must have been
+	// drained into the journal, so rehiring employee 2 still violates.
+	d.crash()
+	d2, err := start(options{
+		specPath: spec,
+		listen:   "127.0.0.1:0",
+		walPath:  walPath,
+		snapPath: snapPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.crash()
+	c2 := dialLine(t, d2)
+	replies = c2.commit(t, "@40 -fire(2) +hire(2)")
+	if len(replies) != 2 || !strings.Contains(replies[0], "no_quick_rehire") {
+		t.Fatalf("degraded-window commit lost across crash: rehire replies %v", replies)
+	}
+}
+
+// TestDaemonHaltPolicy verifies -on-durability-failure=halt: the first
+// journal failure delivers a fatal error to the daemon's done channel
+// instead of entering degraded mode.
+func TestDaemonHaltPolicy(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, "hr.rtic", hrSpec)
+	ffs := vfs.NewFaultFS(vfs.OS)
+	d, err := start(options{
+		specPath:     spec,
+		listen:       "127.0.0.1:0",
+		walPath:      filepath.Join(dir, "state.wal"),
+		onDurFailure: "halt",
+		fsys:         ffs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.crash()
+	c := dialLine(t, d)
+	c.commit(t, "@10 +fire(1)")
+
+	ffs.Inject(vfs.Injection{AtOp: ffs.OpCount() + 1, Op: vfs.OpWrite, Kind: vfs.ENOSPC})
+	c.commit(t, "@20 +fire(2)")
+
+	select {
+	case err := <-d.done:
+		if err == nil || !strings.Contains(err.Error(), "durability failure") {
+			t.Fatalf("halt delivered wrong error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("halt policy never delivered a fatal error")
+	}
+}

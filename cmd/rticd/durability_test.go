@@ -28,6 +28,9 @@ func (d *daemon) crash() {
 	if d.dur != nil {
 		d.dur.Stop()
 	}
+	if d.sdur != nil {
+		d.sdur.Stop()
+	}
 }
 
 type lineClient struct {
@@ -319,6 +322,27 @@ func TestDurabilityArgValidation(t *testing.T) {
 		{"bad wal sync policy",
 			options{specPath: spec, listen: "127.0.0.1:0", walPath: filepath.Join(dir, "w.wal"), walSync: "sometimes"},
 			"sync policy"},
+		{"bad failure policy",
+			options{specPath: spec, listen: "127.0.0.1:0", walPath: filepath.Join(dir, "w.wal"), onDurFailure: "panic"},
+			"failure policy"},
+		{"negative checkpoint interval",
+			options{specPath: spec, listen: "127.0.0.1:0", snapPath: filepath.Join(dir, "s.snap"), ckptInterval: -time.Second},
+			"-checkpoint-interval must not be negative"},
+		{"sub-millisecond checkpoint interval",
+			options{specPath: spec, listen: "127.0.0.1:0", snapPath: filepath.Join(dir, "s.snap"), ckptInterval: 100 * time.Microsecond},
+			"below the 1ms floor"},
+		{"negative max conns",
+			options{specPath: spec, listen: "127.0.0.1:0", maxConns: -1},
+			"-max-conns must not be negative"},
+		{"negative idle timeout",
+			options{specPath: spec, listen: "127.0.0.1:0", idleTimeout: -time.Minute},
+			"-idle-timeout must not be negative"},
+		{"wal parent dir missing",
+			options{specPath: spec, listen: "127.0.0.1:0", walPath: filepath.Join(dir, "no-such-dir", "w.wal")},
+			"parent directory"},
+		{"snapshot parent dir missing",
+			options{specPath: spec, listen: "127.0.0.1:0", snapPath: filepath.Join(dir, "no-such-dir", "s.snap")},
+			"parent directory"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -8,6 +8,7 @@
 //	      [-snapshot state.snap] [-restore]
 //	      [-wal state.wal] [-wal-sync always|batch]
 //	      [-checkpoint-interval 30s]
+//	      [-on-durability-failure degrade|halt]
 //	      [-max-conns N] [-idle-timeout 5m]
 //	      [-metrics 127.0.0.1:9411] [-trace]
 //	      [-pprof] [-slow-commit 5ms] [-trace-out trace.json]
@@ -39,6 +40,18 @@
 // journal tail (tolerating a torn final record), continue. Periodic
 // checkpoints truncate the replayed journal prefix. See
 // docs/DURABILITY.md for the format and recovery semantics.
+//
+// -on-durability-failure selects what happens when journaling fails at
+// runtime (disk full, I/O error, failed fsync). The default, degrade,
+// keeps the daemon checking and acknowledging commits — as non-durable
+// — while /healthz reports "degraded", rtic_durability_degraded flips
+// to 1, and a background re-arm loop (exponential backoff with jitter)
+// retries restoring durability: transient failures are healed by
+// draining the buffered backlog into the journal; a broken journal is
+// replaced by a fresh segment behind an atomic checkpoint that covers
+// the degraded window. halt shuts the daemon down on the first
+// durability failure instead. See docs/DURABILITY.md for the failure
+// matrix.
 //
 // With -shards N the monitor hash-partitions its state across N shard
 // engines behind a router (see docs/ARCHITECTURE.md): per-shard commits
@@ -88,6 +101,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"syscall"
@@ -100,6 +114,7 @@ import (
 	"rtic/internal/monitor"
 	"rtic/internal/obs"
 	"rtic/internal/spec"
+	"rtic/internal/vfs"
 	"rtic/internal/wal"
 )
 
@@ -114,6 +129,7 @@ type options struct {
 	walPath      string
 	walSync      string
 	ckptInterval time.Duration
+	onDurFailure string
 	maxConns     int
 	idleTimeout  time.Duration
 	metricsAddr  string
@@ -121,6 +137,10 @@ type options struct {
 	pprof        bool
 	slowCommit   time.Duration
 	traceOut     string
+
+	// fsys lets tests inject a fault filesystem under the durability
+	// paths (WAL, checkpoints); nil means the real filesystem.
+	fsys vfs.FS
 }
 
 func main() {
@@ -138,6 +158,8 @@ func main() {
 	flag.StringVar(&opts.walPath, "wal", "", "write-ahead log journaling every commit; startup recovers checkpoint + WAL tail automatically")
 	flag.StringVar(&opts.walSync, "wal-sync", "always", "WAL sync policy: always (fsync per commit) or batch (background flush)")
 	flag.DurationVar(&opts.ckptInterval, "checkpoint-interval", 0, "background checkpoint period truncating the WAL (0 = checkpoint only on shutdown)")
+	flag.StringVar(&opts.onDurFailure, "on-durability-failure", "degrade",
+		"journaling-failure policy: degrade (keep serving non-durably, re-arm in the background) or halt (shut down)")
 	flag.IntVar(&opts.maxConns, "max-conns", 0, "cap on concurrently open line-protocol connections (0 = unlimited)")
 	flag.DurationVar(&opts.idleTimeout, "idle-timeout", 0, "close line-protocol connections idle for this long (0 = never)")
 	flag.StringVar(&opts.metricsAddr, "metrics", "", "HTTP listen address for /metrics and /healthz (empty: disabled)")
@@ -187,6 +209,7 @@ type daemon struct {
 	hsrv  *http.Server
 	diags []lint.Diagnostic // startup lint findings over the spec
 	rec   *obs.SpanRecorder // nil without -trace-out
+	fsys  vfs.FS
 	done  chan error
 }
 
@@ -264,7 +287,18 @@ func start(opts options) (*daemon, error) {
 	if opts.walSync == "" {
 		opts.walSync = "always"
 	}
+	if opts.onDurFailure == "" {
+		opts.onDurFailure = "degrade"
+	}
+	fsys := opts.fsys
+	if fsys == nil {
+		fsys = vfs.OS
+	}
 	mode, err := rtic.ParseMode(opts.mode)
+	if err != nil {
+		return nil, err
+	}
+	fpol, err := monitor.ParseFailurePolicy(opts.onDurFailure)
 	if err != nil {
 		return nil, err
 	}
@@ -272,8 +306,20 @@ func start(opts options) (*daemon, error) {
 	if mode != rtic.Incremental && (opts.snapPath != "" || opts.walPath != "") {
 		return nil, fmt.Errorf("-snapshot and -wal require -mode incremental (only the incremental engine is durable)")
 	}
+	if opts.ckptInterval < 0 {
+		return nil, fmt.Errorf("-checkpoint-interval must not be negative, got %v", opts.ckptInterval)
+	}
+	if opts.ckptInterval > 0 && opts.ckptInterval < time.Millisecond {
+		return nil, fmt.Errorf("-checkpoint-interval %v is below the 1ms floor (0 disables periodic checkpoints)", opts.ckptInterval)
+	}
 	if opts.ckptInterval > 0 && opts.snapPath == "" {
 		return nil, fmt.Errorf("-checkpoint-interval requires -snapshot")
+	}
+	if opts.maxConns < 0 {
+		return nil, fmt.Errorf("-max-conns must not be negative, got %d", opts.maxConns)
+	}
+	if opts.idleTimeout < 0 {
+		return nil, fmt.Errorf("-idle-timeout must not be negative, got %v", opts.idleTimeout)
 	}
 	if opts.pprof && opts.metricsAddr == "" {
 		return nil, fmt.Errorf("-pprof requires -metrics (pprof serves on the metrics listener)")
@@ -281,13 +327,28 @@ func start(opts options) (*daemon, error) {
 	if opts.shards > 1 && (opts.snapPath != "" || opts.restore) {
 		return nil, fmt.Errorf("-snapshot and -restore are not available with -shards (sharded durability is per-shard WALs; use -wal)")
 	}
+	// Catch a mistyped durability path at startup instead of failing the
+	// first append or checkpoint at runtime.
+	for _, p := range []struct{ flag, path string }{{"-wal", opts.walPath}, {"-snapshot", opts.snapPath}} {
+		if p.path == "" {
+			continue
+		}
+		dir := filepath.Dir(p.path)
+		st, err := fsys.Stat(dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: parent directory %s does not exist", p.flag, p.path, dir)
+		}
+		if !st.IsDir() {
+			return nil, fmt.Errorf("%s %s: parent %s is not a directory", p.flag, p.path, dir)
+		}
+	}
 
 	// -wal implies recovery: load the newest valid checkpoint if one
 	// exists, then replay the journal tail. Plain -restore keeps its
 	// strict behavior (the checkpoint file must exist).
 	snapExists := false
 	if opts.snapPath != "" {
-		if _, err := os.Stat(opts.snapPath); err == nil {
+		if _, err := fsys.Stat(opts.snapPath); err == nil {
 			snapExists = true
 		}
 	}
@@ -298,7 +359,7 @@ func start(opts options) (*daemon, error) {
 	case opts.restore && mode != rtic.Incremental:
 		return nil, fmt.Errorf("-restore requires -mode incremental (snapshots restore the incremental engine)")
 	case (opts.restore || opts.walPath != "") && snapExists:
-		sf, err := os.Open(opts.snapPath)
+		sf, err := fsys.OpenFile(opts.snapPath, os.O_RDONLY, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +371,7 @@ func start(opts options) (*daemon, error) {
 		}
 		fmt.Printf("restored checkpoint: %d states, t=%d\n", m.Len(), m.Now())
 	case opts.restore && opts.walPath == "":
-		_, err := os.Open(opts.snapPath) // surface the underlying error
+		_, err := fsys.OpenFile(opts.snapPath, os.O_RDONLY, 0) // surface the underlying error
 		return nil, err
 	default:
 		m, err = monitor.New(sp.Schema, sp.Constraints,
@@ -348,6 +409,22 @@ func start(opts options) (*daemon, error) {
 			n, opts.specPath, opts.specPath)
 	}
 
+	// done is created before the durability layer so the halt policy can
+	// signal the main loop; the send never blocks (capacity 1, and only
+	// the first failure matters).
+	done := make(chan error, 1)
+	halt := func(err error) {
+		select {
+		case done <- fmt.Errorf("durability failure (-on-durability-failure=halt): %w", err):
+		default:
+		}
+	}
+	durOpts := []monitor.DurableOption{
+		monitor.WithFailurePolicy(fpol),
+		monitor.WithHaltFunc(halt),
+		monitor.WithDurableFS(fsys),
+	}
+
 	var wlog *wal.Log
 	var wlogs []*wal.Log
 	var dur *monitor.Durable
@@ -369,7 +446,7 @@ func start(opts options) (*daemon, error) {
 		}
 		for i := 0; i < opts.shards; i++ {
 			path := fmt.Sprintf("%s.%d", opts.walPath, i)
-			l, err := wal.Open(path, wal.WithSyncPolicy(pol), wal.WithMetrics(o.Metrics), wal.WithSpans(o.Spans))
+			l, err := wal.Open(path, wal.WithSyncPolicy(pol), wal.WithMetrics(o.Metrics), wal.WithSpans(o.Spans), wal.WithFS(fsys))
 			if err != nil {
 				closeAll()
 				return nil, err
@@ -379,7 +456,7 @@ func start(opts options) (*daemon, error) {
 			}
 			wlogs = append(wlogs, l)
 		}
-		sdur, err = monitor.NewShardedDurable(m, wlogs)
+		sdur, err = monitor.NewShardedDurable(m, wlogs, durOpts...)
 		if err != nil {
 			closeAll()
 			return nil, err
@@ -399,11 +476,17 @@ func start(opts options) (*daemon, error) {
 		if err != nil {
 			return nil, err
 		}
-		wlog, err = wal.Open(opts.walPath, wal.WithSyncPolicy(pol), wal.WithMetrics(o.Metrics), wal.WithSpans(o.Spans))
+		openWAL := func(path string) (*wal.Log, error) {
+			return wal.Open(path, wal.WithSyncPolicy(pol), wal.WithMetrics(o.Metrics), wal.WithSpans(o.Spans), wal.WithFS(fsys))
+		}
+		wlog, err = openWAL(opts.walPath)
 		if err != nil {
 			return nil, err
 		}
-		dur, err = monitor.NewDurable(m, wlog, opts.snapPath)
+		// The factory hands the re-arm loop fresh segments with the same
+		// sync policy and instrumentation as the original journal.
+		dur, err = monitor.NewDurable(m, wlog, opts.snapPath,
+			append(durOpts, monitor.WithLogFactory(openWAL))...)
 		if err != nil {
 			wlog.Close()
 			return nil, err
@@ -422,7 +505,7 @@ func start(opts options) (*daemon, error) {
 		}
 		dur.Attach()
 	case opts.ckptInterval > 0:
-		dur, err = monitor.NewDurable(m, nil, opts.snapPath)
+		dur, err = monitor.NewDurable(m, nil, opts.snapPath, durOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -443,7 +526,7 @@ func start(opts options) (*daemon, error) {
 	}
 	srv := monitor.NewServer(m,
 		monitor.WithMaxConns(opts.maxConns), monitor.WithIdleTimeout(opts.idleTimeout))
-	d := &daemon{opts: opts, m: m, l: l, srv: srv, dur: dur, sdur: sdur, wlog: wlog, wlogs: wlogs, diags: diags, rec: rec, done: make(chan error, 1)}
+	d := &daemon{opts: opts, m: m, l: l, srv: srv, dur: dur, sdur: sdur, wlog: wlog, wlogs: wlogs, diags: diags, rec: rec, fsys: fsys, done: done}
 
 	if opts.metricsAddr != "" {
 		hl, err := net.Listen("tcp", opts.metricsAddr)
@@ -531,12 +614,18 @@ func (d *daemon) shutdown() error {
 			}
 		}
 	} else if d.opts.snapPath != "" {
-		if err = wal.WriteFileAtomic(d.opts.snapPath, d.m.Snapshot); err == nil {
+		if err = wal.WriteFileAtomicFS(d.fsys, d.opts.snapPath, d.m.Snapshot); err == nil {
 			fmt.Printf("checkpoint written to %s (%d states)\n", d.opts.snapPath, d.m.Len())
 		}
 	}
+	if d.sdur != nil {
+		d.sdur.Stop()
+	}
 	if d.wlog != nil {
-		if cerr := d.wlog.Close(); err == nil {
+		// Close through the manager: a fresh-segment re-arm may have
+		// swapped the live journal since startup.
+		cerr := d.dur.CloseLog()
+		if err == nil {
 			err = cerr
 		}
 	}

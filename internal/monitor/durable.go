@@ -1,14 +1,149 @@
 package monitor
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
+	"math/rand"
 	"sync"
 	"time"
 
+	"rtic/internal/obs"
 	"rtic/internal/storage"
+	"rtic/internal/vfs"
 	"rtic/internal/wal"
 )
+
+// FailurePolicy selects what a durability manager does when journaling
+// fails (a failed append, fsync, or background flush).
+type FailurePolicy int
+
+const (
+	// Degrade keeps the monitor serving: commits are still checked and
+	// acknowledged — as non-durable — while a bounded in-memory backlog
+	// buffers them and a background re-arm loop (exponential backoff
+	// with jitter) retries restoring durability. A transient failure is
+	// healed by draining the backlog into the journal; a broken journal
+	// is replaced by a fresh segment plus an atomic checkpoint covering
+	// the degraded window (requires a checkpoint path).
+	Degrade FailurePolicy = iota
+	// Halt invokes the configured halt function (see WithHaltFunc) on
+	// the first durability failure, so a daemon that must never
+	// acknowledge a non-durable commit can shut down instead of serving
+	// degraded.
+	Halt
+)
+
+// String returns the flag spelling of the policy.
+func (p FailurePolicy) String() string {
+	switch p {
+	case Degrade:
+		return "degrade"
+	case Halt:
+		return "halt"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseFailurePolicy reads an -on-durability-failure flag value.
+func ParseFailurePolicy(s string) (FailurePolicy, error) {
+	switch s {
+	case "degrade":
+		return Degrade, nil
+	case "halt":
+		return Halt, nil
+	default:
+		return 0, fmt.Errorf("monitor: unknown durability failure policy %q (want degrade or halt)", s)
+	}
+}
+
+// DurableOption configures a durability manager at construction time.
+type DurableOption func(*durableOptions)
+
+type durableOptions struct {
+	fs         vfs.FS
+	policy     FailurePolicy
+	halt       func(error)
+	openLog    func(path string) (*wal.Log, error)
+	backoffMin time.Duration
+	backoffMax time.Duration
+	backlogCap int
+}
+
+func defaultDurableOptions() durableOptions {
+	return durableOptions{
+		fs:         vfs.OS,
+		policy:     Degrade,
+		backoffMin: 50 * time.Millisecond,
+		backoffMax: 5 * time.Second,
+		backlogCap: 4096,
+	}
+}
+
+// WithDurableFS selects the filesystem checkpoints and re-arm segment
+// rotation go through (default vfs.OS). Fault-injection tests
+// substitute a vfs.FaultFS.
+func WithDurableFS(fsys vfs.FS) DurableOption {
+	return func(o *durableOptions) {
+		if fsys != nil {
+			o.fs = fsys
+		}
+	}
+}
+
+// WithFailurePolicy selects the reaction to a journaling failure
+// (default Degrade).
+func WithFailurePolicy(p FailurePolicy) DurableOption {
+	return func(o *durableOptions) { o.policy = p }
+}
+
+// WithHaltFunc registers the function the Halt policy invokes (at most
+// once) on a durability failure. It may be called from the commit path
+// or a background goroutine and must not block.
+func WithHaltFunc(h func(error)) DurableOption {
+	return func(o *durableOptions) { o.halt = h }
+}
+
+// WithLogFactory sets how the re-arm loop opens a fresh WAL segment,
+// so the replacement inherits the daemon's sync policy, metrics and
+// filesystem. The default opens a plain SyncAlways log through the
+// manager's filesystem.
+func WithLogFactory(open func(path string) (*wal.Log, error)) DurableOption {
+	return func(o *durableOptions) { o.openLog = open }
+}
+
+// WithRearmBackoff bounds the re-arm retry delay (defaults 50ms..5s,
+// doubling per failed attempt, with jitter).
+func WithRearmBackoff(min, max time.Duration) DurableOption {
+	return func(o *durableOptions) {
+		if min > 0 {
+			o.backoffMin = min
+		}
+		if max >= o.backoffMin {
+			o.backoffMax = max
+		}
+	}
+}
+
+// WithBacklogLimit caps the in-memory record backlog kept while
+// degraded (default 4096). Past the cap the backlog is discarded and
+// only a checkpoint-class re-arm can restore durability.
+func WithBacklogLimit(n int) DurableOption {
+	return func(o *durableOptions) {
+		if n > 0 {
+			o.backlogCap = n
+		}
+	}
+}
+
+// pendingRec is one commit buffered while degraded: its timestamp and
+// the encoded journal payload a drain re-arm appends.
+type pendingRec struct {
+	t       uint64
+	payload []byte
+}
 
 // Durable is the durability manager around a monitor: it journals every
 // accepted transaction to a write-ahead log, periodically rotates an
@@ -25,15 +160,48 @@ import (
 // after the rename but before the reset leaves records the recovery
 // skips by timestamp (timestamps are strictly increasing, so "t at or
 // before the checkpoint's clock" identifies them exactly).
+//
+// Journaling failures follow the configured FailurePolicy. Under
+// Degrade (the default) the manager enters degraded mode: commits keep
+// being checked and acknowledged — as non-durable — while a re-arm loop
+// retries in the background. Re-arm has two classes. If the log never
+// latched broken (a transient append failure, e.g. ENOSPC that
+// cleared), the buffered backlog is drained into it and fsynced. If the
+// log is broken or the backlog overflowed, a fresh segment is opened
+// beside the live path, an atomic checkpoint capturing the whole state
+// — degraded-window commits included — is written, and the fresh
+// segment is renamed over the old path; either way no acknowledged-
+// durable commit is ever lost, and commits acknowledged during the
+// degraded window become durable again at re-arm. Journal-only managers
+// (no checkpoint path) can only drain; if their log breaks they stay
+// degraded until restart.
 type Durable struct {
 	m        *Monitor
-	log      *wal.Log // nil: checkpoint-only durability
-	snapPath string   // "": journal-only durability
+	snapPath string // "": journal-only durability
+	fs       vfs.FS
+	policy   FailurePolicy
+	halt     func(error)
+	haltOnce sync.Once
+	openLog  func(path string) (*wal.Log, error)
 
-	mu       sync.Mutex
-	last     time.Time // last successful checkpoint
-	lastErr  error     // latest durability failure, nil when healthy
-	replayed int
+	backoffMin time.Duration
+	backoffMax time.Duration
+	backlogCap int
+
+	mu              sync.Mutex
+	log             *wal.Log     // nil: checkpoint-only durability; swapped by re-arm
+	mm              *obs.Metrics // captured at Attach/Recover; safe under the commit lock
+	last            time.Time    // last successful checkpoint
+	lastErr         error        // latest durability failure, nil when healthy
+	replayed        int
+	degraded        bool
+	degradedSince   time.Time
+	backlog         []pendingRec
+	backlogOverflow bool
+	rearmAttempts   uint64
+	rearms          uint64
+	rearmStop       chan struct{}
+	rearmDone       chan struct{}
 
 	stop chan struct{}
 	done chan struct{}
@@ -42,14 +210,27 @@ type Durable struct {
 // NewDurable builds the durability manager. log may be nil (periodic
 // checkpoints without a journal) and snapPath may be empty (journal
 // only, replayed in full on recovery); at least one must be set.
-func NewDurable(m *Monitor, log *wal.Log, snapPath string) (*Durable, error) {
+func NewDurable(m *Monitor, log *wal.Log, snapPath string, opts ...DurableOption) (*Durable, error) {
 	if m.inc == nil {
 		return nil, fmt.Errorf("monitor: durability requires the incremental engine (current: %v)", m.mode)
 	}
 	if log == nil && snapPath == "" {
 		return nil, fmt.Errorf("monitor: durability needs a WAL, a checkpoint path, or both")
 	}
-	return &Durable{m: m, log: log, snapPath: snapPath}, nil
+	o := defaultDurableOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	d := &Durable{
+		m: m, log: log, snapPath: snapPath,
+		fs: o.fs, policy: o.policy, halt: o.halt, openLog: o.openLog,
+		backoffMin: o.backoffMin, backoffMax: o.backoffMax, backlogCap: o.backlogCap,
+	}
+	if d.openLog == nil {
+		fsys := o.fs
+		d.openLog = func(p string) (*wal.Log, error) { return wal.Open(p, wal.WithFS(fsys)) }
+	}
+	return d, nil
 }
 
 // Recover replays the journal tail into the monitor and returns how
@@ -59,11 +240,15 @@ func NewDurable(m *Monitor, log *wal.Log, snapPath string) (*Durable, error) {
 // crash hit between checkpoint rename and journal reset — are skipped
 // by timestamp.
 func (d *Durable) Recover() (int, error) {
-	if d.log == nil {
+	d.captureMetrics()
+	d.mu.Lock()
+	log := d.log
+	d.mu.Unlock()
+	if log == nil {
 		return 0, nil
 	}
 	applied := 0
-	_, err := d.log.Replay(func(payload []byte) error {
+	_, err := log.Replay(func(payload []byte) error {
 		t, tx, err := wal.DecodeTx(payload)
 		if err != nil {
 			return err
@@ -79,26 +264,286 @@ func (d *Durable) Recover() (int, error) {
 	})
 	d.mu.Lock()
 	d.replayed = applied
+	mm := d.mm
 	d.mu.Unlock()
-	if mm, _ := d.m.Observer().Parts(); mm != nil {
+	if mm != nil {
 		mm.ReplayedRecords.Add(uint64(applied))
 	}
 	return applied, err
 }
 
+// captureMetrics snapshots the monitor's metric handles so hooks that
+// run under the commit lock never have to call Observer (which takes
+// that same lock).
+func (d *Durable) captureMetrics() {
+	if mm, _ := d.m.Observer().Parts(); mm != nil {
+		d.mu.Lock()
+		d.mm = mm
+		d.mu.Unlock()
+	}
+}
+
 // Attach starts journaling: every subsequently accepted transaction is
-// appended to the log under the commit lock. Append failures mark the
-// manager degraded (see Health) — the in-memory commit has already
-// happened and keeps serving.
+// appended to the log under the commit lock. Failures — including a
+// background-flusher fsync failure, surfaced through the log's failure
+// handler at the point of failure — trigger the configured
+// FailurePolicy.
 func (d *Durable) Attach() {
-	if d.log == nil {
+	d.captureMetrics()
+	d.mu.Lock()
+	log := d.log
+	d.mu.Unlock()
+	if log == nil {
 		return
 	}
-	d.m.SetJournal(func(t uint64, tx *storage.Transaction) {
-		if err := d.log.AppendTx(t, tx); err != nil {
-			d.noteError(err)
+	log.SetFailureHandler(d.onFailure)
+	d.m.SetJournal(d.journalHook)
+}
+
+// journalHook runs under the commit lock for every accepted commit.
+func (d *Durable) journalHook(t uint64, tx *storage.Transaction) {
+	d.mu.Lock()
+	if d.degraded {
+		d.pushBacklogLocked(pendingRec{t: t, payload: wal.EncodeTx(t, tx)})
+		d.mu.Unlock()
+		return
+	}
+	log := d.log
+	d.mu.Unlock()
+	if err := log.AppendTx(t, tx); err != nil {
+		d.onFailure(err)
+		d.mu.Lock()
+		if d.degraded {
+			// The failed record joins the backlog so a drain re-arm
+			// still covers this commit.
+			d.pushBacklogLocked(pendingRec{t: t, payload: wal.EncodeTx(t, tx)})
 		}
-	})
+		d.mu.Unlock()
+	}
+}
+
+// pushBacklogLocked buffers one degraded-window commit (caller holds
+// d.mu). Past the cap the backlog is dropped wholesale: it can no
+// longer be replayed into the journal, so only a checkpoint-class
+// re-arm — which captures the state directly — can recover.
+func (d *Durable) pushBacklogLocked(rec pendingRec) {
+	if d.backlogOverflow {
+		return
+	}
+	if len(d.backlog) >= d.backlogCap {
+		d.backlog = nil
+		d.backlogOverflow = true
+		if d.mm != nil {
+			d.mm.JournalBacklog.Set(0)
+		}
+		return
+	}
+	d.backlog = append(d.backlog, rec)
+	if d.mm != nil {
+		d.mm.JournalBacklog.Set(int64(len(d.backlog)))
+	}
+}
+
+// onFailure reacts to a journaling failure per the configured policy.
+// It is called from the commit path and from WAL failure handlers
+// (possibly a flusher goroutine); it only takes d.mu.
+func (d *Durable) onFailure(err error) {
+	if d.policy == Halt {
+		d.mu.Lock()
+		d.lastErr = err
+		d.mu.Unlock()
+		if d.halt != nil {
+			d.haltOnce.Do(func() { d.halt(err) })
+		}
+		return
+	}
+	d.degrade(err)
+}
+
+// degrade flips the manager into degraded mode (idempotent) and starts
+// the re-arm loop.
+func (d *Durable) degrade(err error) {
+	d.mu.Lock()
+	d.lastErr = err
+	if d.degraded {
+		d.mu.Unlock()
+		return
+	}
+	d.degraded = true
+	d.degradedSince = time.Now()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	d.rearmStop, d.rearmDone = stop, done
+	mm := d.mm
+	d.mu.Unlock()
+	if mm != nil {
+		mm.DurabilityDegraded.Set(1)
+	}
+	go runRearmLoop(stop, done, d.backoffMin, d.backoffMax, d.tryRearm)
+}
+
+// runRearmLoop retries try with exponential backoff until it reports
+// success or stop closes.
+func runRearmLoop(stop, done chan struct{}, min, max time.Duration, try func() bool) {
+	defer close(done)
+	delay := min
+	for {
+		t := time.NewTimer(rearmJitter(delay))
+		select {
+		case <-stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if try() {
+			return
+		}
+		delay *= 2
+		if delay > max {
+			delay = max
+		}
+	}
+}
+
+// rearmJitter spreads retries over [d/2, d) so managers degraded by a
+// shared cause do not retry in lockstep.
+func rearmJitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2))) //nolint:gosec — jitter, not crypto
+}
+
+// tryRearm attempts to restore durability. It holds the commit lock
+// throughout so no commit can slip between the drain (or checkpoint)
+// and journaling being live again.
+func (d *Durable) tryRearm() bool {
+	d.mu.Lock()
+	d.rearmAttempts++
+	mm := d.mm
+	d.mu.Unlock()
+	if mm != nil {
+		mm.RearmAttempts.Inc()
+	}
+
+	d.m.mu.Lock()
+	defer d.m.mu.Unlock()
+
+	d.mu.Lock()
+	if !d.degraded {
+		d.mu.Unlock()
+		return true
+	}
+	log := d.log
+	backlog := d.backlog
+	overflow := d.backlogOverflow
+	d.mu.Unlock()
+
+	if log != nil && log.Err() == nil && !overflow {
+		return d.rearmDrain(log, backlog)
+	}
+	return d.rearmFresh(log)
+}
+
+// rearmDrain re-appends the degraded window's commits to the still
+// healthy log (the failure was transient) and fsyncs. Caller holds the
+// commit lock, which also freezes the backlog.
+func (d *Durable) rearmDrain(log *wal.Log, backlog []pendingRec) bool {
+	appended := 0
+	for _, rec := range backlog {
+		if err := log.Append(rec.payload); err != nil {
+			break
+		}
+		appended++
+	}
+	ok := appended == len(backlog)
+	if ok {
+		ok = log.Sync() == nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Drop what reached the log even on a partial drain: a duplicate
+	// append on the next attempt would be harmless (recovery skips by
+	// timestamp) but the trim keeps attempts monotone.
+	d.backlog = d.backlog[appended:]
+	if !ok {
+		if d.mm != nil {
+			d.mm.JournalBacklog.Set(int64(len(d.backlog)))
+		}
+		return false
+	}
+	d.finishRearmLocked()
+	return true
+}
+
+// rearmFresh replaces a broken (or overflowed-past) journal: open a
+// fresh segment beside the live path, write an atomic checkpoint
+// covering every commit — the degraded window included — and rotate the
+// fresh segment over the old path. A crash at any point leaves a
+// recoverable pair: before the checkpoint rename, the old checkpoint
+// and old journal; after it, a checkpoint that supersedes every old
+// journal record (replay skips them by timestamp). Caller holds the
+// commit lock.
+func (d *Durable) rearmFresh(old *wal.Log) bool {
+	if d.snapPath == "" || old == nil {
+		return false // journal-only managers cannot rebuild a broken log
+	}
+	livePath := old.Path()
+	rearmPath := livePath + ".rearm"
+	// A leftover segment from an earlier failed attempt would make the
+	// fresh open replay stale records; clear it first.
+	if err := d.fs.Remove(rearmPath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return false
+	}
+	fresh, err := d.openLog(rearmPath)
+	if err != nil {
+		return false
+	}
+	abort := func() {
+		fresh.Close()
+		d.fs.Remove(rearmPath) //nolint:errcheck — best-effort cleanup
+	}
+	if err := wal.WriteFileAtomicFS(d.fs, d.snapPath, func(w io.Writer) error {
+		return d.m.inc.SaveSnapshot(w)
+	}); err != nil {
+		abort()
+		return false
+	}
+	if err := fresh.Rename(livePath); err != nil {
+		abort()
+		return false
+	}
+	fresh.SetFailureHandler(d.onFailure)
+	d.mu.Lock()
+	d.log = fresh
+	d.last = time.Now()
+	mm := d.mm
+	d.finishRearmLocked()
+	d.mu.Unlock()
+	if mm != nil {
+		mm.Checkpoints.Inc()
+		mm.CheckpointLastUnix.Set(time.Now().Unix())
+	}
+	old.Close() //nolint:errcheck — the replaced log was already broken
+	return true
+}
+
+// finishRearmLocked clears the degraded state (caller holds d.mu and
+// the commit lock). The re-arm loop exits once its attempt reports
+// success, so rearmStop is dropped here.
+func (d *Durable) finishRearmLocked() {
+	d.degraded = false
+	d.lastErr = nil
+	d.degradedSince = time.Time{}
+	d.backlog = nil
+	d.backlogOverflow = false
+	d.rearms++
+	d.rearmStop = nil
+	if d.mm != nil {
+		d.mm.DurabilityDegraded.Set(0)
+		d.mm.JournalBacklog.Set(0)
+		d.mm.Rearms.Inc()
+	}
 }
 
 // Start runs the background checkpointer at the given interval until
@@ -124,19 +569,49 @@ func (d *Durable) Start(interval time.Duration) {
 	}()
 }
 
-// Stop halts the background checkpointer (without a final checkpoint;
-// call Checkpoint explicitly for a clean shutdown).
+// Stop halts the background checkpointer and, if one is running, the
+// re-arm loop — a manager stopped while degraded stays degraded
+// (without a final checkpoint; call Checkpoint explicitly for a clean
+// shutdown).
 func (d *Durable) Stop() {
 	if d.stop != nil {
 		close(d.stop)
 		<-d.done
 		d.stop = nil
 	}
+	d.mu.Lock()
+	stop, done := d.rearmStop, d.rearmDone
+	d.rearmStop = nil
+	d.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 }
+
+// CloseLog flushes and closes the manager's current journal — which a
+// fresh-segment re-arm may have swapped since the caller opened it —
+// and is a no-op without one.
+func (d *Durable) CloseLog() error {
+	d.mu.Lock()
+	log := d.log
+	d.mu.Unlock()
+	if log == nil {
+		return nil
+	}
+	return log.Close()
+}
+
+// errCheckpointSkipped marks a checkpoint attempt that found the
+// manager degraded — the re-arm loop owns recovery then.
+var errCheckpointSkipped = errors.New("monitor: checkpoint skipped while degraded")
 
 // Checkpoint atomically rotates a snapshot into the checkpoint path and
 // resets the journal. Commits are held out for the duration — bounded
-// history encoding keeps the state (and so the pause) small.
+// history encoding keeps the state (and so the pause) small. While
+// degraded, Checkpoint is a no-op: the re-arm loop writes the
+// checkpoint that covers the degraded window, and a competing rotation
+// here could reset a journal the drain path still needs.
 func (d *Durable) Checkpoint() error {
 	if d.snapPath == "" {
 		return fmt.Errorf("monitor: no checkpoint path configured")
@@ -144,6 +619,9 @@ func (d *Durable) Checkpoint() error {
 	mm, _ := d.m.Observer().Parts()
 	start := time.Now()
 	err := d.checkpointLocked()
+	if errors.Is(err, errCheckpointSkipped) {
+		return nil
+	}
 	if mm != nil {
 		mm.CheckpointSeconds.Observe(time.Since(start).Seconds())
 		if err != nil {
@@ -167,28 +645,30 @@ func (d *Durable) Checkpoint() error {
 func (d *Durable) checkpointLocked() error {
 	d.m.mu.Lock()
 	defer d.m.mu.Unlock()
-	if err := wal.WriteFileAtomic(d.snapPath, func(w io.Writer) error {
+	d.mu.Lock()
+	log, degraded := d.log, d.degraded
+	d.mu.Unlock()
+	if degraded {
+		return errCheckpointSkipped
+	}
+	if err := wal.WriteFileAtomicFS(d.fs, d.snapPath, func(w io.Writer) error {
 		return d.m.inc.SaveSnapshot(w)
 	}); err != nil {
 		return err
 	}
-	if d.log != nil {
-		return d.log.Reset()
+	if log != nil {
+		return log.Reset()
 	}
 	return nil
-}
-
-func (d *Durable) noteError(err error) {
-	d.mu.Lock()
-	d.lastErr = err
-	d.mu.Unlock()
 }
 
 // DurabilityHealth is the durability section of a health report.
 type DurabilityHealth struct {
 	// Status is "ok", or "degraded" when the latest journal append or
-	// checkpoint failed.
+	// checkpoint failed and has not been recovered from.
 	Status string `json:"status"`
+	// Policy is the configured failure policy ("degrade" or "halt").
+	Policy string `json:"policy"`
 	// LastCheckpointAgeSeconds is the age of the newest successful
 	// checkpoint, -1 when none has been written this run.
 	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds"`
@@ -196,6 +676,18 @@ type DurabilityHealth struct {
 	WALBytes int64 `json:"wal_bytes"`
 	// ReplayedRecords counts journal records applied during recovery.
 	ReplayedRecords int `json:"replayed_records"`
+	// DegradedSeconds is how long the current degraded episode has
+	// lasted (0 when not in degraded mode).
+	DegradedSeconds float64 `json:"degraded_seconds,omitempty"`
+	// RearmAttempts counts re-arm attempts this run; Rearms counts the
+	// successful ones.
+	RearmAttempts uint64 `json:"rearm_attempts,omitempty"`
+	Rearms        uint64 `json:"rearms,omitempty"`
+	// BacklogRecords is the number of commits buffered while degraded;
+	// BacklogOverflow reports the backlog blew its cap (only a
+	// checkpoint-class re-arm can recover).
+	BacklogRecords  int  `json:"backlog_records,omitempty"`
+	BacklogOverflow bool `json:"backlog_overflow,omitempty"`
 	// LastError describes the failure behind a degraded status.
 	LastError string `json:"last_error,omitempty"`
 }
@@ -204,12 +696,24 @@ type DurabilityHealth struct {
 func (d *Durable) Health() DurabilityHealth {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	h := DurabilityHealth{Status: "ok", LastCheckpointAgeSeconds: -1, ReplayedRecords: d.replayed}
+	h := DurabilityHealth{
+		Status:                   "ok",
+		Policy:                   d.policy.String(),
+		LastCheckpointAgeSeconds: -1,
+		ReplayedRecords:          d.replayed,
+		RearmAttempts:            d.rearmAttempts,
+		Rearms:                   d.rearms,
+		BacklogRecords:           len(d.backlog),
+		BacklogOverflow:          d.backlogOverflow,
+	}
 	if !d.last.IsZero() {
 		h.LastCheckpointAgeSeconds = time.Since(d.last).Seconds()
 	}
 	if d.log != nil {
 		h.WALBytes = d.log.Size()
+	}
+	if d.degraded {
+		h.DegradedSeconds = time.Since(d.degradedSince).Seconds()
 	}
 	if d.lastErr != nil {
 		h.Status = "degraded"

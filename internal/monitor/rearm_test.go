@@ -1,0 +1,355 @@
+package monitor
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rtic/internal/obs"
+	"rtic/internal/schema"
+	"rtic/internal/storage"
+	"rtic/internal/tuple"
+	"rtic/internal/vfs"
+	"rtic/internal/wal"
+)
+
+// waitHealthy polls the health function until the status clears or the
+// deadline passes.
+func waitHealthy(t *testing.T, health func() DurabilityHealth) DurabilityHealth {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h := health()
+		if h.Status == "ok" {
+			return h
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("durability never re-armed; health = %+v", h)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func insertAt(t *testing.T, m *Monitor, ts uint64, e int64) {
+	t.Helper()
+	if _, err := m.Apply(ts, storage.NewTransaction().Insert("hire", tuple.Ints(e))); err != nil {
+		t.Fatalf("commit at t=%d: %v", ts, err)
+	}
+}
+
+// TestDrainRearmAfterTransientFailure fires one transient ENOSPC at a
+// journal append: the commit is still acknowledged, the manager
+// degrades with the record in its backlog, and the re-arm loop drains
+// it back into the (never broken) log. A post-crash replay must see
+// every commit, including the one from the degraded window.
+func TestDrainRearmAfterTransientFailure(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "state.wal")
+	snapPath := filepath.Join(dir, "state.snap")
+	// Ops: open(1), header write(2)+sync(3), first append write(4)+
+	// sync(5), second append write(6) — the injection point.
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.Injection{AtOp: 6, Op: vfs.OpWrite, Kind: vfs.ENOSPC})
+
+	m1 := durableMonitor(t)
+	log1, err := wal.Open(walPath, wal.WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := NewDurable(m1, log1, snapPath, WithRearmBackoff(5*time.Millisecond, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Attach()
+
+	insertAt(t, m1, 10, 1)
+	insertAt(t, m1, 20, 2) // journal append fails, commit still acknowledged
+	h := waitHealthy(t, d1.Health)
+	if h.Rearms != 1 || h.BacklogRecords != 0 {
+		t.Fatalf("health after drain re-arm = %+v, want 1 re-arm and an empty backlog", h)
+	}
+	insertAt(t, m1, 30, 3)
+	if err := log1.Err(); err != nil {
+		t.Fatalf("log latched broken after a transient failure: %v", err)
+	}
+	if got := log1.Records(); got != 3 {
+		t.Fatalf("journal holds %d records after drain, want 3", got)
+	}
+	// Crash without closing; recover over the real filesystem.
+	m2 := durableMonitor(t)
+	log2, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	d2, err := NewDurable(m2, log2, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d2.Recover(); err != nil || n != 3 {
+		t.Fatalf("Recover = %d, %v; want all 3 commits (degraded-window commit included)", n, err)
+	}
+	if m2.Now() != 30 {
+		t.Fatalf("recovered Now = %d, want 30", m2.Now())
+	}
+}
+
+// TestFreshSegmentRearmAfterBrokenLog latches the journal broken (fsync
+// failure) and verifies the checkpoint-class re-arm: a fresh segment is
+// rotated over the broken one behind an atomic checkpoint that covers
+// the degraded window, and recovery from checkpoint + fresh journal
+// reproduces the full state.
+func TestFreshSegmentRearmAfterBrokenLog(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "state.wal")
+	snapPath := filepath.Join(dir, "state.snap")
+	// Op 7 is the second append's fsync: the write lands, the sync fails,
+	// the log latches broken.
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.Injection{AtOp: 7, Op: vfs.OpSync, Kind: vfs.SyncFailure})
+
+	m1 := durableMonitor(t)
+	log1, err := wal.Open(walPath, wal.WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := NewDurable(m1, log1, snapPath, WithRearmBackoff(5*time.Millisecond, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Attach()
+
+	insertAt(t, m1, 10, 1)
+	insertAt(t, m1, 20, 2) // fsync fails: log breaks, manager degrades
+	if err := log1.Err(); err == nil {
+		t.Fatal("expected the original log to latch broken")
+	}
+	h := waitHealthy(t, d1.Health)
+	if h.Rearms != 1 {
+		t.Fatalf("health after fresh-segment re-arm = %+v, want 1 re-arm", h)
+	}
+	if h.LastCheckpointAgeSeconds < 0 {
+		t.Fatalf("re-arm did not record its checkpoint: %+v", h)
+	}
+	insertAt(t, m1, 30, 3) // lands in the fresh segment
+	if _, err := os.Stat(walPath + ".rearm"); !os.IsNotExist(err) {
+		t.Fatalf("re-arm staging segment left behind: %v", err)
+	}
+
+	// Crash; recover from checkpoint + fresh journal over the real FS.
+	s := schema.NewBuilder().Relation("hire", 1).Relation("fire", 1).MustBuild()
+	sf, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatalf("checkpoint missing after re-arm: %v", err)
+	}
+	m2, err := RestoreObserved(s, sf, &obs.Observer{Metrics: obs.NewMetrics(obs.NewRegistry())})
+	sf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Now() != 20 {
+		t.Fatalf("checkpoint covers up to t=%d, want 20 (degraded window included)", m2.Now())
+	}
+	log2, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	d2, err := NewDurable(m2, log2, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d2.Recover(); err != nil || n != 1 {
+		t.Fatalf("Recover = %d, %v; want 1 post-re-arm record", n, err)
+	}
+	if m2.Now() != 30 || m2.Len() != 3 {
+		t.Fatalf("recovered to Len=%d Now=%d, want 3/30", m2.Len(), m2.Now())
+	}
+}
+
+// TestBacklogOverflowForcesCheckpointRearm caps the backlog at one
+// record and commits past it during a degraded window: the overflow
+// rules out a drain, so the re-arm must go through the checkpoint
+// class even though the log never latched broken.
+func TestBacklogOverflowForcesCheckpointRearm(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "state.wal")
+	snapPath := filepath.Join(dir, "state.snap")
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.Injection{AtOp: 4, Op: vfs.OpWrite, Kind: vfs.ENOSPC})
+
+	m1 := durableMonitor(t)
+	log1, err := wal.Open(walPath, wal.WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := NewDurable(m1, log1, snapPath,
+		WithBacklogLimit(1),
+		WithRearmBackoff(200*time.Millisecond, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Attach()
+
+	// All three commits land before the first re-arm attempt (the
+	// backoff floor is 100ms of jittered delay): the first fails its
+	// append and fills the one-record backlog, the next two overflow it.
+	insertAt(t, m1, 10, 1)
+	insertAt(t, m1, 20, 2)
+	insertAt(t, m1, 30, 3)
+	if h := d1.Health(); !h.BacklogOverflow || h.Status != "degraded" {
+		t.Fatalf("health before re-arm = %+v, want a degraded overflowed backlog", h)
+	}
+	h := waitHealthy(t, d1.Health)
+	if h.Rearms != 1 || h.BacklogOverflow {
+		t.Fatalf("health after overflow re-arm = %+v", h)
+	}
+
+	// The checkpoint must cover every commit: replay the fresh journal
+	// over it and compare.
+	s := schema.NewBuilder().Relation("hire", 1).Relation("fire", 1).MustBuild()
+	sf, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatalf("checkpoint missing after overflow re-arm: %v", err)
+	}
+	m2, err := RestoreObserved(s, sf, &obs.Observer{Metrics: obs.NewMetrics(obs.NewRegistry())})
+	sf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Now() != 30 || m2.Len() != 3 {
+		t.Fatalf("checkpoint covers Len=%d Now=%d, want 3/30", m2.Len(), m2.Now())
+	}
+}
+
+// TestCheckpointSkippedWhileDegraded pins that the periodic checkpointer
+// defers to the re-arm loop: while degraded, Checkpoint is a no-op that
+// neither rotates a snapshot nor resets the journal the drain needs.
+func TestCheckpointSkippedWhileDegraded(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "state.wal")
+	snapPath := filepath.Join(dir, "state.snap")
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.Injection{AtOp: 4, Op: vfs.OpWrite, Kind: vfs.ENOSPC})
+
+	m1 := durableMonitor(t)
+	log1, err := wal.Open(walPath, wal.WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An hour of backoff keeps the manager degraded for the whole test.
+	d1, err := NewDurable(m1, log1, snapPath, WithRearmBackoff(time.Hour, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Attach()
+	insertAt(t, m1, 10, 1)
+	if h := d1.Health(); h.Status != "degraded" || h.BacklogRecords != 1 || h.DegradedSeconds <= 0 {
+		t.Fatalf("health = %+v, want degraded with 1 backlog record", h)
+	}
+	if err := d1.Checkpoint(); err != nil {
+		t.Fatalf("degraded checkpoint should be a silent no-op, got %v", err)
+	}
+	if _, err := os.Stat(snapPath); !os.IsNotExist(err) {
+		t.Fatalf("degraded checkpoint rotated a snapshot: %v", err)
+	}
+	if h := d1.Health(); h.Status != "degraded" || h.BacklogRecords != 1 {
+		t.Fatalf("health changed across a skipped checkpoint: %+v", h)
+	}
+	d1.Stop() // must cleanly stop the still-sleeping re-arm loop
+}
+
+// TestHaltPolicyCallsHaltOnce wires the Halt policy and verifies the
+// halt function fires exactly once across repeated failures while
+// commits keep succeeding (the engine has already applied them).
+func TestHaltPolicyCallsHaltOnce(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "state.wal")
+	// Op 5 is the first append's fsync: the log latches broken and every
+	// later append fails too.
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.Injection{AtOp: 5, Op: vfs.OpSync, Kind: vfs.SyncFailure})
+
+	m1 := durableMonitor(t)
+	log1, err := wal.Open(walPath, wal.WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var halts atomic.Int64
+	d1, err := NewDurable(m1, log1, "",
+		WithFailurePolicy(Halt),
+		WithHaltFunc(func(error) { halts.Add(1) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Attach()
+
+	insertAt(t, m1, 10, 1) // fsync fails: halt fires
+	insertAt(t, m1, 20, 2) // append on the broken log fails again
+	if got := halts.Load(); got != 1 {
+		t.Fatalf("halt fired %d times, want exactly 1", got)
+	}
+	h := d1.Health()
+	if h.Status != "degraded" || h.Policy != "halt" || h.Rearms != 0 {
+		t.Fatalf("health under halt policy = %+v", h)
+	}
+	if m1.Len() != 2 {
+		t.Fatalf("commits under halt policy: Len = %d, want 2", m1.Len())
+	}
+}
+
+// TestShardedDrainRearm degrades a sharded manager with a transient
+// failure on one shard's journal: the partially journaled commit is
+// completed on exactly the missing shard, the journals realign, and a
+// post-crash recovery sees every commit.
+func TestShardedDrainRearm(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	// Shard 1's journal fails its second append transiently; shard 0's
+	// journal is healthy throughout.
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.Injection{AtOp: 6, Op: vfs.OpWrite, Kind: vfs.ENOSPC})
+	m1 := shardedMonitor(t, shards)
+	logs1 := make([]*wal.Log, shards)
+	for i := range logs1 {
+		var opts []wal.Option
+		if i == 1 {
+			opts = append(opts, wal.WithFS(ffs))
+		}
+		l, err := wal.Open(filepath.Join(dir, fmt.Sprintf("state.wal.%d", i)), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs1[i] = l
+	}
+	d1, err := NewShardedDurable(m1, logs1, WithRearmBackoff(5*time.Millisecond, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Attach()
+
+	insertAt(t, m1, 10, 1)
+	insertAt(t, m1, 20, 2) // shard 1 misses this record until the drain
+	h := waitHealthy(t, d1.Health)
+	if h.Rearms != 1 || h.BacklogRecords != 0 {
+		t.Fatalf("health after sharded drain = %+v", h)
+	}
+	insertAt(t, m1, 30, 3)
+	for i, l := range logs1 {
+		if got := l.Records(); got != 3 {
+			t.Fatalf("shard %d journal holds %d records, want 3 (journals misaligned)", i, got)
+		}
+	}
+	d1.Stop()
+	// Crash without closing; recover over the real filesystem.
+	m2 := shardedMonitor(t, shards)
+	logs2 := openShardLogs(t, dir, shards)
+	defer closeShardLogs(t, logs2)
+	d2, err := NewShardedDurable(m2, logs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d2.Recover(); err != nil || n != 3 {
+		t.Fatalf("sharded Recover = %d, %v; want all 3 commits", n, err)
+	}
+	if m2.Now() != 30 {
+		t.Fatalf("recovered Now = %d, want 30", m2.Now())
+	}
+}

@@ -59,6 +59,10 @@ type Metrics struct {
 	CheckpointSeconds  *Histogram // checkpoint wall time
 	CheckpointLastUnix *Gauge     // unix time of the last good checkpoint
 	ReplayedRecords    *Counter   // WAL records replayed during recovery
+	DurabilityDegraded *Gauge     // 1 while journaling runs degraded
+	RearmAttempts      *Counter   // durability re-arm attempts
+	Rearms             *Counter   // successful durability re-arms
+	JournalBacklog     *Gauge     // commits buffered while degraded
 }
 
 // NewMetrics registers the standard metric set on r and returns the
@@ -149,6 +153,14 @@ func NewMetrics(r *Registry) *Metrics {
 			"Unix time of the last successful checkpoint (0 = never)."),
 		ReplayedRecords: r.Counter("rtic_recovery_replayed_records_total",
 			"WAL records replayed into the engine during startup recovery."),
+		DurabilityDegraded: r.Gauge("rtic_durability_degraded",
+			"1 while the durability manager is degraded (commits acknowledged as non-durable), 0 when journaling."),
+		RearmAttempts: r.Counter("rtic_durability_rearm_attempts_total",
+			"Attempts by the re-arm loop to restore durability after a failure."),
+		Rearms: r.Counter("rtic_durability_rearms_total",
+			"Successful durability re-arms (journaling restored after a degraded episode)."),
+		JournalBacklog: r.Gauge("rtic_durability_backlog_records",
+			"Commits buffered in memory while degraded, awaiting a drain re-arm."),
 	}
 }
 

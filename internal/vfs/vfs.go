@@ -1,0 +1,115 @@
+// Package vfs abstracts the filesystem operations of the durability
+// stack — WAL segments, checkpoints, atomic renames — behind a small
+// interface so that live I/O faults (ENOSPC, EIO, short writes, fsync
+// failures, crash-after-op-N) can be injected deterministically in
+// tests while production code runs on the real filesystem. The
+// indirection is free on the hot path: the WAL already holds its open
+// file behind an interface, so only open/rename/remove/stat go through
+// FS, and those happen at open, checkpoint and re-arm time, never per
+// commit.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// File is the subset of *os.File the durability layer needs: appends
+// and positional reads for the WAL, sequential reads for checkpoint
+// loading, truncation for torn-tail rollback, and fsync.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	// Name returns the path the file was opened with.
+	Name() string
+	// Stat reports the file's metadata (the WAL sizes itself from it).
+	Stat() (fs.FileInfo, error)
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	// Close closes the file.
+	Close() error
+}
+
+// FS is the filesystem surface of the durability layer. Implementations
+// must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens name with the given os.O_* flags and permissions.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically moves oldpath to newpath, replacing any
+	// existing file at newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// ReadDir lists the named directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat reports metadata for the named file.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// OS is the real filesystem — the default everywhere a vfs.FS is
+// accepted, so existing call sites behave exactly as before.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	return os.ReadDir(name)
+}
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// CreateTemp creates a new exclusive file in dir whose name starts with
+// pattern. Unlike os.CreateTemp the suffix counts up from 0, so the
+// name sequence is deterministic given the directory's contents — a
+// requirement for reproducing fault schedules op for op.
+func CreateTemp(fsys FS, dir, pattern string) (File, error) {
+	for i := 0; i < 10000; i++ {
+		name := filepath.Join(dir, fmt.Sprintf("%s%d", pattern, i))
+		f, err := fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+		if err == nil {
+			return f, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("vfs: no free temp name for %s* in %s", pattern, dir)
+}
+
+// SyncDir fsyncs the directory entry so a just-renamed file survives a
+// power cut. Filesystems that refuse to fsync directories (EINVAL or
+// not-supported) are tolerated — the rename itself is atomic — but a
+// real I/O failure is returned: a lost directory entry is exactly the
+// crash window atomic rotation exists to close.
+func SyncDir(fsys FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+			return nil
+		}
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,87 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSRoundTrip drives the OS implementation through the operations
+// the durability layer performs: create, append, sync, stat, rename,
+// remove, list, directory sync.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.log")
+	f, err := OS.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 5 {
+		t.Fatalf("size = %d, want 5", st.Size())
+	}
+	var buf [5]byte
+	if _, err := f.ReadAt(buf[:], 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:]) != "hello" {
+		t.Fatalf("read back %q", buf)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	moved := filepath.Join(dir, "b.log")
+	if err := OS.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("old path still stats: %v", err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "b.log" {
+		t.Fatalf("dir entries = %v", ents)
+	}
+	if err := SyncDir(OS, dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := OS.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCreateTempDeterministic pins the property fault schedules rely
+// on: temp names count up from 0, so the op sequence of a checkpoint is
+// identical run to run.
+func TestCreateTempDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, err := CreateTemp(OS, dir, "snap.tmp-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if got, want := filepath.Base(a.Name()), "snap.tmp-0"; got != want {
+		t.Fatalf("first temp name %q, want %q", got, want)
+	}
+	b, err := CreateTemp(OS, dir, "snap.tmp-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if got, want := filepath.Base(b.Name()), "snap.tmp-1"; got != want {
+		t.Fatalf("second temp name %q, want %q", got, want)
+	}
+}

@@ -4,25 +4,37 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+
+	"rtic/internal/vfs"
 )
 
-// WriteFileAtomic writes a file so that a crash at any point leaves
-// either the previous contents or the new contents at path, never a
-// torn mixture: write writes into a same-directory *.tmp file, the tmp
-// file is fsynced and closed, renamed over path, and the directory
-// entry is fsynced. The tmp file is removed on any failure.
-func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+// WriteFileAtomic writes a file on the real filesystem so that a crash
+// at any point leaves either the previous contents or the new contents
+// at path, never a torn mixture. See WriteFileAtomicFS.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	return WriteFileAtomicFS(vfs.OS, path, write)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an injectable filesystem:
+// write writes into a same-directory *.tmp file, the tmp file is
+// fsynced and closed, renamed over path, and the directory entry is
+// fsynced so the rename itself survives a power cut. A directory-fsync
+// failure is returned — a lost directory entry is exactly the crash
+// window atomic rotation exists to close — except on filesystems that
+// refuse directory fsyncs outright (see vfs.SyncDir). The tmp file is
+// removed on any failure before the rename.
+func WriteFileAtomicFS(fsys vfs.FS, path string, write func(w io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	tmp, err := vfs.CreateTemp(fsys, dir, filepath.Base(path)+".tmp-")
 	if err != nil {
 		return fmt.Errorf("wal: creating temp file for %s: %w", path, err)
 	}
+	renamed := false
 	defer func() {
-		if err != nil {
+		if err != nil && !renamed {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 		}
 	}()
 	bw := bufio.NewWriter(tmp)
@@ -38,14 +50,15 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("wal: closing %s: %w", path, err)
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
+	if err = fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("wal: renaming %s into place: %w", path, err)
 	}
-	// Make the rename itself durable. Directory fsync is best effort:
-	// some filesystems refuse it, and the rename is already atomic.
-	if d, derr := os.Open(dir); derr == nil {
-		_ = d.Sync()
-		d.Close()
+	renamed = true
+	if err = vfs.SyncDir(fsys, dir); err != nil {
+		// The new file is in place but its directory entry may not
+		// survive a power cut; the caller must not acknowledge the
+		// write as durable.
+		return fmt.Errorf("wal: syncing directory of %s: %w", path, err)
 	}
 	return nil
 }

@@ -1,0 +1,150 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"rtic/internal/vfs"
+)
+
+// TestWriteFileAtomicReplaces verifies the happy path: the new content
+// lands, the old content is gone, and no temp files are left behind.
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	for i, content := range []string{"first", "second"} {
+		err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil || string(got) != content {
+			t.Fatalf("write %d: read back %q, %v", i, got, err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after atomic writes, want 1", len(ents))
+	}
+}
+
+// TestWriteFileAtomicFailuresKeepOld injects a fault at every op index
+// of the atomic-write sequence in turn and verifies: the old file
+// survives every failure, and no temp file is left behind before the
+// rename happened.
+func TestWriteFileAtomicFailuresKeepOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Count the ops of one clean atomic write.
+	probe := vfs.NewFaultFS(vfs.OS)
+	if err := WriteFileAtomicFS(probe, path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.OpCount()
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for at := uint64(1); at <= total; at++ {
+		ffs := vfs.NewFaultFS(vfs.OS, vfs.Injection{AtOp: at, Kind: vfs.EIO})
+		err := WriteFileAtomicFS(ffs, path, func(w io.Writer) error {
+			_, werr := io.WriteString(w, "new")
+			return werr
+		})
+		got, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("at=%d: live path unreadable: %v", at, rerr)
+		}
+		if err != nil {
+			if string(got) != "old" && string(got) != "new" {
+				t.Fatalf("at=%d: torn content %q", at, got)
+			}
+		} else if string(got) != "new" {
+			t.Fatalf("at=%d: reported success but content is %q", at, got)
+		}
+		// Temp files may only survive a failure after the rename (the
+		// content is then already safe at path).
+		ents, _ := os.ReadDir(dir)
+		for _, e := range ents {
+			if e.Name() == "state.snap" {
+				continue
+			}
+			if string(got) != "new" {
+				t.Fatalf("at=%d: leftover temp file %s with old content live", at, e.Name())
+			}
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+		// Reset for the next op index.
+		if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWriteFileAtomicDirSyncErrorReturned pins the fix for the silent
+// `_ = d.Sync()`: an injected I/O error on the directory fsync must
+// surface to the caller.
+func TestWriteFileAtomicDirSyncErrorReturned(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	// Sequence: temp open(1), write(2), sync(3), close(4), rename(5),
+	// dir open(6), dir sync(7), dir close(8).
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.Injection{AtOp: 7, Op: vfs.OpSync, Kind: vfs.SyncFailure})
+	err := WriteFileAtomicFS(ffs, path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "x")
+		return werr
+	})
+	if err == nil {
+		t.Fatal("directory-fsync failure was swallowed")
+	}
+	if !errors.Is(err, syscall.EIO) || !strings.Contains(err.Error(), "syncing directory") {
+		t.Fatalf("error = %v, want a directory-sync EIO", err)
+	}
+	if len(ffs.Fired()) != 1 {
+		t.Fatalf("fired = %+v", ffs.Fired())
+	}
+	// The rename already happened: the content itself must be in place.
+	if got, rerr := os.ReadFile(path); rerr != nil || string(got) != "x" {
+		t.Fatalf("content after dir-sync failure: %q, %v", got, rerr)
+	}
+}
+
+// TestWriteFileAtomicWriteCallbackError verifies a callback error
+// removes the temp file and leaves the live path untouched.
+func TestWriteFileAtomicWriteCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("callback failure")
+	err := WriteFileAtomicFS(vfs.OS, path, func(w io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped callback failure", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Fatalf("live path changed to %q", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp file leaked: %v", ents)
+	}
+}

@@ -4,12 +4,16 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
+	"time"
 
 	"rtic/internal/storage"
 	"rtic/internal/tuple"
+	"rtic/internal/vfs"
 )
 
 // buildLogFile writes n transaction records through a real log and
@@ -289,6 +293,153 @@ func TestBrokenLatchAfterFailedRollback(t *testing.T) {
 	}
 	if err := l.Reset(); err == nil {
 		t.Fatal("broken log accepted a reset")
+	}
+}
+
+// Live-fault cases: the same failure classes as above, but injected
+// through a vfs.FaultFS under a real log on disk — proving the
+// injectable filesystem reproduces every behavior the hand-rolled
+// faultFile pinned, plus the cross-restart consequences (what the next
+// Open sees).
+
+// TestLiveENOSPCRollsBackAndHeals injects a disk-full error on one
+// append's write: the append fails, the partial frame is rolled back,
+// the log stays usable once space clears, and a reopen sees exactly
+// the successful records.
+func TestLiveENOSPCRollsBackAndHeals(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live.wal")
+	// Ops: open=1, header write=2, header sync=3; append k is write,
+	// then sync (SyncAlways). Fail the second append's write (op 6).
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.Injection{AtOp: 6, Op: vfs.OpWrite, Kind: vfs.ENOSPC})
+	l, err := Open(path, WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("lost")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append on a full disk: %v, want ENOSPC", err)
+	}
+	if l.Err() != nil {
+		t.Fatalf("clean rollback latched the log: %v", l.Err())
+	}
+	if err := l.Append([]byte("healed")); err != nil {
+		t.Fatalf("append after space cleared: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := replayFile(t, raw)
+	if err != nil || len(got) != 2 || string(got[0]) != "kept" || string(got[1]) != "healed" {
+		t.Fatalf("reopen recovered %q, %v", got, err)
+	}
+}
+
+// TestLiveShortWriteTearTruncatedOnReopen is the satellite case: a
+// short write tears a frame mid-append and the crash takes the rollback
+// with it, so the torn frame reaches disk — the next wal.Open must
+// truncate it away and recover the clean prefix.
+func TestLiveShortWriteTearTruncatedOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	// Ops: open=1, header write=2, header sync=3, append1 write=4,
+	// append1 sync=5. Tear append2's write (op 6) and crash on the
+	// rollback truncate (op 7): the partial frame stays on disk.
+	ffs := vfs.NewFaultFS(vfs.OS,
+		vfs.Injection{AtOp: 6, Op: vfs.OpWrite, Kind: vfs.ShortWrite},
+		vfs.Injection{AtOp: 7, Kind: vfs.Crash},
+	)
+	l, err := Open(path, WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("durable record")); err != nil {
+		t.Fatal(err)
+	}
+	err = l.Append([]byte("torn record, much longer than one byte"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("torn append returned %v, want short write", err)
+	}
+	if l.Err() == nil {
+		t.Fatal("failed rollback did not latch the log")
+	}
+	// The disk now holds a torn frame after the first record.
+	raw, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(raw) <= headerSize+frameHeaderSize+len("durable record") {
+		t.Fatalf("no torn bytes on disk (%d bytes); the fault did not tear", len(raw))
+	}
+	// Restart: a fresh Open over the real filesystem truncates the tear.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen over a torn tail: %v", err)
+	}
+	defer l2.Close()
+	if off, torn := l2.TornTail(); !torn || off != int64(headerSize+frameHeaderSize+len("durable record")) {
+		t.Fatalf("TornTail = (%d, %v), want tear at the second frame", off, torn)
+	}
+	var got [][]byte
+	if _, err := l2.Replay(func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0]) != "durable record" {
+		t.Fatalf("recovered %q, want only the durable record", got)
+	}
+	if err := l2.Append([]byte("after recovery")); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+}
+
+// TestLiveBatchFlusherFailureSurfacesAtPointOfFailure pins the
+// satellite fix: an injected fsync error on the background flusher must
+// fire the failure handler immediately (not on the next append), and
+// the next Append must still surface the latched error.
+func TestLiveBatchFlusherFailureSurfacesAtPointOfFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.wal")
+	// Ops: open=1, header write=2, header sync=3, append write=4,
+	// flusher sync=5 — fail it.
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.Injection{AtOp: 5, Op: vfs.OpSync, Kind: vfs.SyncFailure})
+	failed := make(chan error, 1)
+	l, err := Open(path,
+		WithFS(ffs),
+		WithSyncPolicy(SyncBatch),
+		WithBatchInterval(time.Millisecond),
+		WithFailureHandler(func(err error) {
+			select {
+			case failed <- err:
+			default:
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-failed:
+		if !errors.Is(err, syscall.EIO) {
+			t.Fatalf("handler got %v, want the injected EIO", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flusher failure never fired the failure handler")
+	}
+	if err := l.Append([]byte("refused")); err == nil {
+		t.Fatal("append accepted after the flusher latched the log")
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() nil after a flusher fsync failure")
 	}
 }
 

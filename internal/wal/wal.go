@@ -34,6 +34,7 @@ import (
 
 	"rtic/internal/obs"
 	"rtic/internal/storage"
+	"rtic/internal/vfs"
 )
 
 const (
@@ -123,6 +124,8 @@ type logOptions struct {
 	interval time.Duration
 	metrics  *obs.Metrics
 	spans    obs.SpanSink
+	fs       vfs.FS
+	onFail   func(error)
 }
 
 // WithSyncPolicy selects the sync policy (default SyncAlways).
@@ -149,20 +152,41 @@ func WithSpans(s obs.SpanSink) Option {
 	return func(o *logOptions) { o.spans = s }
 }
 
+// WithFS selects the filesystem the log opens and truncates through
+// (default vfs.OS). Fault-injection tests substitute a vfs.FaultFS; the
+// per-append hot path is unchanged either way (the open file already
+// sits behind an interface).
+func WithFS(fsys vfs.FS) Option {
+	return func(o *logOptions) { o.fs = fsys }
+}
+
+// WithFailureHandler registers a callback fired (outside the log lock)
+// the moment the log latches broken — a failed fsync, rollback,
+// truncate or reset — so a durability manager learns about a
+// background-flusher failure at the point of failure, not on the next
+// append. See also SetFailureHandler.
+func WithFailureHandler(h func(error)) Option {
+	return func(o *logOptions) { o.onFail = h }
+}
+
 // Log is an append-only, checksummed record log. All methods are safe
 // for concurrent use.
 type Log struct {
-	path    string
 	policy  SyncPolicy
 	metrics *obs.Metrics
 	spans   obs.SpanSink
+	fs      vfs.FS
 
 	mu      sync.Mutex
+	path    string
 	f       file
 	size    int64 // bytes of valid header + records on disk
 	records int   // valid records on disk
 	dirty   bool  // bytes appended since the last fsync
 	broken  error // sticky: set when the on-disk state is unknown
+
+	onFail      func(error) // fired (outside mu) when broken latches
+	justLatched bool        // broken was set and the handler not yet fired
 
 	torn       bool  // a torn final record was truncated on open
 	tornOffset int64 // where the torn record started
@@ -180,7 +204,10 @@ func Open(path string, opts ...Option) (*Log, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if o.fs == nil {
+		o.fs = vfs.OS
+	}
+	f, err := o.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +230,10 @@ func newLog(f file, path string, size int64, o logOptions) (*Log, error) {
 	if o.interval <= 0 {
 		o.interval = 100 * time.Millisecond
 	}
-	l := &Log{path: path, policy: o.policy, metrics: o.metrics, spans: o.spans, f: f, size: size}
+	if o.fs == nil {
+		o.fs = vfs.OS
+	}
+	l := &Log{path: path, policy: o.policy, metrics: o.metrics, spans: o.spans, fs: o.fs, onFail: o.onFail, f: f, size: size}
 	if size == 0 {
 		if _, err := f.Write(magic[:]); err != nil {
 			return nil, fmt.Errorf("wal: writing header: %w", err)
@@ -332,11 +362,45 @@ func (l *Log) Append(payload []byte) error {
 	return err
 }
 
+// latchLocked marks the log permanently broken (caller holds mu): the
+// on-disk state can no longer be trusted. The registered failure
+// handler fires once per latch, outside the lock, via
+// takeLatchNotifyLocked — at the point of failure, even when the
+// failing operation ran on the background flusher.
+func (l *Log) latchLocked(err error) {
+	if l.broken == nil {
+		l.broken = err
+		l.justLatched = true
+	}
+}
+
+// takeLatchNotifyLocked returns the pending failure notification as a
+// closure to invoke after releasing mu (a no-op when nothing latched
+// or no handler is registered).
+func (l *Log) takeLatchNotifyLocked() func() {
+	if !l.justLatched {
+		return func() {}
+	}
+	l.justLatched = false
+	h, err := l.onFail, l.broken
+	if h == nil {
+		return func() {}
+	}
+	return func() { h(err) }
+}
+
 // appendFrame writes one framed record under the log lock; sp (may be
 // nil) collects the fsync child under SyncAlways.
 func (l *Log) appendFrame(frame []byte, sp *obs.Span) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	err := l.appendFrameLocked(frame, sp)
+	fire := l.takeLatchNotifyLocked()
+	l.mu.Unlock()
+	fire()
+	return err
+}
+
+func (l *Log) appendFrameLocked(frame []byte, sp *obs.Span) error {
 	if l.broken != nil {
 		l.countError()
 		return fmt.Errorf("wal: log unusable after earlier write failure: %w", l.broken)
@@ -349,7 +413,7 @@ func (l *Log) appendFrame(frame []byte, sp *obs.Span) error {
 		// Roll the partial frame back so the on-disk prefix stays a valid
 		// log; if the rollback fails we no longer know what is on disk.
 		if terr := l.f.Truncate(l.size); terr != nil {
-			l.broken = fmt.Errorf("append failed (%v) and rollback failed (%v)", err, terr)
+			l.latchLocked(fmt.Errorf("append failed (%v) and rollback failed (%v)", err, terr))
 		}
 		l.countError()
 		return fmt.Errorf("wal: append: %w", err)
@@ -383,8 +447,11 @@ func (l *Log) AppendTx(t uint64, tx *storage.Transaction) error {
 // Sync forces buffered appends to stable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.syncLocked()
+	err := l.syncLocked()
+	fire := l.takeLatchNotifyLocked()
+	l.mu.Unlock()
+	fire()
+	return err
 }
 
 func (l *Log) syncLocked() error {
@@ -397,7 +464,7 @@ func (l *Log) syncLocked() error {
 	if err := l.f.Sync(); err != nil {
 		// After a failed fsync the kernel may have dropped the dirty
 		// pages; nothing about the tail can be trusted any more.
-		l.broken = err
+		l.latchLocked(err)
 		l.countError()
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
@@ -410,17 +477,24 @@ func (l *Log) syncLocked() error {
 // checkpoint has made every journaled record redundant.
 func (l *Log) Reset() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	err := l.resetLocked()
+	fire := l.takeLatchNotifyLocked()
+	l.mu.Unlock()
+	fire()
+	return err
+}
+
+func (l *Log) resetLocked() error {
 	if l.broken != nil {
 		return fmt.Errorf("wal: log unusable after earlier write failure: %w", l.broken)
 	}
 	if err := l.f.Truncate(headerSize); err != nil {
-		l.broken = err
+		l.latchLocked(err)
 		l.countError()
 		return fmt.Errorf("wal: reset: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
-		l.broken = err
+		l.latchLocked(err)
 		l.countError()
 		return fmt.Errorf("wal: reset sync: %w", err)
 	}
@@ -444,7 +518,14 @@ func (l *Log) Truncate(keep int) error {
 		return fmt.Errorf("wal: truncate to negative record count %d", keep)
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	err := l.truncateLocked(keep)
+	fire := l.takeLatchNotifyLocked()
+	l.mu.Unlock()
+	fire()
+	return err
+}
+
+func (l *Log) truncateLocked(keep int) error {
 	if l.broken != nil {
 		return fmt.Errorf("wal: log unusable after earlier write failure: %w", l.broken)
 	}
@@ -460,12 +541,12 @@ func (l *Log) Truncate(keep int) error {
 		off = next
 	}
 	if err := l.f.Truncate(off); err != nil {
-		l.broken = err
+		l.latchLocked(err)
 		l.countError()
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
-		l.broken = err
+		l.latchLocked(err)
 		l.countError()
 		return fmt.Errorf("wal: truncate sync: %w", err)
 	}
@@ -515,12 +596,18 @@ func (l *Log) flushLoop(interval time.Duration) {
 		case <-l.flushStop:
 			return
 		case <-t.C:
-			l.Sync() //nolint:errcheck — the broken latch reports it on the next append
+			// A flush failure latches the log broken inside syncLocked
+			// and fires the failure handler right here, at the point of
+			// failure — not on the next append. The error itself is
+			// re-reported by every subsequent operation.
+			_ = l.Sync()
 		}
 	}
 }
 
-// Close flushes and closes the log file.
+// Close flushes and closes the log file. A failed final sync latches
+// the log broken (and fires the failure handler) in addition to being
+// returned: the buffered tail never reached stable storage.
 func (l *Log) Close() error {
 	if l.flushStop != nil {
 		close(l.flushStop)
@@ -528,20 +615,56 @@ func (l *Log) Close() error {
 		l.flushStop = nil
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	err := error(nil)
 	if l.broken == nil && l.dirty {
 		if serr := l.f.Sync(); serr == nil {
 			l.dirty = false
 			l.countFsync()
 		} else {
+			l.latchLocked(serr)
+			l.countError()
 			err = fmt.Errorf("wal: close sync: %w", serr)
 		}
 	}
 	if cerr := l.f.Close(); err == nil && cerr != nil {
 		err = cerr
 	}
+	fire := l.takeLatchNotifyLocked()
+	l.mu.Unlock()
+	fire()
 	return err
+}
+
+// Err reports the sticky broken-latch error, nil while the log is
+// usable.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
+}
+
+// SetFailureHandler registers (or, with nil, clears) the callback fired
+// when the log latches broken; see WithFailureHandler. A latch that
+// already happened is not re-fired.
+func (l *Log) SetFailureHandler(h func(error)) {
+	l.mu.Lock()
+	l.onFail = h
+	l.mu.Unlock()
+}
+
+// Rename atomically moves the log file to newPath through the log's
+// filesystem; subsequent Path calls report the new location. The open
+// file handle survives the rename, so appends continue uninterrupted.
+// The durability re-arm path uses it to rotate a freshly opened
+// segment over a broken one.
+func (l *Log) Rename(newPath string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.fs.Rename(l.path, newPath); err != nil {
+		return fmt.Errorf("wal: renaming %s to %s: %w", l.path, newPath, err)
+	}
+	l.path = newPath
+	return nil
 }
 
 // Size reports the valid on-disk bytes (header included).
@@ -566,8 +689,12 @@ func (l *Log) TornTail() (int64, bool) {
 	return l.tornOffset, l.torn
 }
 
-// Path returns the log's file path.
-func (l *Log) Path() string { return l.path }
+// Path returns the log's file path (tracking renames).
+func (l *Log) Path() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.path
+}
 
 func (l *Log) countFsync() {
 	if m := l.metrics; m != nil {
