@@ -1,0 +1,101 @@
+// Command rticvet is the driver for the engine's custom static
+// analyzers (internal/analysis): noalloc, lockorder, errdiscard, and
+// metrichygiene — the machine-checked versions of the hot-path, lock,
+// and durability invariants documented in docs/ANALYSIS.md.
+//
+// It speaks go vet's -vettool protocol, so the usual way to run the
+// whole suite (tests included in the build graph, facts cached by the
+// go tool) is:
+//
+//	go build -o /tmp/rticvet ./cmd/rticvet
+//	go vet -vettool=/tmp/rticvet ./...
+//
+// Invoked with package patterns instead, it runs standalone over the
+// module in the current directory (no go vet orchestration):
+//
+//	go run ./cmd/rticvet ./...
+//
+// Exit codes follow go vet: 0 clean, 1 operational error, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rtic/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	suite := analysis.Suite()
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			// cmd/go asks which flags the tool supports; none.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasPrefix(args[0], "-V"):
+			// The version string keys go vet's result cache: derive it
+			// from the binary's own content hash so rebuilding the
+			// analyzers invalidates cached results.
+			fmt.Fprintf(stdout, "rticvet version %s\n", selfHash())
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return analysis.RunUnit(args[0], suite, stderr)
+		}
+	}
+	// Standalone mode: analyze package patterns in the current module.
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "rticvet: %v\n", err)
+		return 1
+	}
+	root := analysis.FindModuleRoot(wd)
+	doc := ""
+	if root != "" {
+		if _, err := os.Stat(root + "/docs/OBSERVABILITY.md"); err == nil {
+			doc = root + "/docs/OBSERVABILITY.md"
+		}
+	}
+	diags, err := analysis.RunDir(wd, analysis.DefaultConfig(doc), suite, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "rticvet: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+// selfHash hashes the executable so cached vet results are keyed to
+// this exact build of the analyzers.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "v0-unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "v0-unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "v0-unknown"
+	}
+	return fmt.Sprintf("v0-%x", h.Sum(nil)[:12])
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The two handshake calls cmd/go makes before handing a -vettool any
+// work: flag discovery and the cache-keying version string.
+func TestVettoolHandshake(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-flags"}, &out, &errb); rc != 0 {
+		t.Fatalf("-flags: rc=%d stderr=%s", rc, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("-flags printed %q, want []", out.String())
+	}
+
+	out.Reset()
+	if rc := run([]string{"-V=full"}, &out, &errb); rc != 0 {
+		t.Fatalf("-V=full: rc=%d stderr=%s", rc, errb.String())
+	}
+	got := strings.TrimSpace(out.String())
+	if !strings.HasPrefix(got, "rticvet version ") || strings.HasSuffix(got, " ") {
+		t.Fatalf("-V=full printed %q, want 'rticvet version <id>'", got)
+	}
+}
+
+func TestUnreadableConfigFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"/nonexistent/dir/vet.cfg"}, &out, &errb); rc != 1 {
+		t.Fatalf("missing vet.cfg: rc=%d, want 1 (stderr=%s)", rc, errb.String())
+	}
+}

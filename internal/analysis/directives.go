@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// The suite's annotation vocabulary. //rtic:noalloc marks a function
+// whose body (and statically-resolved module callees) must be
+// allocation-free. The three suppression verbs silence one diagnostic
+// class on the line they annotate (or the line immediately below,
+// for a standalone comment line) and REQUIRE a written justification:
+//
+//	//rtic:noalloc
+//	//rtic:allocok <reason>   — accepted allocation in noalloc context
+//	//rtic:lockok <reason>    — accepted operation under a critical lock
+//	//rtic:errok <reason>     — justified discarded error
+//
+// Unknown verbs, missing reasons, misplaced noalloc annotations, and
+// suppressions that silence nothing are themselves diagnostics, so a
+// clean `rticvet` run proves every annotation in the tree is
+// well-formed and attached to something the analyzers recognize.
+const (
+	dirPrefix   = "//rtic:"
+	VerbNoalloc = "noalloc"
+	VerbAllocOK = "allocok"
+	VerbLockOK  = "lockok"
+	VerbErrOK   = "errok"
+)
+
+// A Directive is one parsed //rtic: annotation.
+type Directive struct {
+	Pos    token.Position
+	Verb   string
+	Reason string
+	// attached: noalloc directive that is part of a FuncDecl doc.
+	attached bool
+	// used: suppression that silenced at least one diagnostic or
+	// matched a recognized (pruned) allocation site.
+	used bool
+	// alone: the directive comment is the only thing on its line, so
+	// it covers the line below.
+	alone bool
+	// bad: the directive was reported malformed; it takes no further
+	// part in suppression or unused-directive accounting.
+	bad bool
+}
+
+// Directives indexes the //rtic: annotations of one package.
+type Directives struct {
+	all []*Directive
+	// byLine: file -> line -> directive (at most one per line).
+	byLine map[string]map[int]*Directive
+	// noallocFuncs: positions (file:line of the func keyword) of
+	// declarations annotated //rtic:noalloc.
+	noallocDecls map[*ast.FuncDecl]*Directive
+	malformed    []Diagnostic
+}
+
+// wantRe strips analysistest expectation comments that share the
+// comment with a directive in fixtures ("//rtic:errok r // want ...").
+var wantRe = regexp.MustCompile(`\s*//\s*want\s+.*$`)
+
+// CollectDirectives parses every //rtic: comment in files. src maps
+// filenames to their raw bytes (used to tell trailing directives from
+// standalone comment lines); missing entries degrade gracefully.
+func CollectDirectives(fset *token.FileSet, files []*ast.File, src map[string][]byte) *Directives {
+	d := &Directives{
+		byLine:       make(map[string]map[int]*Directive),
+		noallocDecls: make(map[*ast.FuncDecl]*Directive),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.parseComment(fset, c, src)
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				pos := fset.Position(c.Pos())
+				if dir := d.at(pos.Filename, pos.Line); dir != nil && dir.Verb == VerbNoalloc {
+					dir.attached = true
+					d.noallocDecls[fd] = dir
+				}
+			}
+		}
+	}
+	return d
+}
+
+func (d *Directives) parseComment(fset *token.FileSet, c *ast.Comment, src map[string][]byte) {
+	text := c.Text
+	if !strings.HasPrefix(text, dirPrefix) {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	rest := strings.TrimPrefix(text, dirPrefix)
+	rest = wantRe.ReplaceAllString(rest, "")
+	verb, reason, _ := strings.Cut(rest, " ")
+	reason = strings.TrimSpace(reason)
+	dir := &Directive{Pos: pos, Verb: verb, Reason: reason, alone: standaloneComment(pos, src)}
+	d.all = append(d.all, dir)
+	switch verb {
+	case VerbNoalloc:
+		if reason != "" {
+			dir.bad = true
+			d.malformed = append(d.malformed, Diagnostic{
+				Pos: pos, Analyzer: "directive",
+				Message: "//rtic:noalloc takes no arguments; it annotates the function it documents",
+			})
+			return
+		}
+	case VerbAllocOK, VerbLockOK, VerbErrOK:
+		if reason == "" {
+			dir.bad = true
+			d.malformed = append(d.malformed, Diagnostic{
+				Pos: pos, Analyzer: "directive",
+				Message: "//rtic:" + verb + " requires a written justification (//rtic:" + verb + " <reason>)",
+			})
+			return
+		}
+	default:
+		dir.bad = true
+		d.malformed = append(d.malformed, Diagnostic{
+			Pos: pos, Analyzer: "directive",
+			Message: "unknown directive //rtic:" + verb + " (known: noalloc, allocok, lockok, errok)",
+		})
+		return
+	}
+	if m := d.byLine[pos.Filename]; m == nil {
+		d.byLine[pos.Filename] = map[int]*Directive{pos.Line: dir}
+	} else {
+		m[pos.Line] = dir
+	}
+}
+
+// standaloneComment reports whether only whitespace precedes the
+// comment on its line (so the directive covers the line below it
+// rather than trailing code on its own line).
+func standaloneComment(pos token.Position, src map[string][]byte) bool {
+	b, ok := src[pos.Filename]
+	if !ok || pos.Offset > len(b) {
+		return pos.Column == 1
+	}
+	for i := pos.Offset - pos.Column + 1; i < pos.Offset; i++ {
+		if b[i] != ' ' && b[i] != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Directives) at(file string, line int) *Directive {
+	if m := d.byLine[file]; m != nil {
+		return m[line]
+	}
+	return nil
+}
+
+// suppress reports whether a suppression of the given verb covers a
+// diagnostic at pos, marking the directive used. A trailing directive
+// covers its own line; a standalone directive line covers the line
+// below it.
+func (d *Directives) suppress(pos token.Position, verb string) bool {
+	if dir := d.at(pos.Filename, pos.Line); dir != nil && dir.Verb == verb {
+		dir.used = true
+		return true
+	}
+	if dir := d.at(pos.Filename, pos.Line-1); dir != nil && dir.Verb == verb && dir.alone {
+		dir.used = true
+		return true
+	}
+	return false
+}
+
+// covered is suppress without the usage marking — for callers that
+// need to know whether a suppression applies before the finding is
+// final (usage is settled at report time).
+func (d *Directives) covered(pos token.Position, verb string) bool {
+	if dir := d.at(pos.Filename, pos.Line); dir != nil && dir.Verb == verb {
+		return true
+	}
+	if dir := d.at(pos.Filename, pos.Line-1); dir != nil && dir.Verb == verb && dir.alone {
+		return true
+	}
+	return false
+}
+
+// Noalloc reports whether fd carries //rtic:noalloc.
+func (d *Directives) Noalloc(fd *ast.FuncDecl) bool {
+	_, ok := d.noallocDecls[fd]
+	return ok
+}
+
+// hygiene reports malformed, misplaced, and unused directives. Unused
+// suppressions are only reported for verbs whose consuming analyzer
+// actually ran, so single-analyzer fixture runs stay focused.
+func (d *Directives) hygiene(ran []*Analyzer) []Diagnostic {
+	verbRan := map[string]bool{}
+	for _, a := range ran {
+		switch a.Name {
+		case "noalloc":
+			verbRan[VerbAllocOK] = true
+			verbRan[VerbNoalloc] = true
+		case "lockorder":
+			verbRan[VerbLockOK] = true
+		case "errdiscard":
+			verbRan[VerbErrOK] = true
+		}
+	}
+	out := append([]Diagnostic(nil), d.malformed...)
+	for _, dir := range d.all {
+		if dir.bad {
+			continue
+		}
+		switch dir.Verb {
+		case VerbNoalloc:
+			if verbRan[VerbNoalloc] && !dir.attached {
+				out = append(out, Diagnostic{
+					Pos: dir.Pos, Analyzer: "directive",
+					Message: "misplaced //rtic:noalloc: must appear in the doc comment of a function declaration",
+				})
+			}
+		case VerbAllocOK, VerbLockOK, VerbErrOK:
+			if verbRan[dir.Verb] && !dir.used {
+				out = append(out, Diagnostic{
+					Pos: dir.Pos, Analyzer: "directive",
+					Message: "unused suppression //rtic:" + dir.Verb + ": no " + dir.Verb + "-suppressible finding on this line",
+				})
+			}
+		}
+	}
+	return out
+}

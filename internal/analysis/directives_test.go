@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+//rtic:noalloc
+func annotated() {}
+
+func body() int {
+	x := 1 //rtic:errok trailing justification
+	//rtic:lockok standalone line covers the next one
+	y := 2
+	return x + y
+}
+
+//rtic:bogusverb whatever
+var a = 1
+
+//rtic:errok
+var b = 2
+
+//rtic:noalloc because of reasons
+var c = 3
+
+//rtic:noalloc
+var misplaced = 4
+`
+
+func parseDirectives(t *testing.T) (*token.FileSet, *Directives) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, CollectDirectives(fset, []*ast.File{f}, map[string][]byte{"p.go": []byte(directiveSrc)})
+}
+
+func TestDirectiveAttachment(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := CollectDirectives(fset, []*ast.File{f}, map[string][]byte{"p.go": []byte(directiveSrc)})
+	var fd *ast.FuncDecl
+	for _, decl := range f.Decls {
+		if x, ok := decl.(*ast.FuncDecl); ok && x.Name.Name == "annotated" {
+			fd = x
+		}
+	}
+	if fd == nil || !d.Noalloc(fd) {
+		t.Fatalf("//rtic:noalloc not attached to annotated()")
+	}
+}
+
+func TestDirectiveSuppression(t *testing.T) {
+	_, d := parseDirectives(t)
+	at := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+
+	// Trailing directive covers its own line only.
+	if !d.covered(at(7), VerbErrOK) {
+		t.Errorf("trailing errok on line 7 should cover line 7")
+	}
+	if d.covered(at(8), VerbErrOK) {
+		t.Errorf("trailing errok must not cover the line below")
+	}
+	// Standalone directive line covers the line below.
+	if !d.covered(at(9), VerbLockOK) {
+		t.Errorf("standalone lockok on line 8 should cover line 9")
+	}
+	// Wrong verb never matches.
+	if d.covered(at(7), VerbLockOK) {
+		t.Errorf("verb mismatch should not suppress")
+	}
+	// covered() must not mark usage; suppress() must.
+	if got := unusedVerbs(d); !got["errok"] || !got["lockok"] {
+		t.Fatalf("covered() marked directives used: %v", got)
+	}
+	if !d.suppress(at(7), VerbErrOK) || !d.suppress(at(9), VerbLockOK) {
+		t.Fatalf("suppress() should match the same positions covered() did")
+	}
+	if got := unusedVerbs(d); got["errok"] || got["lockok"] {
+		t.Fatalf("suppress() did not mark directives used: %v", got)
+	}
+}
+
+// unusedVerbs runs hygiene with the full suite and reports which verbs
+// still have unused-suppression findings.
+func unusedVerbs(d *Directives) map[string]bool {
+	out := map[string]bool{}
+	for _, diag := range d.hygiene(Suite()) {
+		if strings.Contains(diag.Message, "unused suppression") {
+			for _, v := range []string{VerbAllocOK, VerbLockOK, VerbErrOK} {
+				if strings.Contains(diag.Message, "//rtic:"+v) {
+					out[v] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestDirectiveHygiene(t *testing.T) {
+	_, d := parseDirectives(t)
+	var msgs []string
+	for _, diag := range d.hygiene(Suite()) {
+		msgs = append(msgs, diag.Message)
+	}
+	all := strings.Join(msgs, "\n")
+	for _, wanted := range []string{
+		"unknown directive //rtic:bogusverb",
+		"//rtic:errok requires a written justification",
+		"//rtic:noalloc takes no arguments",
+		"misplaced //rtic:noalloc",
+	} {
+		if !strings.Contains(all, wanted) {
+			t.Errorf("hygiene missing %q in:\n%s", wanted, all)
+		}
+	}
+}

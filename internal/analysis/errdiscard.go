@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// durabilityOps are method/function names whose discarded error is
+// always suspect in a durability-critical package: they move bytes
+// toward (or away from) stable storage.
+var durabilityOps = map[string]bool{
+	"Sync": true, "Close": true, "Flush": true,
+	"Truncate": true, "Remove": true, "Rename": true, "Reset": true,
+	"Append": true, "AppendTx": true, "Checkpoint": true,
+	"Write": true, "WriteString": true, "WriteFile": true,
+	"WriteFileAtomic": true, "WriteFileAtomicFS": true,
+	"SaveSnapshot": true, "MkdirAll": true, "Commit": true,
+}
+
+// ErrDiscard requires every discarded error in the durability-critical
+// packages (Config.ErrPackages) to carry //rtic:errok <reason>:
+//
+//   - any error explicitly assigned to blank (`_ = l.Sync()`,
+//     `x, _ := f()` where the blank slot is the error), and
+//   - any call discarded as a bare statement (or `defer`) whose callee
+//     is a durability operation (Sync/Close/Flush/Truncate/...) or
+//     lives in one of the durability packages.
+//
+// Goroutine launches (`go f()`) are out of scope — their results need
+// channel plumbing, not an annotation — as are test files.
+var ErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc:  "require //rtic:errok justifications for discarded errors in durability-critical packages",
+	Run:  runErrDiscard,
+}
+
+func runErrDiscard(pass *Pass) error {
+	inScope := false
+	for _, p := range pass.Config.ErrPackages {
+		if pass.Pkg.Path() == p {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkBareCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkBareCall(pass, n.Call, "deferred ")
+			}
+			// Note: a `go f()` launch itself is never an ExprStmt, so
+			// goroutine launches are naturally out of scope while the
+			// bodies of `go func() { ... }()` literals are still
+			// inspected.
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankAssign flags `_ = <call>` and `x, _ := <call>` where the
+// blanked value is an error.
+func checkBlankAssign(pass *Pass, n *ast.AssignStmt) {
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		// Tuple-valued call: find the error components under blanks.
+		call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tv, ok := pass.Info.Types[n.Rhs[0]]
+		if !ok {
+			return
+		}
+		tup, ok := tv.Type.(*types.Tuple)
+		if !ok || tup.Len() != len(n.Lhs) {
+			return
+		}
+		for i, lhs := range n.Lhs {
+			if isBlank(lhs) && typeIsError(tup.At(i).Type()) {
+				pass.Report(n.Pos(), VerbErrOK,
+					"error from %s discarded into _ (justify with //rtic:errok <reason>)", callName(pass, call))
+			}
+		}
+		return
+	}
+	if len(n.Rhs) != len(n.Lhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if tv, ok := pass.Info.Types[n.Rhs[i]]; ok && typeIsError(tv.Type) {
+			pass.Report(n.Pos(), VerbErrOK,
+				"error from %s discarded into _ (justify with //rtic:errok <reason>)", callName(pass, call))
+		}
+	}
+}
+
+// checkBareCall flags expression-statement calls that drop an error
+// result from a durability operation.
+func checkBareCall(pass *Pass, call *ast.CallExpr, prefix string) {
+	if isConversion(pass.Info, call) || builtinName(pass.Info, call) != "" {
+		return
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return
+	}
+	hasErr := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if typeIsError(t.At(i).Type()) {
+				hasErr = true
+			}
+		}
+	default:
+		hasErr = typeIsError(tv.Type)
+	}
+	if !hasErr {
+		return
+	}
+	name := callName(pass, call)
+	fn, _ := staticCallee(pass.Info, call)
+	relevant := false
+	if fn != nil {
+		if durabilityOps[fn.Name()] {
+			relevant = true
+		} else if p := fn.Pkg(); p != nil {
+			for _, ep := range pass.Config.ErrPackages {
+				if p.Path() == ep {
+					relevant = true
+					break
+				}
+			}
+		}
+	} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && durabilityOps[sel.Sel.Name] {
+		relevant = true // dynamic call, but the name says durability
+	}
+	if !relevant {
+		return
+	}
+	pass.Report(call.Pos(), VerbErrOK,
+		"%serror from %s silently discarded (justify with //rtic:errok <reason>)", prefix, name)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func callName(pass *Pass, call *ast.CallExpr) string {
+	if fn, _ := staticCallee(pass.Info, call); fn != nil {
+		return fn.FullName()
+	}
+	s := types.ExprString(call.Fun)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// LoadedPackage is one source-typechecked package ready for analysis.
+type LoadedPackage struct {
+	Path   string
+	Name   string
+	Dir    string
+	Module string // module path ("" = outside any module)
+	Root   bool   // matched the load patterns (diagnostics wanted)
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Src   map[string][]byte
+	Types *types.Package
+	Info  *types.Info
+}
+
+// ModuleLocal reports whether fn's package belongs to the analyzed
+// module — i.e. source-level facts exist (or will exist) for it.
+func (p *LoadedPackage) ModuleLocal(fn *types.Func) bool {
+	tp := fn.Pkg()
+	if tp == nil || p.Module == "" {
+		return false
+	}
+	return tp.Path() == p.Module || strings.HasPrefix(tp.Path(), p.Module+"/")
+}
+
+// listedPackage mirrors the `go list -json` fields the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load resolves patterns with `go list -export -deps` (offline: export
+// data comes from the local build cache, no network), source-parses
+// and typechecks every module-local package in the closure, and
+// returns them in dependency order (imports before importers), so
+// facts can be computed bottom-up. Everything outside the module is
+// imported from compiler export data.
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	byPath := map[string]*listedPackage{}
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+	var module string
+	for _, lp := range listed {
+		if !lp.DepOnly && lp.Module != nil {
+			module = lp.Module.Path
+			break
+		}
+	}
+	isLocal := func(lp *listedPackage) bool {
+		return !lp.Standard && lp.Module != nil && module != "" && lp.Module.Path == module
+	}
+
+	// Topological order over module-local packages.
+	var order []*listedPackage
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(lp *listedPackage) error
+	visit = func(lp *listedPackage) error {
+		switch state[lp.ImportPath] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", lp.ImportPath)
+		case 2:
+			return nil
+		}
+		state[lp.ImportPath] = 1
+		for _, imp := range lp.Imports {
+			if dep, ok := byPath[imp]; ok && isLocal(dep) {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[lp.ImportPath] = 2
+		order = append(order, lp)
+		return nil
+	}
+	for _, lp := range listed {
+		if isLocal(lp) {
+			if err := visit(lp); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, byPath)
+	var out []*LoadedPackage
+	for _, lp := range order {
+		pkg, err := typecheckListed(fset, lp, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Module = module
+		pkg.Root = !lp.DepOnly
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Imports,Module,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := &listedPackage{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// exportImporter imports packages from the gc export data files `go
+// list -export` reported — the offline replacement for a module proxy.
+func exportImporter(fset *token.FileSet, byPath map[string]*listedPackage) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		lp, ok := byPath[path]
+		if !ok || lp.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(lp.Export)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// typecheckListed parses and typechecks one listed package from source.
+func typecheckListed(fset *token.FileSet, lp *listedPackage, imp types.Importer) (*LoadedPackage, error) {
+	var files []*ast.File
+	src := map[string][]byte{}
+	for _, name := range lp.GoFiles {
+		path := name
+		if !strings.HasPrefix(path, "/") {
+			path = lp.Dir + "/" + name
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		f, err := parser.ParseFile(fset, path, b, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
+		}
+		src[path] = b
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typechecking %s: %w", lp.ImportPath, err)
+	}
+	return &LoadedPackage{
+		Path:  lp.ImportPath,
+		Name:  lp.Name,
+		Dir:   lp.Dir,
+		Fset:  fset,
+		Files: files,
+		Src:   src,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// RunDir loads patterns rooted at dir and runs analyzers over every
+// module-local package bottom-up, returning diagnostics for the
+// pattern-matched (root) packages.
+func RunDir(dir string, cfg *Config, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	facts := map[string]*PackageFacts{}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, pf, err := RunAnalyzers(pkg, cfg, facts, analyzers...)
+		if err != nil {
+			return all, err
+		}
+		facts[pkg.Path] = pf
+		if pkg.Root {
+			all = append(all, diags...)
+		}
+	}
+	return all, nil
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(d + "/go.mod"); err == nil {
+			return d
+		}
+		parent := parentDir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}
+
+func parentDir(d string) string {
+	i := strings.LastIndexByte(strings.TrimRight(d, "/"), '/')
+	if i <= 0 {
+		return "/"
+	}
+	return d[:i]
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricNameRe is the required shape: rtic_ prefix, snake_case.
+var metricNameRe = regexp.MustCompile(`^rtic(_[a-z0-9]+)+$`)
+
+// MetricHygiene checks every metric registered through an obs.Registry
+// (Counter/Gauge/Histogram and their Vec variants):
+//
+//   - the name is a constant string literal (grep-able, not computed),
+//   - it matches rtic_<snake_case>,
+//   - it is registered exactly once across the module (duplicates in
+//     dependency packages are caught through facts), and
+//   - it appears in the metrics catalogue (docs/OBSERVABILITY.md;
+//     Config.MetricsDocPath), so the doc cannot drift from the code.
+var MetricHygiene = &Analyzer{
+	Name: "metrichygiene",
+	Doc:  "enforce rtic_ snake_case metric names, single registration, and catalogue coverage",
+	Run:  runMetricHygiene,
+}
+
+func runMetricHygiene(pass *Pass) error {
+	metrics := pass.Sums.Metrics
+	if len(metrics) == 0 {
+		return nil
+	}
+	var doc string
+	var docErr error
+	if pass.Config.MetricsDocPath != "" {
+		b, err := os.ReadFile(pass.Config.MetricsDocPath)
+		if err != nil {
+			docErr = err
+		}
+		doc = string(b)
+	}
+	// Names registered by module-local dependencies.
+	depNames := map[string]string{} // name -> registration pos
+	for _, pf := range pass.DepFacts {
+		for _, m := range pf.Metrics {
+			if m.Name != "" {
+				depNames[m.Name] = m.Pos
+			}
+		}
+	}
+	seen := map[string]string{}
+	docErrReported := false
+	for _, m := range metrics {
+		pos := parsePos(m.Pos)
+		if m.Name == "" {
+			reportAt(pass, pos, "metric name must be a constant string literal")
+			continue
+		}
+		if !metricNameRe.MatchString(m.Name) {
+			reportAt(pass, pos, "metric %q must match %s (rtic_ prefix, snake_case)", m.Name, metricNameRe)
+		}
+		if prev, dup := seen[m.Name]; dup {
+			reportAt(pass, pos, "metric %q registered more than once (previous registration at %s)", m.Name, prev)
+		} else if prev, dup := depNames[m.Name]; dup {
+			reportAt(pass, pos, "metric %q already registered by a dependency at %s", m.Name, prev)
+		}
+		seen[m.Name] = m.Pos
+		if pass.Config.MetricsDocPath != "" {
+			if docErr != nil {
+				if !docErrReported {
+					reportAt(pass, pos, "cannot read metrics catalogue %s: %v", pass.Config.MetricsDocPath, docErr)
+					docErrReported = true
+				}
+			} else if !strings.Contains(doc, m.Name) {
+				reportAt(pass, pos, "metric %q is not documented in %s", m.Name, pass.Config.MetricsDocPath)
+			}
+		}
+	}
+	return nil
+}
+
+// reportAt emits a diagnostic at an already-formatted file:line:col
+// position (metric facts carry string positions so they survive gob).
+func reportAt(pass *Pass, pos token.Position, format string, args ...any) {
+	*passDiags(pass) = append(*passDiags(pass), Diagnostic{
+		Pos:      pos,
+		Analyzer: pass.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func passDiags(pass *Pass) *[]Diagnostic { return pass.diags }
+
+// parsePos parses "file:line:col" back into a token.Position.
+func parsePos(s string) token.Position {
+	p := token.Position{Filename: s}
+	parts := strings.Split(s, ":")
+	if len(parts) >= 3 {
+		if line, err := strconv.Atoi(parts[len(parts)-2]); err == nil {
+			if col, err := strconv.Atoi(parts[len(parts)-1]); err == nil {
+				p.Filename = strings.Join(parts[:len(parts)-2], ":")
+				p.Line = line
+				p.Column = col
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,53 @@
+package analysis
+
+// NoAlloc rejects functions annotated //rtic:noalloc whose bodies (or
+// statically-resolved module callees, transitively) contain allocating
+// constructs: make/new, slice and map literals, &T{} escapes, append
+// to a fresh destination, non-constant string concatenation,
+// string<->[]byte conversions (the m[string(b)] map-index form is
+// exempt), closures, `go` statements, method values, interface boxing
+// of non-pointer-shaped values, and calls outside the module that are
+// not on the proven-allocation-free allowlist.
+//
+// Known holes, by design: dynamic calls (func values, interface
+// methods) are not followed, and append growth of a pooled buffer
+// (x = append(x, ...) / return append(x, ...)) is accepted as
+// amortized. TestPlanAllocationFree remains the runtime backstop for
+// both. Individual sites are accepted with //rtic:allocok <reason>.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "reject allocating constructs in functions annotated //rtic:noalloc",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for decl, sum := range pass.Sums.ByDecl {
+		if !pass.Dirs.Noalloc(decl) {
+			continue
+		}
+		// Direct sites were already filtered against //rtic:allocok
+		// during summarization; what remains is a finding.
+		for _, s := range sum.allocSites {
+			pass.Report(s.pos, "", "%s in noalloc function %s", s.what, sum.obj.Name())
+		}
+		// Calls are checked against the callee's transitive fact.
+		for _, cs := range sum.allocCalls {
+			if cs.iface {
+				continue
+			}
+			fact, ok := pass.fact(cs.fn)
+			if !ok {
+				pass.Report(cs.pos, VerbAllocOK,
+					"noalloc function %s calls %s, which has no allocation fact (not analyzed)",
+					sum.obj.Name(), cs.fn.FullName())
+				continue
+			}
+			if fact.Alloc != "" {
+				pass.Report(cs.pos, VerbAllocOK,
+					"noalloc function %s calls %s, which may allocate: %s",
+					sum.obj.Name(), cs.fn.FullName(), fact.Alloc)
+			}
+		}
+	}
+	return nil
+}

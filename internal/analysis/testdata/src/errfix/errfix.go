@@ -1,0 +1,37 @@
+// Package errfix is the errdiscard analyzer's fixture: discarded
+// errors in a durability-critical package, with justified and
+// unjustified variants plus a directive-hygiene case.
+package errfix
+
+type myErr struct{}
+
+func (myErr) Error() string { return "err" }
+
+type failer struct{}
+
+func (failer) Sync() error  { return myErr{} }
+func (failer) Close() error { return myErr{} }
+
+func frob() error { return myErr{} }
+
+func stat() (int, error) { return 0, myErr{} }
+
+func discards(f failer) {
+	_ = f.Sync()    // want `errdiscard: error from .*Sync discarded into _`
+	f.Close()       // want `errdiscard: error from .*Close silently discarded`
+	defer f.Close() // want `errdiscard: deferred error from .*Close silently discarded`
+	_ = frob()      // want `errdiscard: error from .*frob discarded into _`
+}
+
+func tupleDiscard() int {
+	n, _ := stat() // want `errdiscard: error from .*stat discarded into _`
+	return n
+}
+
+func justified(f failer) {
+	_ = f.Sync() //rtic:errok fixture: the log is already latched broken in this scenario
+}
+
+func noFinding(f failer) error {
+	return f.Sync() //rtic:errok this suppresses nothing // want `directive: unused suppression //rtic:errok`
+}

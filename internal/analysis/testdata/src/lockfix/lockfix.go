@@ -1,0 +1,64 @@
+// Package lockfix is the lockorder analyzer's fixture: a miniature WAL
+// shape (mutex, failure-handler field, network connection) with clean,
+// violating, propagated, and suppressed critical sections.
+package lockfix
+
+import (
+	"net"
+	"sync"
+)
+
+type Log struct {
+	mu     sync.Mutex
+	onFail func(error)
+	conn   net.Conn
+	broken error
+}
+
+// CleanNotify is the correct pattern: snapshot the handler under the
+// lock, fire it after Unlock.
+func (l *Log) CleanNotify() {
+	l.mu.Lock()
+	h, err := l.onFail, l.broken
+	l.mu.Unlock()
+	if h != nil {
+		h(err)
+	}
+}
+
+func (l *Log) Reacquire() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.mu.Lock() // want `lockorder: re-acquires .*Log\.mu, already held since`
+}
+
+func (l *Log) NetUnderLock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.conn.Write(nil) // want `lockorder: network I/O \(net\.Write\) under .*Log\.mu`
+}
+
+func (l *Log) NotifyLocked() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.onFail != nil {
+		l.onFail(l.broken) // want `lockorder: invokes the WAL failure handler under .*Log\.mu`
+	}
+}
+
+func (l *Log) lockedHelper() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+}
+
+func (l *Log) CallsLocked() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lockedHelper() // want `lockorder: calls .*lockedHelper, which may re-acquire .*Log\.mu`
+}
+
+func (l *Log) SuppressedRelock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lockedHelper() //rtic:lockok fixture: pretend the helper has a TryLock fast path
+}

@@ -1,0 +1,23 @@
+// Package obs is the metrichygiene analyzer's fixture: a miniature
+// registry (the analyzer matches *Registry methods in a package named
+// obs) with documented, undocumented, misnamed, duplicated, and
+// non-constant registrations. METRICS.md in this directory is the
+// fixture catalogue; rtic_fixture_missing_total is deliberately absent
+// from it — the doc-drift guard.
+package obs
+
+type Counter struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name, help string) *Counter { return &Counter{} }
+
+func register(r *Registry, dynamic string) {
+	r.Counter("rtic_fixture_documented_total", "in the catalogue")
+	r.Counter("rtic_fixture_missing_total", "absent from the catalogue") // want `metrichygiene: metric "rtic_fixture_missing_total" is not documented`
+	r.Gauge("FixtureBadName", "wrong shape")                             // want `metrichygiene: metric "FixtureBadName" must match` `metric "FixtureBadName" is not documented`
+	r.Counter("rtic_fixture_documented_total", "again")                  // want `metrichygiene: metric "rtic_fixture_documented_total" registered more than once`
+	r.Gauge(dynamic, "non-constant name")                                // want `metrichygiene: metric name must be a constant string literal`
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"os"
+	"testing"
+)
+
+// TestTreeCleanUnderSuite is the suite's meta-test: the entire module
+// must analyze clean. Because directive hygiene reports malformed,
+// misplaced, and unused //rtic: annotations as diagnostics, a clean
+// run also proves every annotation in the tree is well-formed and
+// attached to something the analyzers recognize — adding a bogus
+// //rtic:errok (or orphaning an existing one) fails this test.
+func TestTreeCleanUnderSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := FindModuleRoot(wd)
+	if root == "" {
+		t.Fatal("no module root above the test directory")
+	}
+	diags, err := RunDir(root, DefaultConfig(root+"/docs/OBSERVABILITY.md"), Suite(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

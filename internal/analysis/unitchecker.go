@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// VetConfig mirrors the vet.cfg JSON cmd/go hands a -vettool for each
+// package (the unitchecker protocol): file lists, the import map,
+// export-data paths for typechecking, and the facts plumbing.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one unitchecker invocation: typecheck the package
+// against export data, import dependency facts, run the suite, write
+// this package's facts, and print findings. The returned exit code
+// follows go vet's convention: 0 clean, 1 operational error, 2
+// findings.
+func RunUnit(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	cfgBytes, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "rticvet: %v\n", err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(cfgBytes, &cfg); err != nil {
+		fmt.Fprintf(stderr, "rticvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Only module packages carry our invariants. Standard-library
+	// deps, packages of other modules, and test variants ("pkg
+	// [pkg.test]", synthesized test mains) just need an (empty) facts
+	// file so the build graph stays satisfied; the base package run
+	// already reported their diagnostics.
+	if cfg.ModulePath == "" || strings.Contains(cfg.ImportPath, " [") ||
+		strings.HasSuffix(cfg.ImportPath, ".test") || strings.HasSuffix(cfg.ImportPath, "_test") {
+		return writeFacts(cfg.VetxOutput, FactSet{}, stderr)
+	}
+	// go vet folds _test.go files into the unit of a pattern-matched
+	// package. The invariants cover non-test code only, so analyze the
+	// non-test files (they never depend on test-only declarations); a
+	// unit that is all test files (external _test packages, test mains)
+	// just contributes empty facts.
+	nonTest := cfg.GoFiles[:0]
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			nonTest = append(nonTest, f)
+		}
+	}
+	cfg.GoFiles = nonTest
+	if len(cfg.GoFiles) == 0 {
+		return writeFacts(cfg.VetxOutput, FactSet{}, stderr)
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	lp := &listedPackage{ImportPath: cfg.ImportPath, Dir: cfg.Dir, GoFiles: cfg.GoFiles}
+	pkg, err := typecheckListed(fset, lp, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeFacts(cfg.VetxOutput, FactSet{}, stderr)
+		}
+		fmt.Fprintf(stderr, "rticvet: %v\n", err)
+		return 1
+	}
+	pkg.Module = cfg.ModulePath
+
+	// Dependency facts: each vetx embeds its own transitive deps, so
+	// merging the direct deps' files covers the full closure.
+	factSet := FactSet{}
+	for _, vetx := range cfg.PackageVetx {
+		b, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // dep produced no facts (e.g. stdlib before caching)
+		}
+		fs, err := DecodeFacts(b)
+		if err != nil {
+			fmt.Fprintf(stderr, "rticvet: %v\n", err)
+			return 1
+		}
+		factSet.Merge(fs)
+	}
+
+	depFacts := map[string]*PackageFacts{}
+	for path, pf := range factSet {
+		depFacts[path] = pf
+	}
+	acfg := DefaultConfig(metricsDocFor(cfg.Dir))
+	diags, pf, err := RunAnalyzers(pkg, acfg, depFacts, analyzers...)
+	if err != nil {
+		fmt.Fprintf(stderr, "rticvet: %v\n", err)
+		return 1
+	}
+	factSet[cfg.ImportPath] = pf
+	if code := writeFacts(cfg.VetxOutput, factSet, stderr); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+func writeFacts(path string, fs FactSet, stderr io.Writer) int {
+	if path == "" {
+		return 0
+	}
+	b, err := EncodeFacts(fs)
+	if err != nil {
+		fmt.Fprintf(stderr, "rticvet: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(path, b, 0o666); err != nil {
+		fmt.Fprintf(stderr, "rticvet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// metricsDocFor resolves docs/OBSERVABILITY.md from the module root
+// above dir ("" if absent, which disables the catalogue check).
+func metricsDocFor(dir string) string {
+	root := FindModuleRoot(dir)
+	if root == "" {
+		return ""
+	}
+	doc := root + "/docs/OBSERVABILITY.md"
+	if _, err := os.Stat(doc); err != nil {
+		return ""
+	}
+	return doc
+}

@@ -83,15 +83,17 @@ func (b *Bindings) Add(env Env) error {
 }
 
 // scratchRow fills the reusable row buffer from env.
+//
+//rtic:noalloc
 func (b *Bindings) scratchRow(env Env) (tuple.Tuple, error) {
 	if cap(b.scratch) < len(b.vars) {
-		b.scratch = make(tuple.Tuple, len(b.vars))
+		b.scratch = make(tuple.Tuple, len(b.vars)) //rtic:allocok scratch warm-up; amortized to zero after the first row
 	}
 	row := b.scratch[:len(b.vars)]
 	for i, v := range b.vars {
 		val, ok := env[v]
 		if !ok {
-			return nil, fmt.Errorf("fol: binding misses variable %q", v)
+			return nil, fmt.Errorf("fol: binding misses variable %q", v) //rtic:allocok cold path: env/vars mismatch is a programming error
 		}
 		row[i] = val
 	}
@@ -122,6 +124,8 @@ func (b *Bindings) Rows() []tuple.Tuple { return b.rel.Tuples() }
 
 // EachRow calls f with every underlying tuple (aligned with Vars()) in
 // unspecified order; iteration stops early when f returns false.
+//
+//rtic:noalloc
 func (b *Bindings) EachRow(f func(tuple.Tuple) bool) { b.rel.Each(f) }
 
 // ContainsRow reports whether a tuple aligned with Vars() is present.
@@ -153,12 +157,16 @@ func (b *Bindings) Contains(env Env) (bool, error) {
 
 // ContainsKeyBytes reports whether the binding row whose Key() encoding
 // is key is present — the allocation-free probe of plan execution.
+//
+//rtic:noalloc
 func (b *Bindings) ContainsKeyBytes(key []byte) bool {
 	return b.rel.ContainsKeyBytes(key)
 }
 
 // ContainsKey reports whether the binding row with the given Key()
 // string is present.
+//
+//rtic:noalloc
 func (b *Bindings) ContainsKey(key string) bool {
 	_, ok := b.rel.GetKey(key)
 	return ok

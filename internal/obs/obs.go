@@ -26,12 +26,18 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//rtic:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//rtic:noalloc
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
+//
+//rtic:noalloc
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Gauge is a metric that can go up and down.
@@ -40,15 +46,23 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//rtic:noalloc
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Inc adds one.
+//
+//rtic:noalloc
 func (g *Gauge) Inc() { g.v.Add(1) }
 
 // Dec subtracts one.
+//
+//rtic:noalloc
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
 // Value returns the current value.
+//
+//rtic:noalloc
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // FloatGauge is a gauge holding a float64 — for ratios like pool
@@ -58,9 +72,13 @@ type FloatGauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//rtic:noalloc
 func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
 
 // Value returns the current value.
+//
+//rtic:noalloc
 func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
 
 // Histogram is a fixed-bucket histogram of float64 observations
@@ -92,6 +110,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//rtic:noalloc
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. the "le" bucket
 	h.counts[i].Add(1)
@@ -106,9 +126,13 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // Count returns the number of observations.
+//
+//rtic:noalloc
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of all observations.
+//
+//rtic:noalloc
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 // metric is anything a series can hold.

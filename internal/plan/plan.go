@@ -636,6 +636,8 @@ func (c *compiler) argsOf(ts []mtl.Term, bound []bool) []argSpec {
 }
 
 // getState borrows a pooled execState sized for this plan.
+//
+//rtic:noalloc
 func (p *Plan) getState() *execState {
 	es := p.pool.Get().(*execState)
 	n := 0
@@ -645,14 +647,14 @@ func (p *Plan) getState() *execState {
 		}
 	}
 	if cap(es.slots) < n {
-		es.slots = make([]value.Value, n)
+		es.slots = make([]value.Value, n) //rtic:allocok pool warm-up; amortized to zero once the execState has been sized
 	}
 	es.slots = es.slots[:n]
 	if cap(es.row) < len(p.vars) {
-		es.row = make(tuple.Tuple, 0, len(p.vars))
+		es.row = make(tuple.Tuple, 0, len(p.vars)) //rtic:allocok pool warm-up; amortized to zero once the execState has been sized
 	}
 	if cap(es.answers) < len(p.temps) {
-		es.answers = make([]*fol.Bindings, len(p.temps))
+		es.answers = make([]*fol.Bindings, len(p.temps)) //rtic:allocok pool warm-up; amortized to zero once the execState has been sized
 	}
 	es.answers = es.answers[:len(p.temps)]
 	for i := range es.answers {
@@ -661,6 +663,7 @@ func (p *Plan) getState() *execState {
 	return es
 }
 
+//rtic:noalloc
 func (p *Plan) putState(es *execState) { p.pool.Put(es) }
 
 // Execute runs the plan over st with temporal literals answered by
@@ -668,6 +671,8 @@ func (p *Plan) putState(es *execState) { p.pool.Put(es) }
 // variables (rows are scratch; clone to retain; duplicates possible
 // across disjuncts). in binds the plan's input variables; nil is valid
 // for plans compiled without inputs.
+//
+//rtic:noalloc
 func (p *Plan) Execute(st *storage.State, oracle fol.Oracle, in fol.Env, emit func(tuple.Tuple) bool) error {
 	es := p.getState()
 	defer p.putState(es)
@@ -675,7 +680,7 @@ func (p *Plan) Execute(st *storage.State, oracle fol.Oracle, in fol.Env, emit fu
 		for i, v := range p.inputs {
 			val, ok := in[v]
 			if !ok {
-				return fmt.Errorf("plan: input variable %q not bound", v)
+				return fmt.Errorf("plan: input variable %q not bound", v) //rtic:allocok cold path: malformed caller input, never taken by a compiled monitor
 			}
 			es.slots[cj.inMap[i]] = val
 		}
@@ -714,6 +719,8 @@ func (p *Plan) Eval(st *storage.State, oracle fol.Oracle, in fol.Env) (*fol.Bind
 // RetestRow re-decides whether a row (aligned with Vars()) satisfies the
 // formula, probing every literal without enumeration. Only valid when
 // Seedable().
+//
+//rtic:noalloc
 func (p *Plan) RetestRow(st *storage.State, oracle fol.Oracle, row tuple.Tuple) (bool, error) {
 	es := p.getState()
 	defer p.putState(es)
@@ -722,7 +729,7 @@ func (p *Plan) RetestRow(st *storage.State, oracle fol.Oracle, row tuple.Tuple) 
 			es.slots[s] = row[i]
 		}
 		hit := false
-		cont, err := p.run(cj, cj.probe, es, st, oracle, func(tuple.Tuple) bool {
+		cont, err := p.run(cj, cj.probe, es, st, oracle, func(tuple.Tuple) bool { //rtic:allocok closure does not escape p.run (stack-allocated; TestPlanAllocationFree covers this path)
 			hit = true
 			return false
 		})
@@ -740,18 +747,20 @@ func (p *Plan) RetestRow(st *storage.State, oracle fol.Oracle, row tuple.Tuple) 
 // ExecuteSeeded runs only the derivations that use a changed row of
 // source: each seed row is unified against the literal and the remaining
 // conjuncts run from there. Only valid when Seedable().
+//
+//rtic:noalloc
 func (p *Plan) ExecuteSeeded(st *storage.State, oracle fol.Oracle, src Source, seeds []tuple.Tuple, emit func(tuple.Tuple) bool) error {
-	srcKey := src.Key()
+	srcKey := src.Key() //rtic:allocok one small key string per seed batch, not per row
 	es := p.getState()
 	defer p.putState(es)
 	for _, cj := range p.disjuncts {
 		for _, sv := range cj.seeds {
-			if sv.source.Key() != srcKey {
+			if sv.source.Key() != srcKey { //rtic:allocok one key string per seed variant, not per row
 				continue
 			}
 			for _, seed := range seeds {
 				if len(seed) != len(sv.args) {
-					return fmt.Errorf("plan: seed arity %d for literal of arity %d", len(seed), len(sv.args))
+					return fmt.Errorf("plan: seed arity %d for literal of arity %d", len(seed), len(sv.args)) //rtic:allocok cold path: arity mismatch is a caller bug, never taken in steady state
 				}
 				if !unify(es, sv.args, seed) {
 					continue
@@ -771,6 +780,8 @@ func (p *Plan) ExecuteSeeded(st *storage.State, oracle fol.Oracle, src Source, s
 
 // unify matches a source row against a literal's column spec, assigning
 // unbound slots and checking constants and already-bound slots.
+//
+//rtic:noalloc
 func unify(es *execState, args []argSpec, t tuple.Tuple) bool {
 	for j, a := range args {
 		switch {
@@ -791,6 +802,8 @@ func unify(es *execState, args []argSpec, t tuple.Tuple) bool {
 
 // buildKey assembles the tuple.Key encoding of the literal's columns in
 // es.key (reused across probes).
+//
+//rtic:noalloc
 func (es *execState) buildKey(args []argSpec) []byte {
 	k := es.key[:0]
 	for _, a := range args {
@@ -806,9 +819,11 @@ func (es *execState) buildKey(args []argSpec) []byte {
 
 // run executes a step program against the current slots, recursing per
 // enumerated row. It returns false when emit stopped the run.
+//
+//rtic:noalloc
 func (p *Plan) run(cj *conj, steps []step, es *execState, st *storage.State, oracle fol.Oracle, emit func(tuple.Tuple) bool) (bool, error) {
 	var rec func(i int) (bool, error)
-	rec = func(i int) (bool, error) {
+	rec = func(i int) (bool, error) { //rtic:allocok recursive closure over locals; does not escape run (TestPlanAllocationFree covers this path)
 		if i == len(steps) {
 			row := es.row[:0]
 			for _, s := range cj.out {
@@ -859,12 +874,12 @@ func (p *Plan) run(cj *conj, steps []step, es *execState, st *storage.State, ora
 		case kSubProbe:
 			found := false
 			if es.env == nil {
-				es.env = make(fol.Env, 8)
+				es.env = make(fol.Env, 8) //rtic:allocok pool warm-up; the subquery env is reused across executions
 			}
 			for j, v := range s.sub.inputs {
 				es.env[v] = es.slots[s.subIn[j]]
 			}
-			err := s.sub.Execute(st, oracle, es.env, func(tuple.Tuple) bool {
+			err := s.sub.Execute(st, oracle, es.env, func(tuple.Tuple) bool { //rtic:allocok closure does not escape Execute (TestPlanAllocationFree covers this path)
 				found = true
 				return false
 			})
@@ -885,9 +900,9 @@ func (p *Plan) run(cj *conj, steps []step, es *execState, st *storage.State, ora
 			}
 			cont := true
 			var iterErr error
-			visit := func(t tuple.Tuple) bool {
+			visit := func(t tuple.Tuple) bool { //rtic:allocok closure does not escape the scan (TestPlanAllocationFree covers this path)
 				if len(t) != len(s.args) {
-					iterErr = fmt.Errorf("plan: relation %q arity %d, literal arity %d", s.rel, len(t), len(s.args))
+					iterErr = fmt.Errorf("plan: relation %q arity %d, literal arity %d", s.rel, len(t), len(s.args)) //rtic:allocok cold path: arity mismatch is a compile bug
 					return false
 				}
 				if !unify(es, s.args, t) {
@@ -933,7 +948,7 @@ func (p *Plan) run(cj *conj, steps []step, es *execState, st *storage.State, ora
 			}
 			cont := true
 			var iterErr error
-			ans.EachRow(func(t tuple.Tuple) bool {
+			ans.EachRow(func(t tuple.Tuple) bool { //rtic:allocok closure does not escape EachRow (TestPlanAllocationFree covers this path)
 				if !unify(es, s.args, t) {
 					return true
 				}
@@ -950,12 +965,13 @@ func (p *Plan) run(cj *conj, steps []step, es *execState, st *storage.State, ora
 			})
 			return cont, iterErr
 		default:
-			return false, fmt.Errorf("plan: unknown step kind %d", s.kind)
+			return false, fmt.Errorf("plan: unknown step kind %d", s.kind) //rtic:allocok unreachable default: every step kind is covered above
 		}
 	}
 	return rec(0)
 }
 
+//rtic:noalloc
 func (p *Plan) tempAnswer(temp int, es *execState, oracle fol.Oracle) (*fol.Bindings, error) {
 	if es.answers[temp] == nil {
 		b, err := oracle.Enumerate(p.temps[temp])
@@ -970,6 +986,8 @@ func (p *Plan) tempAnswer(temp int, es *execState, oracle fol.Oracle) (*fol.Bind
 // probeTemp decides a fully bound temporal literal: through the oracle's
 // key-probe extension when available, else by enumerating (cached per
 // execution) and probing the answer set.
+//
+//rtic:noalloc
 func (p *Plan) probeTemp(s *step, es *execState, oracle fol.Oracle) (bool, error) {
 	if kt, ok := oracle.(KeyTester); ok {
 		return kt.TestKey(p.temps[s.temp], es.buildKey(s.args))

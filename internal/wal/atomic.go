@@ -33,8 +33,8 @@ func WriteFileAtomicFS(fsys vfs.FS, path string, write func(w io.Writer) error) 
 	renamed := false
 	defer func() {
 		if err != nil && !renamed {
-			tmp.Close()
-			fsys.Remove(tmp.Name())
+			tmp.Close()             //rtic:errok best-effort cleanup; the original write/rename error is what the caller sees
+			fsys.Remove(tmp.Name()) //rtic:errok best-effort cleanup of the temp file after a failed atomic write
 		}
 	}()
 	bw := bufio.NewWriter(tmp)

@@ -213,12 +213,12 @@ func Open(path string, opts ...Option) (*Log, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		f.Close() //rtic:errok open failed before any write; the stat error is the one to surface
 		return nil, err
 	}
 	l, err := newLog(f, path, st.Size(), o)
 	if err != nil {
-		f.Close()
+		f.Close() //rtic:errok recovery scan failed; its error supersedes closing the unused handle
 		return nil, err
 	}
 	return l, nil
@@ -600,7 +600,7 @@ func (l *Log) flushLoop(interval time.Duration) {
 			// and fires the failure handler right here, at the point of
 			// failure — not on the next append. The error itself is
 			// re-reported by every subsequent operation.
-			_ = l.Sync()
+			_ = l.Sync() //rtic:errok the failure handler fires inside Sync at the point of failure; every later append/sync re-reports the latched error
 		}
 	}
 }
