@@ -76,8 +76,8 @@ func TestAllExperimentsQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 13 {
-		t.Fatalf("got %d tables, want 13", len(tables))
+	if len(tables) != 14 {
+		t.Fatalf("got %d tables, want 14", len(tables))
 	}
 	for _, tbl := range tables {
 		if len(tbl.Rows) == 0 {
@@ -113,6 +113,41 @@ func parseRatio(t *testing.T, s string) float64 {
 	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
 	if err != nil {
 		t.Fatalf("bad ratio %q", s)
+	}
+	return v
+}
+
+func TestTable10CDCFreshnessShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	tbl, err := Table10CDCFreshness(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 || tbl.Rows[0][0] != "steady" || tbl.Rows[1][0] != "burst" {
+		t.Fatalf("unexpected rows: %v", tbl.Rows)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("row width %d != %d columns: %v", len(row), len(tbl.Columns), row)
+		}
+	}
+	// Steady-state CDC traffic must ride the cheap check paths — the
+	// same invariant internal/cdcgen's skip regression test pins, here
+	// asserted on the benchmark's own measurement.
+	skipped := parsePercent(t, tbl.Rows[0][5])
+	seeded := parsePercent(t, tbl.Rows[0][6])
+	if skipped+seeded < 50 {
+		t.Fatalf("steady phase skipped+seeded %.1f%% < 50%%:\n%v", skipped+seeded, tbl.Rows)
+	}
+}
+
+func parsePercent(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percent %q", s)
 	}
 	return v
 }

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"rtic/internal/cdcgen"
+	"rtic/internal/core"
+)
+
+// phaseStats accumulates one phase's share of a CDC replay: commit
+// timings, heap allocations, and the delta-driven check path's
+// per-constraint action decisions.
+type phaseStats struct {
+	commits int
+	ns      int64
+	mallocs uint64
+	actions map[core.SkipAction]int
+}
+
+func (p *phaseStats) row(name string) []string {
+	total := 0
+	for _, n := range p.actions {
+		total += n
+	}
+	share := func(a core.SkipAction) string {
+		if total == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(p.actions[a])/float64(total))
+	}
+	nsPerTx := float64(p.ns) / float64(p.commits)
+	return []string{
+		name,
+		fmt.Sprintf("%d", p.commits),
+		ns(nsPerTx),
+		fmt.Sprintf("%.0f", 1e9/nsPerTx),
+		fmt.Sprintf("%.0f", float64(p.mallocs)/float64(p.commits)),
+		share(core.ActionSkipped),
+		share(core.ActionSeeded),
+		share(core.ActionPlanned),
+		share(core.ActionTreeWalk),
+	}
+}
+
+// Table10CDCFreshness — the CDC freshness workload (internal/cdcgen,
+// ROADMAP item 5): burst trains of source captures against steady
+// mixed traffic, checked under the validity-window, derived-lifetime,
+// and staleness-chain constraints. The table attributes throughput,
+// allocations, and the LastSkips action distribution to each phase:
+// steady traffic should ride the skipped/seeded paths, while bursts
+// concentrate writes on few relations and show where the skip rule's
+// coverage ends.
+func Table10CDCFreshness(quick bool) (Table, error) {
+	t := Table{
+		ID:    "Table 10",
+		Title: "CDC freshness workload: burst vs steady phases",
+		Columns: []string{
+			"phase", "commits", "ns/tx", "commits/sec", "allocs/tx",
+			"skipped", "seeded", "planned", "tree-walk",
+		},
+		Notes: "cdcgen feed: 3 freshness constraints, burst trains of 8 every 20 commits, late arrivals up to 3 commits (25%), 2% planned violations; action columns are each phase's share of LastSkips decisions",
+	}
+	steps := 1000
+	if quick {
+		steps = 300
+	}
+	cfg := cdcgen.Config{
+		Steps: steps, Seed: 60,
+		BurstLen: 8, BurstEvery: 20,
+		MaxReorder:    3,
+		ViolationRate: 0.02,
+	}
+	h, meta := cdcgen.Generate(cfg)
+
+	c, err := newIncremental(h)
+	if err != nil {
+		return t, err
+	}
+	steady := phaseStats{actions: map[core.SkipAction]int{}}
+	burst := phaseStats{actions: map[core.SkipAction]int{}}
+	phases := [2]*phaseStats{&steady, &burst}
+
+	// Attribute heap allocations per phase by reading the malloc counter
+	// at every phase transition, outside the timed region. Trains are
+	// BurstLen commits long, so this is ~2n/(BurstEvery+BurstLen) reads.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	cur := 0
+	for i, st := range h.Steps {
+		ph := 0
+		if meta.Burst[i] {
+			ph = 1
+		}
+		if ph != cur {
+			runtime.ReadMemStats(&m1)
+			phases[cur].mallocs += m1.Mallocs - m0.Mallocs
+			m0 = m1
+			cur = ph
+		}
+		t0 := time.Now()
+		_, err := c.Step(st.Time, st.Tx)
+		d := time.Since(t0).Nanoseconds()
+		if err != nil {
+			return t, fmt.Errorf("step %d: %w", i, err)
+		}
+		phases[ph].commits++
+		phases[ph].ns += d
+		for _, si := range c.LastSkips() {
+			phases[ph].actions[si.Action]++
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	phases[cur].mallocs += m1.Mallocs - m0.Mallocs
+
+	if steady.commits == 0 || burst.commits == 0 {
+		return t, fmt.Errorf("bench: degenerate phase split: %d steady, %d burst commits", steady.commits, burst.commits)
+	}
+	t.Rows = append(t.Rows, steady.row("steady"), burst.row("burst"))
+	return t, nil
+}

@@ -336,6 +336,7 @@ func Experiments() []struct {
 		{"Table 7", Table7SinceChain},
 		{"Table 8", Table8Parallelism},
 		{"Table 9", Table9ShardScaling},
+		{"Table 10", Table10CDCFreshness},
 	}
 }
 

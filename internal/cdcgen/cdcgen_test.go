@@ -1,0 +1,268 @@
+package cdcgen_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+
+	"rtic/internal/cdcgen"
+	"rtic/internal/check"
+	"rtic/internal/core"
+	"rtic/internal/workload"
+)
+
+// goldenCfg exercises every knob at once: burst trains, late-arrival
+// reordering, and planned violations on top of the Zipf key stream.
+var goldenCfg = cdcgen.Config{
+	Steps: 200, Seed: 1,
+	BurstLen: 8, BurstEvery: 16,
+	MaxReorder:    3,
+	ViolationRate: 0.15,
+}
+
+// goldenHash pins the byte-exact rendered trace of goldenCfg.
+// Explicitly seeded math/rand sequences are stable across Go releases,
+// so this hash only moves when the generator itself changes — bump it
+// deliberately, alongside the change that moved it.
+const goldenHash = "5d634db2646a18d728c15c44338222959403aee25a55e912922035567991604f"
+
+func TestGoldenTrace(t *testing.T) {
+	h, _ := cdcgen.Generate(goldenCfg)
+	sum := sha256.Sum256([]byte(cdcgen.Render(h)))
+	if got := hex.EncodeToString(sum[:]); got != goldenHash {
+		t.Fatalf("golden trace drifted:\n  got  %s\n  want %s", got, goldenHash)
+	}
+}
+
+func TestSameSeedByteIdentical(t *testing.T) {
+	h1, m1 := cdcgen.Generate(goldenCfg)
+	h2, m2 := cdcgen.Generate(goldenCfg)
+	if cdcgen.Render(h1) != cdcgen.Render(h2) {
+		t.Fatal("same seed produced different histories")
+	}
+	if m1.Displaced != m2.Displaced || m1.MaxDisplacement != m2.MaxDisplacement ||
+		m1.PlannedViolations != m2.PlannedViolations {
+		t.Fatalf("same seed produced different meta: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	seen := make(map[string]int64)
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := goldenCfg
+		cfg.Seed = seed
+		h, _ := cdcgen.Generate(cfg)
+		r := cdcgen.Render(h)
+		if prev, dup := seen[r]; dup {
+			t.Fatalf("seeds %d and %d produced identical histories", prev, seed)
+		}
+		seen[r] = seed
+	}
+}
+
+// TestBurstShape pins the burst-train knob: the phase pattern follows
+// (BurstEvery steady, BurstLen burst) periods, burst commits arrive at
+// exactly BurstGap apart, and steady gaps stay within [1, SteadyGap].
+func TestBurstShape(t *testing.T) {
+	cfg := cdcgen.Config{Steps: 120, Seed: 9, BurstLen: 8, BurstEvery: 16, SteadyGap: 4, BurstGap: 1}
+	h, meta := cdcgen.Generate(cfg)
+	if len(meta.Burst) != cfg.Steps || len(h.Steps) != cfg.Steps {
+		t.Fatalf("got %d phase marks, %d steps; want %d", len(meta.Burst), len(h.Steps), cfg.Steps)
+	}
+	period := cfg.BurstEvery + cfg.BurstLen
+	bursts := 0
+	for i, b := range meta.Burst {
+		if want := i%period >= cfg.BurstEvery; b != want {
+			t.Fatalf("commit %d: burst=%v, want %v", i, b, want)
+		}
+		if b {
+			bursts++
+		}
+		if i == 0 {
+			continue
+		}
+		gap := h.Steps[i].Time - h.Steps[i-1].Time
+		if b {
+			if gap != uint64(cfg.BurstGap) {
+				t.Fatalf("commit %d: burst gap %d, want %d", i, gap, cfg.BurstGap)
+			}
+		} else if gap < 1 || gap > uint64(cfg.SteadyGap) {
+			t.Fatalf("commit %d: steady gap %d outside [1,%d]", i, gap, cfg.SteadyGap)
+		}
+	}
+	if bursts == 0 {
+		t.Fatal("no burst commits generated")
+	}
+	// Burst trains are capture/read floods: no derived or staleness
+	// commits inside a train.
+	for i, k := range meta.Kinds {
+		if meta.Burst[i] && k != cdcgen.KindRefresh && k != cdcgen.KindServe {
+			t.Fatalf("burst commit %d has kind %q", i, k)
+		}
+	}
+}
+
+// TestReorderBound pins the late-arrival knob: displacement happens,
+// never exceeds MaxReorder, vanishes when the knob is off, and per-key
+// op order survives (a row's delete never overtakes its insert).
+// Displacement is the last generation phase, so the same seed with
+// MaxReorder=0 yields the exact in-order stream to compare against.
+func TestReorderBound(t *testing.T) {
+	cfg := cdcgen.Config{Steps: 150, Seed: 4, MaxReorder: 3}
+	h, meta := cdcgen.Generate(cfg)
+	if meta.Displaced == 0 {
+		t.Fatal("MaxReorder=3 with default LateRate displaced nothing")
+	}
+	if meta.MaxDisplacement < 1 || meta.MaxDisplacement > cfg.MaxReorder {
+		t.Fatalf("max displacement %d outside [1,%d]", meta.MaxDisplacement, cfg.MaxReorder)
+	}
+
+	inOrderCfg := cfg
+	inOrderCfg.MaxReorder = 0
+	inOrder, im := cdcgen.Generate(inOrderCfg)
+	if im.Displaced != 0 || im.MaxDisplacement != 0 {
+		t.Fatalf("MaxReorder=0 still displaced %d ops", im.Displaced)
+	}
+	if cdcgen.Render(h) == cdcgen.Render(inOrder) {
+		t.Fatal("reordered feed is byte-identical to the in-order feed")
+	}
+
+	// Reordering must preserve each key's op sequence exactly — the
+	// guarantee commit-batched CDC transports give. Storage would
+	// tolerate a swapped insert/delete silently (no-op semantics), so
+	// it has to be pinned here.
+	got, want := perKeyOps(h), perKeyOps(inOrder)
+	if len(got) != len(want) {
+		t.Fatalf("reordering changed the key set: %d keys vs %d", len(got), len(want))
+	}
+	for key, seq := range want {
+		if got[key] != seq {
+			t.Fatalf("key %s: op sequence changed by reordering:\n  got  %s\n  want %s", key, got[key], seq)
+		}
+	}
+}
+
+// perKeyOps projects a history onto per-key op sequences: for each
+// rel|tuple key, the string of insert (+) / delete (-) ops in arrival
+// order.
+func perKeyOps(h workload.History) map[string]string {
+	seqs := make(map[string]string)
+	for _, st := range h.Steps {
+		for _, op := range st.Tx.Ops() {
+			key := op.Rel + "|" + op.Tuple.Key()
+			if op.Insert {
+				seqs[key] += "+"
+			} else {
+				seqs[key] += "-"
+			}
+		}
+	}
+	return seqs
+}
+
+// TestHotKeySkew pins the Zipf knob: a steeper exponent concentrates
+// more of the key draws on the hottest key, and the default skew is
+// decisively hot (the hottest sensor takes over a quarter of draws).
+func TestHotKeySkew(t *testing.T) {
+	share := func(s float64) float64 {
+		_, meta := cdcgen.Generate(cdcgen.Config{Steps: 300, Seed: 11, ZipfS: s})
+		top, total := 0, 0
+		for _, n := range meta.KeyDraws {
+			total += n
+			if n > top {
+				top = n
+			}
+		}
+		if total == 0 {
+			t.Fatalf("ZipfS=%v: no key draws", s)
+		}
+		return float64(top) / float64(total)
+	}
+	mild, steep := share(1.1), share(3.0)
+	if steep <= mild {
+		t.Fatalf("steeper Zipf did not concentrate draws: s=3.0 share %.2f <= s=1.1 share %.2f", steep, mild)
+	}
+	if def := share(0); def < 0.25 {
+		t.Fatalf("default skew too flat: hottest key share %.2f < 0.25", def)
+	}
+}
+
+// TestViolationKnob pins the violation scheduler: rate 0 plans none,
+// a positive rate plans some and the checker actually reports
+// violations when the feed replays. (Rate 0 does not promise zero
+// reported violations: late arrivals and cleanup lag can legitimately
+// push a compliant flow over its window — that is the realism the
+// generator exists to provide.)
+func TestViolationKnob(t *testing.T) {
+	cfg := cdcgen.Config{Steps: 200, Seed: 2}
+	_, meta := cdcgen.Generate(cfg)
+	if meta.PlannedViolations != 0 {
+		t.Fatalf("ViolationRate=0 planned %d violations", meta.PlannedViolations)
+	}
+
+	cfg.ViolationRate = 0.3
+	h, meta := cdcgen.Generate(cfg)
+	if meta.PlannedViolations == 0 {
+		t.Fatal("ViolationRate=0.3 planned no violations")
+	}
+	if n := countViolations(t, h); n == 0 {
+		t.Fatal("ViolationRate=0.3 feed replayed with zero reported violations")
+	}
+}
+
+// TestConstraintsParse pins that every generated constraint is
+// accepted by the parser against the generated schema — the corpus is
+// useless if a consumer has to special-case it.
+func TestConstraintsParse(t *testing.T) {
+	for _, cs := range cdcgen.Constraints(cdcgen.Config{}) {
+		if _, err := check.Parse(cs.Name, cs.Source, cdcgen.Schema()); err != nil {
+			t.Fatalf("constraint %s does not parse: %v", cs.Name, err)
+		}
+	}
+}
+
+// TestRenderFormat pins the rendered trace to the spec-log line format
+// ("@t <ops>"), so golden traces stay loadable by the spec tooling.
+func TestRenderFormat(t *testing.T) {
+	h, _ := cdcgen.Generate(cdcgen.Config{Steps: 30, Seed: 5})
+	r := cdcgen.Render(h)
+	lines := strings.Split(strings.TrimRight(r, "\n"), "\n")
+	if len(lines) != 30 {
+		t.Fatalf("got %d lines, want 30", len(lines))
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "@") {
+			t.Fatalf("line %d does not start with @: %q", i, line)
+		}
+	}
+}
+
+func countViolations(t *testing.T, h workload.History) int {
+	t.Helper()
+	c := newChecker(t, h)
+	n := 0
+	for _, st := range h.Steps {
+		vs, err := c.Step(st.Time, st.Tx)
+		if err != nil {
+			t.Fatalf("step @%d: %v", st.Time, err)
+		}
+		n += len(vs)
+	}
+	return n
+}
+
+func newChecker(t *testing.T, h workload.History) *core.Checker {
+	t.Helper()
+	c := core.New(h.Schema)
+	for _, cs := range h.Constraints {
+		con, err := check.Parse(cs.Name, cs.Source, h.Schema)
+		if err != nil {
+			t.Fatalf("parse %s: %v", cs.Name, err)
+		}
+		if err := c.AddConstraint(con); err != nil {
+			t.Fatalf("add %s: %v", cs.Name, err)
+		}
+	}
+	return c
+}

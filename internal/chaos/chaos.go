@@ -44,6 +44,18 @@ type Config struct {
 	// Plan, when non-nil, replaces the seeded schedule entirely —
 	// for deterministic single-fault scenarios.
 	Plan []vfs.Injection
+
+	// History, when non-nil, replaces the built-in hire/fire workload:
+	// the run drives History.Steps through a monitor built over
+	// History.Schema and History.Constraints, and Commits is taken from
+	// the step count. Any workload.History works — the CDC freshness
+	// feeds from internal/cdcgen are the standing corpus.
+	History *workload.History
+
+	// Probe, when non-nil, overrides the post-recovery probe
+	// transaction. With a History and no Probe, the last non-empty
+	// transaction of the trace is re-committed past the recovered time.
+	Probe *storage.Transaction
 }
 
 // Result reports what one run did, for failure messages and for
@@ -58,6 +70,7 @@ type Result struct {
 	CheckpointErrs int         // checkpoints that failed under injection
 	Crashed        bool        // a Crash fault latched the filesystem
 	Fired          []vfs.Fired // injections that actually fired
+	Ops            uint64      // filesystem ops the run performed (crash-plan calibration)
 }
 
 type step struct {
@@ -93,17 +106,49 @@ func hrConstraints() []workload.ConstraintSpec {
 	}
 }
 
-func newMonitor(shards int) (*monitor.Monitor, error) {
+func newMonitor(sch *schema.Schema, cons []workload.ConstraintSpec, shards int) (*monitor.Monitor, error) {
 	var opts []monitor.Option
 	if shards > 1 {
 		opts = append(opts, monitor.WithShards(shards))
 	}
-	m, err := monitor.New(hrSchema(), hrConstraints(), opts...)
+	m, err := monitor.New(sch, cons, opts...)
 	if err != nil {
 		return nil, err
 	}
 	m.SetObserver(&obs.Observer{Metrics: obs.NewMetrics(obs.NewRegistry())})
 	return m, nil
+}
+
+// workloadOf resolves the run's trace, schema, constraints and probe —
+// the built-in hire/fire workload unless cfg.History overrides it.
+func workloadOf(cfg Config) (*schema.Schema, []workload.ConstraintSpec, []step, *storage.Transaction) {
+	if cfg.History == nil {
+		n := cfg.Commits
+		if n <= 0 {
+			n = 24
+		}
+		probe := cfg.Probe
+		if probe == nil {
+			probe = probeTx()
+		}
+		return hrSchema(), hrConstraints(), hrTrace(n), probe
+	}
+	h := cfg.History
+	trace := make([]step, len(h.Steps))
+	for i, st := range h.Steps {
+		trace[i] = step{t: st.Time, tx: st.Tx}
+	}
+	probe := cfg.Probe
+	if probe == nil {
+		// Re-committing a late trace transaction past the recovered time
+		// exercises window state the same way the original commit did.
+		for i := len(trace) - 1; i >= 0 && probe == nil; i-- {
+			if len(trace[i].tx.Ops()) > 0 {
+				probe = trace[i].tx
+			}
+		}
+	}
+	return h.Schema, h.Constraints, trace, probe
 }
 
 // probeTx rehires every employee at once; which constraint violations
@@ -129,9 +174,8 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("chaos: Config.Dir is required")
 	}
-	if cfg.Commits <= 0 {
-		cfg.Commits = 24
-	}
+	sch, cons, trace, probe := workloadOf(cfg)
+	cfg.Commits = len(trace)
 	shards := cfg.Shards
 	if shards < 1 {
 		shards = 1
@@ -154,12 +198,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	ffs := vfs.NewFaultFS(vfs.OS, plan...)
 	res := &Result{Seed: cfg.Seed}
-	trace := hrTrace(cfg.Commits)
 	snapPath := filepath.Join(cfg.Dir, "state.snap")
 	walPath := filepath.Join(cfg.Dir, "state.wal")
 	shardPath := func(i int) string { return fmt.Sprintf("%s.%d", walPath, i) }
 
-	m, err := newMonitor(cfg.Shards)
+	m, err := newMonitor(sch, cons, cfg.Shards)
 	if err != nil {
 		return res, err
 	}
@@ -235,6 +278,7 @@ func Run(cfg Config) (*Result, error) {
 	res.Rearms = h.Rearms
 	res.Crashed = ffs.Crashed()
 	res.Fired = ffs.Fired()
+	res.Ops = ffs.OpCount()
 	// Crash: stop background loops (a dead process runs no goroutines)
 	// and abandon the journals without closing them.
 	stop()
@@ -244,7 +288,7 @@ func Run(cfg Config) (*Result, error) {
 	var m2 *monitor.Monitor
 	var replayed int
 	if shards > 1 {
-		if m2, err = newMonitor(cfg.Shards); err != nil {
+		if m2, err = newMonitor(sch, cons, cfg.Shards); err != nil {
 			return res, err
 		}
 		logs := make([]*wal.Log, shards)
@@ -263,12 +307,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 	} else {
 		if sf, err := os.Open(snapPath); err == nil {
-			m2, err = monitor.RestoreObserved(hrSchema(), sf, &obs.Observer{Metrics: obs.NewMetrics(obs.NewRegistry())})
+			m2, err = monitor.RestoreObserved(sch, sf, &obs.Observer{Metrics: obs.NewMetrics(obs.NewRegistry())})
 			sf.Close()
 			if err != nil {
 				return res, fmt.Errorf("seed %d: restoring checkpoint: %w", cfg.Seed, err)
 			}
-		} else if m2, err = newMonitor(cfg.Shards); err != nil {
+		} else if m2, err = newMonitor(sch, cons, cfg.Shards); err != nil {
 			return res, err
 		}
 		log2, err := wal.Open(walPath)
@@ -296,7 +340,7 @@ func Run(cfg Config) (*Result, error) {
 
 	// Differential check: the recovered monitor must be identical to a
 	// reference monitor fed the same trace prefix on a healthy disk.
-	ref, err := newMonitor(cfg.Shards)
+	ref, err := newMonitor(sch, cons, cfg.Shards)
 	if err != nil {
 		return res, err
 	}
@@ -319,12 +363,15 @@ func Run(cfg Config) (*Result, error) {
 	if got, want := m2.Stats(), ref.Stats(); !reflect.DeepEqual(got, want) {
 		return res, fmt.Errorf("seed %d: recovered aux state diverges: %+v vs %+v", cfg.Seed, got, want)
 	}
+	if probe == nil {
+		return res, nil
+	}
 	pt := res.RecoveredT + 1
-	pv, err := m2.Apply(pt, probeTx())
+	pv, err := m2.Apply(pt, probe)
 	if err != nil {
 		return res, fmt.Errorf("seed %d: probe commit on recovered monitor: %w", cfg.Seed, err)
 	}
-	rv, err := ref.Apply(pt, probeTx())
+	rv, err := ref.Apply(pt, probe)
 	if err != nil {
 		return res, fmt.Errorf("seed %d: probe commit on reference monitor: %w", cfg.Seed, err)
 	}

@@ -707,7 +707,3 @@ func (l *Log) countError() {
 		m.WALErrors.Inc()
 	}
 }
-
-func tempReviewProbe(l *Log) {
-	_ = l.Sync()
-}
